@@ -1,0 +1,141 @@
+// Figure 3: stationarity of the traffic-summary distribution. Day-to-day
+// mismatch of the 6-attribute index stays bounded (paper: <= ~20% even at
+// the finest granularity) while hour-to-hour mismatch approaches 1 once the
+// histogram granularity reaches ~64 bins per dimension (time-of-day bins
+// finer than an hour make consecutive hours disjoint), justifying daily —
+// not continuous — re-balancing.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "space/mismatch.h"
+
+using namespace mind;
+using namespace mind::bench;
+
+namespace {
+
+// The paper's 6-attribute unfiltered index: source and destination prefixes,
+// time-of-day, total bytes, number of connections, average connection size.
+IndexDef SixAttrIndex() {
+  IndexDef def;
+  def.name = "index6";
+  def.schema = Schema({{"dst_prefix", 0, 0xFFFFFFFFull},
+                       {"src_prefix", 0, 0xFFFFFFFFull},
+                       {"tod", 0, 86400},
+                       {"octets", 0, 2 * 1024 * 1024},
+                       {"connections", 0, 5024},
+                       {"avg_size", 0, 128 * 1024}});
+  def.time_attr = 2;
+  return def;
+}
+
+Point ToPoint(const AggregateRecord& rec) {
+  return {rec.dst_prefix.First(),
+          rec.src_prefix.First(),
+          rec.window_start % 86400,
+          std::min<uint64_t>(rec.octets, 2 * 1024 * 1024),
+          std::min<uint64_t>(rec.flows, 5024),
+          std::min<uint64_t>(rec.avg_flow_size, 128 * 1024)};
+}
+
+std::vector<Point> SlicePoints(FlowGenerator& gen, int day, double t0,
+                               double t1) {
+  std::vector<Point> points;
+  const double window = 30;
+  for (double t = t0; t < t1; t += window) {
+    Aggregator agg({window, 16, 300});
+    gen.Generate(day, t, std::min(t + window, t1),
+                 [&](const FlowRecord& f) { agg.Add(f); });
+    for (const auto& rec : agg.DrainAll()) points.push_back(ToPoint(rec));
+  }
+  return points;
+}
+
+Histogram BuildHistogram(const Schema& schema, int bins,
+                         const std::vector<Point>& points) {
+  Histogram h(schema, bins);
+  for (const auto& p : points) h.Add(p);
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  Topology topo = Topology::AbileneGeant();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 30;
+  gopts.seed = 303;
+  FlowGenerator gen(topo, gopts);
+  IndexDef def = SixAttrIndex();
+
+  std::printf("=== Figure 3: day-to-day vs hour-to-hour mismatch of the 6-attr index ===\n");
+  std::printf("(14 days; matched 30-minute slices stand in for the paper's full days)\n\n");
+
+  // Generate the trace slices once; sweep granularities over cached points.
+  const int kDays = 14;
+  const double kSliceStart = 39600, kSliceLen = 1800;  // 11:00-11:30
+  std::vector<std::vector<Point>> day_slices;
+  for (int d = 0; d < kDays; ++d) {
+    day_slices.push_back(
+        SlicePoints(gen, d, kSliceStart, kSliceStart + kSliceLen));
+  }
+  std::vector<std::vector<Point>> hour_slices;
+  for (int hr = 8; hr < 16; ++hr) {
+    hour_slices.push_back(
+        SlicePoints(gen, 0, hr * 3600.0, hr * 3600.0 + kSliceLen));
+  }
+  size_t total_pts = 0;
+  for (auto& s : day_slices) total_pts += s.size();
+  std::printf("aggregate records: %zu across %d daily slices\n\n", total_pts,
+              kDays);
+
+  // Sampling-noise baseline: two interleaved halves of the same slice have
+  // identical underlying distributions; their mismatch is pure Poisson noise
+  // (the paper's full-day histograms hold ~25x more records per cell).
+  std::vector<Point> half_a, half_b;
+  for (size_t i = 0; i < day_slices[0].size(); ++i) {
+    (i % 2 ? half_a : half_b).push_back(day_slices[0][i]);
+  }
+
+  std::printf("%8s %10s %10s %12s %12s %12s\n", "k/dim", "day mean", "day max",
+              "hour mean", "hour max", "self(noise)");
+  // Granularity k = bins per dimension (the paper's k in "k^d bins").
+  for (int bins : {2, 4, 8, 16, 32, 64}) {
+    std::vector<Histogram> days;
+    for (const auto& s : day_slices) {
+      days.push_back(BuildHistogram(def.schema, bins, s));
+    }
+    double max_day = 0, sum_day = 0;
+    for (int d = 1; d < kDays; ++d) {
+      double m = MismatchFraction(days[d - 1], days[d]).value();
+      max_day = std::max(max_day, m);
+      sum_day += m;
+    }
+
+    std::vector<Histogram> hours;
+    for (const auto& s : hour_slices) {
+      hours.push_back(BuildHistogram(def.schema, bins, s));
+    }
+    double max_hour = 0, sum_hour = 0;
+    int n_hour = 0;
+    for (size_t i = 1; i < hours.size(); ++i) {
+      double m = MismatchFraction(hours[i - 1], hours[i]).value();
+      max_hour = std::max(max_hour, m);
+      sum_hour += m;
+      ++n_hour;
+    }
+    double self_noise =
+        MismatchFraction(BuildHistogram(def.schema, bins, half_a),
+                         BuildHistogram(def.schema, bins, half_b))
+            .value();
+    std::printf("%8d %10.3f %10.3f %12.3f %12.3f %12.3f\n", bins,
+                sum_day / (kDays - 1), max_day, sum_hour / n_hour, max_hour,
+                self_noise);
+  }
+  std::printf("\n(paper: day-to-day <= ~0.20 even at the finest granularity; "
+              "hour-to-hour ~1 at k >= 64.\n"
+              " Our day-to-day values at fine k are dominated by sampling "
+              "noise — compare the self column.)\n");
+  return 0;
+}

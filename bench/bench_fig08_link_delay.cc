@@ -1,0 +1,92 @@
+// Figure 8: transmission delays observed on the slowest overlay link during
+// the baseline run. The paper traces a pathological case where queuing on
+// successive links delayed one tuple by 48 s; the per-link delay time series
+// shows multi-second spikes when a hotspot builds a queue.
+//
+// We reproduce the mechanism by constricting link bandwidth and injecting a
+// scan burst whose records all hash to one region: the link into that owner
+// builds a FIFO backlog and its delivery delays spike.
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+
+using namespace mind;
+using namespace mind::bench;
+
+int main() {
+  Topology topo = Topology::AbileneGeant();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 80;
+  gopts.seed = 808;
+  FlowGenerator gen(topo, gopts);
+
+  MindNetOptions mopts;
+  mopts.sim.seed = 8080;
+  mopts.sim.network.bandwidth_bytes_per_sec = 4 * 1024;  // constricted links
+  mopts.positions = topo.Positions();
+  MindNet net(topo.size(), mopts);
+  if (!net.Build().ok()) return 1;
+  CreatePaperIndices(net, {}, true, true, false);
+
+  // Record per-directed-link delay maxima in 10 s buckets.
+  struct Bucket {
+    double max_delay = 0;
+    size_t count = 0;
+  };
+  std::map<std::pair<NodeId, NodeId>, std::map<uint64_t, Bucket>> series;
+  net.network().SetDelayObserver([&](NodeId from, NodeId to, SimTime d) {
+    uint64_t bucket = net.sim().now() / (10 * kUsPerSec);
+    Bucket& b = series[{from, to}][bucket];
+    b.max_delay = std::max(b.max_delay, ToSeconds(d));
+    b.count++;
+  });
+
+  // 10 minutes of trace with a distributed DoS burst: spoofed sources across
+  // every customer prefix flood one victim, so aggregation emits one record
+  // per (source prefix, window) — hundreds of tuples per window, all routed
+  // to the victim's region owner, queuing on the links into it.
+  TraceDriveOptions topts;
+  topts.t0_sec = 39600;
+  topts.t1_sec = 40200;
+  AnomalyEvent burst;
+  burst.type = AnomalyType::kDos;
+  burst.distributed = true;
+  burst.day = 0;
+  burst.start_sec = 39840;
+  burst.duration_sec = 150;
+  burst.src_prefix = 3;
+  burst.dst_prefix = 17;
+  burst.magnitude = 250000;  // raw flood pps (2004-era DDoS scale)
+  topts.anomalies = {burst};
+  DriveTrace(net, gen, topts);
+
+  // Find the slowest link (largest bucket max).
+  std::pair<NodeId, NodeId> worst{-1, -1};
+  double worst_delay = 0;
+  for (const auto& [link, buckets] : series) {
+    for (const auto& [bkt, b] : buckets) {
+      if (b.max_delay > worst_delay) {
+        worst_delay = b.max_delay;
+        worst = link;
+      }
+    }
+  }
+
+  std::printf("=== Figure 8: transmission delay time series on the slowest link ===\n");
+  if (worst.first < 0) {
+    std::printf("no deliveries observed\n");
+    return 1;
+  }
+  std::printf("slowest link: %s -> %s (max one-way delay %.2f s)\n\n",
+              topo.router(worst.first).name.c_str(),
+              topo.router(worst.second).name.c_str(), worst_delay);
+  std::printf("%10s  %12s  %8s\n", "t(s)", "max-delay(s)", "msgs");
+  for (const auto& [bkt, b] : series[worst]) {
+    std::printf("%10llu  %12.3f  %8zu\n",
+                (unsigned long long)(bkt * 10), b.max_delay, b.count);
+  }
+  std::printf("\n(paper: delays on the slowest link spike to tens of seconds "
+              "under queuing; one insertion took 48 s)\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) of MIND's core data-path primitives:
+// data-space coding, query covers, histogram maintenance, store operations
+// and routing-table decisions. These quantify the per-tuple CPU cost behind
+// the system benches.
+#include <benchmark/benchmark.h>
+
+#include "overlay/overlay_node.h"
+#include "space/cut_tree.h"
+#include "space/histogram.h"
+#include "space/mismatch.h"
+#include "storage/tuple_store.h"
+#include "util/bitcode.h"
+#include "util/rng.h"
+
+namespace mind {
+namespace {
+
+Schema Schema3() {
+  return Schema({{"dst", 0, 0xFFFFFFFFull}, {"ts", 0, 86400 * 14}, {"v", 0, 1 << 20}});
+}
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0x100000000ull), rng.Uniform(86400 * 14),
+                   rng.Uniform(1 << 20)});
+  }
+  return pts;
+}
+
+CutTree BalancedTree(int depth) {
+  Schema s = Schema3();
+  Histogram h(s, 16);
+  for (const auto& p : RandomPoints(20000, 9)) h.Add(p);
+  return std::move(CutTree::Balanced(s, h, depth)).value();
+}
+
+void BM_BitCodeCommonPrefix(benchmark::State& state) {
+  Rng rng(1);
+  BitCode a = BitCode::FromBits(rng.Next(), 64);
+  BitCode b = BitCode::FromBits(rng.Next(), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CommonPrefixLen(b));
+  }
+}
+BENCHMARK(BM_BitCodeCommonPrefix);
+
+void BM_CodeForPointEven(benchmark::State& state) {
+  CutTree t = CutTree::Even(Schema3());
+  auto pts = RandomPoints(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.CodeForPoint(pts[i++ & 1023], 32));
+  }
+}
+BENCHMARK(BM_CodeForPointEven);
+
+void BM_CodeForPointBalanced(benchmark::State& state) {
+  CutTree t = BalancedTree(static_cast<int>(state.range(0)));
+  auto pts = RandomPoints(1024, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.CodeForPoint(pts[i++ & 1023], 32));
+  }
+}
+BENCHMARK(BM_CodeForPointBalanced)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_QueryCover(benchmark::State& state) {
+  CutTree t = BalancedTree(8);
+  Rng rng(4);
+  Rect q({{0, 0x7FFFFFFF}, {1000, 1300}, {0, 1 << 20}});
+  for (auto _ : state) {
+    auto cover = t.Cover(q, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(cover);
+  }
+}
+BENCHMARK(BM_QueryCover)->Arg(6)->Arg(10);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h(Schema3(), 16);
+  auto pts = RandomPoints(1024, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    h.Add(pts[i++ & 1023]);
+  }
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_BalancedCutConstruction(benchmark::State& state) {
+  Schema s = Schema3();
+  Histogram h(s, 16);
+  for (const auto& p : RandomPoints(20000, 6)) h.Add(p);
+  for (auto _ : state) {
+    auto t = CutTree::Balanced(s, h, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_BalancedCutConstruction)->Arg(6)->Arg(10);
+
+void BM_TupleStoreInsert(benchmark::State& state) {
+  auto cuts = std::make_shared<CutTree>(CutTree::Even(Schema3()));
+  TupleStore store(cuts, 32);
+  auto pts = RandomPoints(4096, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    Tuple t;
+    t.point = pts[i++ & 4095];
+    t.seq = i;
+    store.Insert(std::move(t));
+  }
+}
+BENCHMARK(BM_TupleStoreInsert);
+
+void BM_TupleStoreQuery(benchmark::State& state) {
+  auto cuts = std::make_shared<CutTree>(CutTree::Even(Schema3()));
+  TupleStore store(cuts, 32);
+  for (const auto& p : RandomPoints(static_cast<size_t>(state.range(0)), 8)) {
+    Tuple t;
+    t.point = p;
+    store.Insert(std::move(t));
+  }
+  Rect q({{0, 0x0FFFFFFF}, {0, 86400}, {0, 1 << 20}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Count(q));
+  }
+}
+BENCHMARK(BM_TupleStoreQuery)->Arg(10000)->Arg(100000);
+
+void BM_Mismatch(benchmark::State& state) {
+  Schema s = Schema3();
+  Histogram a(s, 8), b(s, 8);
+  for (const auto& p : RandomPoints(20000, 10)) a.Add(p);
+  for (const auto& p : RandomPoints(20000, 11)) b.Add(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MismatchFraction(a, b));
+  }
+}
+BENCHMARK(BM_Mismatch);
+
+}  // namespace
+}  // namespace mind
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+#include "anomaly/ground_truth.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mind {
+
+std::vector<DetectedAnomaly> GroundTruthDetector::Detect(
+    const std::vector<AggregateRecord>& aggregates) const {
+  // Group anomalous aggregates by (type-class, src, dst).
+  struct Key {
+    bool is_alpha;
+    IpAddr src;
+    IpAddr dst;
+    bool operator<(const Key& o) const {
+      if (is_alpha != o.is_alpha) return is_alpha < o.is_alpha;
+      if (src != o.src) return src < o.src;
+      return dst < o.dst;
+    }
+  };
+  struct Group {
+    std::vector<const AggregateRecord*> records;
+  };
+  std::map<Key, Group> groups;
+  for (const auto& rec : aggregates) {
+    if (rec.octets > options_.alpha_octets) {
+      groups[Key{true, rec.src_prefix.First(), rec.dst_prefix.First()}]
+          .records.push_back(&rec);
+    }
+    if (rec.fanout > options_.fanout) {
+      groups[Key{false, rec.src_prefix.First(), rec.dst_prefix.First()}]
+          .records.push_back(&rec);
+    }
+  }
+
+  std::vector<DetectedAnomaly> out;
+  for (auto& [key, group] : groups) {
+    DetectedAnomaly a;
+    a.src_prefix = group.records[0]->src_prefix;
+    a.dst_prefix = group.records[0]->dst_prefix;
+    a.record_count = group.records.size();
+    a.first_window = UINT64_MAX;
+    uint32_t max_distinct = 0;
+    for (const auto* rec : group.records) {
+      a.first_window = std::min(a.first_window, rec->window_start);
+      a.last_window = std::max(a.last_window, rec->window_start);
+      a.observers.insert(rec->router);
+      a.peak = std::max(a.peak, key.is_alpha ? rec->octets
+                                             : static_cast<uint64_t>(rec->fanout));
+      max_distinct = std::max(max_distinct, rec->distinct_dsts);
+    }
+    if (key.is_alpha) {
+      a.type = AnomalyType::kAlphaFlow;
+    } else {
+      // Many distinct victims => scan; concentrated on one or a few => DoS.
+      a.type = max_distinct > 16 ? AnomalyType::kPortScan : AnomalyType::kDos;
+    }
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DetectedAnomaly& a, const DetectedAnomaly& b) {
+              return a.first_window < b.first_window;
+            });
+  return out;
+}
+
+}  // namespace mind

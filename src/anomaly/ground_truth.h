@@ -1,0 +1,59 @@
+// Offline centralized anomaly detection over the full aggregate-record
+// stream. Plays the role of Lakhina et al.'s independent off-line analysis
+// in the paper's §5 experiment: it defines the ground-truth anomaly set that
+// MIND queries are checked against (recall, result-size tightness).
+#ifndef MIND_ANOMALY_GROUND_TRUTH_H_
+#define MIND_ANOMALY_GROUND_TRUTH_H_
+
+#include <set>
+#include <vector>
+
+#include "traffic/anomaly_injector.h"
+#include "traffic/flow.h"
+
+namespace mind {
+
+struct GroundTruthOptions {
+  /// A (src, dst, window) aggregate whose octets exceed this is an alpha
+  /// flow. (Reported NetFlow volume, i.e. post-sampling.)
+  uint64_t alpha_octets = 4'000'000;
+  /// A (src, dst, window) aggregate whose fanout exceeds this is a DoS flood
+  /// or port scan.
+  uint32_t fanout = 1500;
+};
+
+struct DetectedAnomaly {
+  AnomalyType type = AnomalyType::kAlphaFlow;
+  /// First and last window (seconds since epoch) of the event.
+  uint64_t first_window = 0;
+  uint64_t last_window = 0;
+  IpPrefix src_prefix;
+  IpPrefix dst_prefix;
+  /// Peak metric value (octets or fanout).
+  uint64_t peak = 0;
+  /// Monitors that observed the anomalous aggregates (the path by-product).
+  std::set<int> observers;
+  /// Number of aggregate records constituting the anomaly ("actual size").
+  size_t record_count = 0;
+};
+
+/// \brief Scans all aggregates and groups threshold crossings into events.
+///
+/// Aggregates from the same (src, dst) prefix pair in consecutive or
+/// identical windows merge into a single anomaly; DoS vs port scan is told
+/// apart by the number of distinct destination hosts.
+class GroundTruthDetector {
+ public:
+  explicit GroundTruthDetector(GroundTruthOptions options = {})
+      : options_(options) {}
+
+  std::vector<DetectedAnomaly> Detect(
+      const std::vector<AggregateRecord>& aggregates) const;
+
+ private:
+  GroundTruthOptions options_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_ANOMALY_GROUND_TRUTH_H_

@@ -1,0 +1,83 @@
+#include "anomaly/mind_detector.h"
+
+#include <optional>
+
+#include "util/logging.h"
+
+namespace mind {
+
+DetectionOutcome MindAnomalyDetector::RunFromAll(
+    const std::string& index, const std::vector<size_t>& from, const Rect& q) {
+  DetectionOutcome outcome;
+  double total_latency = 0;
+  bool first = true;
+  for (size_t node : from) {
+    std::optional<QueryResult> result;
+    auto qid = net_->node(node).Query(index, q,
+                                      [&](const QueryResult& r) { result = r; });
+    MIND_CHECK_OK(qid.status());
+    SimTime deadline = net_->sim().now() + FromSeconds(120);
+    while (!result.has_value() && net_->sim().now() < deadline) {
+      net_->sim().RunFor(FromMillis(100));
+    }
+    if (!result.has_value()) {
+      outcome.all_complete = false;
+      continue;
+    }
+    outcome.all_complete = outcome.all_complete && result->complete;
+    total_latency += ToSeconds(result->latency);
+    if (first) {
+      outcome.tuples = result->tuples;
+      outcome.result_size = result->tuples.size();
+      for (const auto& t : result->tuples) outcome.observers.insert(t.origin);
+      first = false;
+    }
+  }
+  if (!from.empty()) {
+    outcome.avg_response_sec = total_latency / static_cast<double>(from.size());
+  }
+  return outcome;
+}
+
+DetectionOutcome MindAnomalyDetector::QueryFanout(
+    const std::vector<size_t>& from, uint64_t t1_sec, uint64_t t2_sec,
+    uint32_t min_fanout) {
+  const IndexDef* def = net_->node(from.at(0)).GetIndexDef(index1_);
+  MIND_CHECK(def != nullptr);
+  // Values above the attribute bound are stored clamped to it (paper
+  // footnote: "assigned the largest possible range"), so a threshold beyond
+  // the bound becomes a query for the bound itself.
+  Value max = def->schema.attr(2).max;
+  Rect q({{0, 0xFFFFFFFFull},
+          {t1_sec, t2_sec},
+          {std::min<Value>(min_fanout + 1, max), max}});
+  return RunFromAll(index1_, from, q);
+}
+
+DetectionOutcome MindAnomalyDetector::QueryOctets(
+    const std::vector<size_t>& from, uint64_t t1_sec, uint64_t t2_sec,
+    uint64_t min_octets) {
+  const IndexDef* def = net_->node(from.at(0)).GetIndexDef(index2_);
+  MIND_CHECK(def != nullptr);
+  Value max = def->schema.attr(2).max;
+  Rect q({{0, 0xFFFFFFFFull},
+          {t1_sec, t2_sec},
+          {std::min<Value>(min_octets + 1, max), max}});
+  return RunFromAll(index2_, from, q);
+}
+
+bool MindAnomalyDetector::Captures(const DetectionOutcome& outcome,
+                                   const DetectedAnomaly& anomaly) {
+  for (const auto& t : outcome.tuples) {
+    // Tuple layout for Index-1/2: (dst_prefix, timestamp, metric).
+    if (t.point.size() < 2) continue;
+    if (t.point[0] == anomaly.dst_prefix.First() &&
+        t.point[1] >= anomaly.first_window &&
+        t.point[1] <= anomaly.last_window) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mind

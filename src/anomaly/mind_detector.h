@@ -1,0 +1,69 @@
+// Query-driven anomaly detection against a running MIND deployment — the
+// distributed side of the §5 experiment. Issues the paper's two query
+// templates and measures recall against ground truth, result-set size and
+// average response time over all issuing nodes.
+#ifndef MIND_ANOMALY_MIND_DETECTOR_H_
+#define MIND_ANOMALY_MIND_DETECTOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "anomaly/ground_truth.h"
+#include "mind/mind_net.h"
+
+namespace mind {
+
+/// Aggregated outcome of issuing the same anomaly query from several nodes.
+struct DetectionOutcome {
+  /// Tuples of the (deduplicated) result set from the first issuing node.
+  std::vector<Tuple> tuples;
+  /// Result size ("Result size" column of Figure 17).
+  size_t result_size = 0;
+  /// Mean query latency across issuing nodes, seconds ("Average Response
+  /// time(s)" column).
+  double avg_response_sec = 0;
+  /// All queries completed (no timeouts).
+  bool all_complete = true;
+  /// Monitors appearing in the result (the path by-product).
+  std::set<int> observers;
+};
+
+class MindAnomalyDetector {
+ public:
+  /// `index1` / `index2` are the names of the paper's Index-1 and Index-2
+  /// as created on `net`.
+  MindAnomalyDetector(MindNet* net, std::string index1, std::string index2)
+      : net_(net), index1_(std::move(index1)), index2_(std::move(index2)) {}
+
+  /// §5 DoS/scan query: all records with fanout > min_fanout in
+  /// [t1_sec, t2_sec]; issued from every node in `from`.
+  DetectionOutcome QueryFanout(const std::vector<size_t>& from,
+                               uint64_t t1_sec, uint64_t t2_sec,
+                               uint32_t min_fanout);
+
+  /// §5 alpha-flow query: all records with octets > min_octets in
+  /// [t1_sec, t2_sec].
+  DetectionOutcome QueryOctets(const std::vector<size_t>& from,
+                               uint64_t t1_sec, uint64_t t2_sec,
+                               uint64_t min_octets);
+
+  /// True if the result captures the anomaly: some returned tuple matches
+  /// the anomaly's destination prefix within its window span (the paper
+  /// reports "perfect recall": every anomaly's records are a subset of the
+  /// query result).
+  static bool Captures(const DetectionOutcome& outcome,
+                       const DetectedAnomaly& anomaly);
+
+ private:
+  DetectionOutcome RunFromAll(const std::string& index,
+                              const std::vector<size_t>& from, const Rect& q);
+
+  MindNet* net_;
+  std::string index1_;
+  std::string index2_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_ANOMALY_MIND_DETECTOR_H_

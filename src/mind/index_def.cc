@@ -1,0 +1,24 @@
+#include "mind/index_def.h"
+
+namespace mind {
+
+Status IndexDef::Validate() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("index name must not be empty");
+  }
+  MIND_RETURN_NOT_OK(schema.Validate());
+  if (time_attr < -1 || time_attr >= schema.dims()) {
+    return Status::InvalidArgument("time_attr out of range for index " + name);
+  }
+  for (const auto& c : carried) {
+    if (c.empty()) {
+      return Status::InvalidArgument("carried attribute with empty name");
+    }
+    if (schema.FindAttr(c) >= 0) {
+      return Status::InvalidArgument("carried attribute duplicates schema: " + c);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mind

@@ -1,0 +1,36 @@
+// Index definitions: the schema plus carried attributes and the designated
+// timestamp attribute (which selects daily versions).
+#ifndef MIND_MIND_INDEX_DEF_H_
+#define MIND_MIND_INDEX_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "space/schema.h"
+#include "util/status.h"
+
+namespace mind {
+
+/// \brief Everything a node needs to instantiate an index locally.
+///
+/// The paper passes an XML schema description to create_index; in this
+/// in-process reproduction the definition is a plain struct distributed by
+/// overlay broadcast (DESIGN.md §2).
+struct IndexDef {
+  /// Globally unique tag of the index.
+  std::string name;
+  /// Indexed attributes (the k dimensions of the data space).
+  Schema schema;
+  /// Names of carried (returned but not indexed) attributes, in the order
+  /// they appear in Tuple::extra.
+  std::vector<std::string> carried;
+  /// Index into schema of the timestamp attribute, or -1 if the index is not
+  /// time-versioned. Queries use this attribute's range to select versions.
+  int time_attr = -1;
+
+  Status Validate() const;
+};
+
+}  // namespace mind
+
+#endif  // MIND_MIND_INDEX_DEF_H_

@@ -1,0 +1,134 @@
+#include "mind/mind_net.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mind {
+
+MindNet::MindNet(size_t n, MindNetOptions options)
+    : options_(std::move(options)) {
+  MIND_CHECK_GT(n, 0u);
+  MIND_CHECK(options_.positions.empty() || options_.positions.size() == n);
+  sim_ = std::make_unique<Simulator>(options_.sim);
+  for (size_t i = 0; i < n; ++i) {
+    OverlayOptions oo = options_.overlay;
+    oo.seed = options_.sim.seed + 1000 + i;
+    MindOptions mo = options_.mind;
+    mo.seed = options_.sim.seed + 5000 + i;
+    std::optional<GeoPoint> pos;
+    if (!options_.positions.empty()) pos = options_.positions[i];
+    nodes_.push_back(std::make_unique<MindNode>(sim_.get(), oo, mo, pos));
+    MindNode* node = nodes_.back().get();
+    node->set_on_stored(
+        [this](const MindNode::StoredInfo& info) { stored_.push_back(info); });
+    node->set_on_query_visit([this](uint64_t query_id, NodeId id) {
+      visits_[query_id].insert(id);
+    });
+  }
+}
+
+Status MindNet::Build(bool concurrent_joins) {
+  nodes_[0]->BecomeFirst();
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    if (concurrent_joins) {
+      nodes_[i]->Join(0);
+    } else {
+      MindNode* node = nodes_[i].get();
+      sim_->events().Schedule(options_.join_stagger * i,
+                              [node] { node->Join(0); });
+    }
+  }
+  SimTime deadline = sim_->now() + options_.build_deadline;
+  while (JoinedCount() < nodes_.size() && sim_->now() < deadline) {
+    sim_->RunFor(FromSeconds(1));
+  }
+  if (JoinedCount() < nodes_.size()) {
+    return Status::TimedOut("overlay build incomplete: " +
+                            std::to_string(JoinedCount()) + "/" +
+                            std::to_string(nodes_.size()));
+  }
+  return Status::OK();
+}
+
+Status MindNet::CreateIndexEverywhere(const IndexDef& def, CutTreeRef cuts,
+                                      VersionId version, SimTime start) {
+  MIND_RETURN_NOT_OK(nodes_[0]->CreateIndex(def, std::move(cuts), version, start));
+  SimTime deadline = sim_->now() + FromSeconds(120);
+  auto everywhere = [&] {
+    for (const auto& node : nodes_) {
+      if (node->overlay().alive() && node->overlay().joined() &&
+          !node->HasIndex(def.name)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!everywhere() && sim_->now() < deadline) sim_->RunFor(FromSeconds(1));
+  if (!everywhere()) return Status::TimedOut("index flood incomplete");
+  return Status::OK();
+}
+
+Status MindNet::InstallCutsEverywhere(const std::string& name,
+                                      VersionId version, CutTreeRef cuts,
+                                      SimTime start) {
+  MIND_RETURN_NOT_OK(nodes_[0]->InstallCuts(name, version, std::move(cuts), start));
+  SimTime deadline = sim_->now() + FromSeconds(120);
+  auto everywhere = [&] {
+    for (const auto& node : nodes_) {
+      if (!node->overlay().alive() || !node->overlay().joined()) continue;
+      const IndexVersions* pv = node->PrimaryVersions(name);
+      if (pv == nullptr || pv->Store(version) == nullptr) return false;
+    }
+    return true;
+  };
+  while (!everywhere() && sim_->now() < deadline) sim_->RunFor(FromSeconds(1));
+  if (!everywhere()) return Status::TimedOut("cuts flood incomplete");
+  return Status::OK();
+}
+
+size_t MindNet::QueryVisitCount(uint64_t query_id) const {
+  auto it = visits_.find(query_id);
+  return it == visits_.end() ? 0 : it->second.size();
+}
+
+size_t MindNet::TotalPrimaryTuples(const std::string& index) const {
+  size_t n = 0;
+  for (const auto& node : nodes_) n += node->PrimaryTupleCount(index);
+  return n;
+}
+
+std::vector<size_t> MindNet::PrimaryTupleDistribution(
+    const std::string& index) const {
+  std::vector<size_t> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node->PrimaryTupleCount(index));
+  return out;
+}
+
+size_t MindNet::JoinedCount() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node->overlay().joined()) ++n;
+  }
+  return n;
+}
+
+bool MindNet::CodesFormCompleteCover() const {
+  long double total = 0;
+  std::vector<BitCode> codes;
+  for (const auto& node : nodes_) {
+    if (!node->overlay().alive() || !node->overlay().joined()) continue;
+    codes.push_back(node->overlay().code());
+    total += std::pow(2.0L,
+                      -static_cast<long double>(node->overlay().code().length()));
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    for (size_t j = 0; j < codes.size(); ++j) {
+      if (i != j && codes[i].IsPrefixOf(codes[j])) return false;
+    }
+  }
+  return std::fabs(static_cast<double>(total) - 1.0) < 1e-9;
+}
+
+}  // namespace mind

@@ -1,0 +1,78 @@
+// MindNet: a whole simulated MIND deployment in one object — the analogue of
+// the paper's PlanetLab slice. Owns the simulator, the MIND nodes and global
+// measurement hooks (insertion latency samples, per-query visit sets).
+#ifndef MIND_MIND_MIND_NET_H_
+#define MIND_MIND_MIND_NET_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mind/mind_node.h"
+
+namespace mind {
+
+struct MindNetOptions {
+  SimulatorOptions sim;
+  OverlayOptions overlay;
+  MindOptions mind;
+  /// Geographic positions per node; empty => default network latency.
+  std::vector<GeoPoint> positions;
+  /// Stagger between node joins while building the overlay.
+  SimTime join_stagger = FromMillis(300);
+  SimTime build_deadline = FromSeconds(3600);
+};
+
+class MindNet {
+ public:
+  /// Creates `n` nodes (positions, if given, must have length n).
+  MindNet(size_t n, MindNetOptions options);
+
+  size_t size() const { return nodes_.size(); }
+  MindNode& node(size_t i) { return *nodes_[i]; }
+  Simulator& sim() { return *sim_; }
+  Network& network() { return sim_->network(); }
+
+  /// Joins all nodes into one overlay (node 0 bootstraps). Error if the
+  /// deadline passes first.
+  Status Build(bool concurrent_joins = false);
+
+  /// Creates an index from node 0 and runs until every live node has it.
+  Status CreateIndexEverywhere(const IndexDef& def, CutTreeRef cuts,
+                               VersionId version = 1, SimTime start = 0);
+
+  /// Installs a new version everywhere (runs the flood to completion).
+  Status InstallCutsEverywhere(const std::string& name, VersionId version,
+                               CutTreeRef cuts, SimTime start);
+
+  // ---- global measurement ---------------------------------------------
+
+  /// All insert commits across the net (in commit order).
+  const std::vector<MindNode::StoredInfo>& stored() const { return stored_; }
+  void ClearStored() { stored_.clear(); }
+
+  /// Distinct overlay nodes visited by a query (the paper's query cost).
+  size_t QueryVisitCount(uint64_t query_id) const;
+  void ClearVisits() { visits_.clear(); }
+
+  /// Sum of primary tuples over all nodes for an index.
+  size_t TotalPrimaryTuples(const std::string& index) const;
+
+  /// Per-node primary tuple counts (Figure 13's storage distribution).
+  std::vector<size_t> PrimaryTupleDistribution(const std::string& index) const;
+
+  size_t JoinedCount() const;
+  bool CodesFormCompleteCover() const;
+
+ private:
+  std::unique_ptr<Simulator> sim_;
+  std::vector<std::unique_ptr<MindNode>> nodes_;
+  MindNetOptions options_;
+  std::vector<MindNode::StoredInfo> stored_;
+  std::unordered_map<uint64_t, std::unordered_set<NodeId>> visits_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_MIND_MIND_NET_H_

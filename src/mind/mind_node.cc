@@ -1,0 +1,650 @@
+#include "mind/mind_node.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include <cstdio>
+#include <cstdlib>
+
+namespace mind {
+
+MindNode::MindNode(Simulator* sim, OverlayOptions overlay_options,
+                   MindOptions options, std::optional<GeoPoint> position)
+    : sim_(sim),
+      events_(&sim->events()),
+      options_(options),
+      rng_(options.seed),
+      overlay_(sim, overlay_options, position) {
+  rng_ = Rng(options.seed).Fork(static_cast<uint64_t>(overlay_.id()) + 7919);
+  overlay_.set_on_deliver(
+      [this](NodeId origin, const MessagePtr& inner, int hops) {
+        OnDelivered(origin, inner, hops);
+      });
+  overlay_.set_on_broadcast([this](NodeId origin, const MessagePtr& inner) {
+    OnBroadcastMsg(origin, inner);
+  });
+  overlay_.set_on_direct([this](NodeId from, const MessagePtr& msg) {
+    OnDirect(from, msg);
+  });
+  overlay_.set_on_forward([this](const MessagePtr& inner) { OnForward(inner); });
+  overlay_.set_on_joined([this] {
+    data_sibling_ = overlay_.join_parent();
+    join_time_ = events_->now();
+    if (data_sibling_ != kInvalidNode) RequestIndexSync();
+  });
+}
+
+// --------------------------------------------------------------- management
+
+Status MindNode::CreateIndex(const IndexDef& def, CutTreeRef cuts,
+                             VersionId version, SimTime start) {
+  MIND_RETURN_NOT_OK(def.Validate());
+  if (cuts == nullptr || !(cuts->schema() == def.schema)) {
+    return Status::InvalidArgument("cut tree missing or schema mismatch");
+  }
+  if (indices_.count(def.name)) {
+    return Status::AlreadyExists("index " + def.name);
+  }
+  auto m = std::make_shared<CreateIndexMsg>();
+  m->def = def;
+  m->version = version;
+  m->cuts = std::move(cuts);
+  m->start = start;
+  overlay_.Broadcast(m);  // self-delivery applies it locally too
+  return Status::OK();
+}
+
+Status MindNode::DropIndex(const std::string& name) {
+  if (!indices_.count(name)) return Status::NotFound("index " + name);
+  auto m = std::make_shared<DropIndexMsg>();
+  m->name = name;
+  overlay_.Broadcast(m);
+  return Status::OK();
+}
+
+Status MindNode::InstallCuts(const std::string& name, VersionId version,
+                             CutTreeRef cuts, SimTime start) {
+  IndexState* st = FindIndex(name);
+  if (st == nullptr) return Status::NotFound("index " + name);
+  if (cuts == nullptr || !(cuts->schema() == st->def.schema)) {
+    return Status::InvalidArgument("cut tree missing or schema mismatch");
+  }
+  auto m = std::make_shared<InstallCutsMsg>();
+  m->name = name;
+  m->version = version;
+  m->cuts = std::move(cuts);
+  m->start = start;
+  overlay_.Broadcast(m);
+  return Status::OK();
+}
+
+void MindNode::ApplyCreateIndex(const CreateIndexMsg& m) {
+  if (indices_.count(m.def.name)) return;  // duplicate broadcast
+  auto [it, inserted] = indices_.emplace(
+      m.def.name, IndexState(m.def, options_.insert_code_len));
+  MIND_CHECK(inserted);
+  MIND_CHECK_OK(it->second.primary.AddVersion(m.version, m.cuts, m.start));
+  MIND_CHECK_OK(it->second.replicas.AddVersion(m.version, m.cuts, m.start));
+}
+
+void MindNode::ApplyInstallCuts(const InstallCutsMsg& m) {
+  IndexState* st = FindIndex(m.name);
+  if (st == nullptr) return;  // index unknown here (dropped or lagging)
+  // Ignore duplicates / out-of-order repeats.
+  if (st->primary.Store(m.version) != nullptr) return;
+  Status s = st->primary.AddVersion(m.version, m.cuts, m.start);
+  if (s.ok()) {
+    MIND_CHECK_OK(st->replicas.AddVersion(m.version, m.cuts, m.start));
+  } else {
+    MIND_LOG(Warning) << "node " << id() << ": cannot install cuts v"
+                      << m.version << " on " << m.name << ": " << s.ToString();
+  }
+}
+
+// --------------------------------------------------------------- insert
+
+Status MindNode::Insert(const std::string& index, Tuple tuple) {
+  IndexState* st = FindIndex(index);
+  if (st == nullptr) return Status::NotFound("index " + index);
+  if (static_cast<int>(tuple.point.size()) != st->def.schema.dims()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + index);
+  }
+  SimTime t = st->def.time_attr >= 0
+                  ? static_cast<SimTime>(tuple.point[st->def.time_attr])
+                  : events_->now();
+  auto versions = st->primary.VersionsOverlapping(t, t);
+  if (versions.empty()) {
+    return Status::OutOfRange("no index version covers tuple timestamp");
+  }
+  VersionId version = versions.back();
+  CutTreeRef cuts = st->primary.Cuts(version);
+  BitCode code = cuts->CodeForPoint(tuple.point, options_.insert_code_len);
+
+  auto m = std::make_shared<InsertMsg>();
+  m->index = index;
+  m->version = version;
+  m->tuple = std::move(tuple);
+  m->sent_at = events_->now();
+  overlay_.Route(code, m);
+  return Status::OK();
+}
+
+void MindNode::OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops) {
+  IndexState* st = FindIndex(m->index);
+  if (st == nullptr) return;  // lagging index creation: drop
+  TupleStore* store = st->primary.Store(m->version);
+  if (store == nullptr) return;
+
+  // The storage thread (the prototype's DAC) serializes commits.
+  SimTime commit_at =
+      std::max(events_->now(), dac_busy_until_) + options_.insert_proc_time;
+  dac_busy_until_ = commit_at;
+  std::string index = m->index;
+  events_->ScheduleAt(commit_at, [this, m, hops, commit_at] {
+    IndexState* st2 = FindIndex(m->index);
+    if (st2 == nullptr) return;
+    TupleStore* store2 = st2->primary.Store(m->version);
+    if (store2 == nullptr) return;
+    store2->Insert(m->tuple);
+    if (on_stored_) {
+      StoredInfo info;
+      info.index = m->index;
+      info.version = m->version;
+      info.origin = m->tuple.origin;
+      info.storer = id();
+      info.latency = commit_at - m->sent_at;
+      info.hops = hops;
+      on_stored_(info);
+    }
+    // Replicate to prefix neighbors (§3.8).
+    if (options_.replication != 0) {
+      auto rep = std::make_shared<ReplicateMsg>();
+      rep->index = m->index;
+      rep->version = m->version;
+      rep->tuple = m->tuple;
+      for (NodeId target : overlay_.ReplicationTargets(options_.replication)) {
+        overlay_.SendDirect(target, rep);
+      }
+    }
+  });
+}
+
+// --------------------------------------------------------------- query
+
+Result<uint64_t> MindNode::Query(const std::string& index, const Rect& rect,
+                                 QueryCallback callback) {
+  IndexState* st = FindIndex(index);
+  if (st == nullptr) return Status::NotFound("index " + index);
+  if (rect.dims() != st->def.schema.dims()) {
+    return Status::InvalidArgument("query arity mismatch for " + index);
+  }
+  uint64_t query_id =
+      (static_cast<uint64_t>(static_cast<uint32_t>(id())) << 32) |
+      (++query_seq_);
+
+  SimTime t1 = 0, t2 = UINT64_MAX;
+  if (st->def.time_attr >= 0) {
+    t1 = rect.interval(st->def.time_attr).lo;
+    t2 = rect.interval(st->def.time_attr).hi;
+  }
+  auto versions = st->primary.VersionsOverlapping(t1, t2);
+
+  PendingQuery pq;
+  pq.index = index;
+  pq.rect = rect;
+  pq.callback = std::move(callback);
+  pq.started = events_->now();
+  pq.visited.insert(id());
+
+  if (versions.empty()) {
+    // Nothing to ask: complete immediately (async for API consistency).
+    queries_.emplace(query_id, std::move(pq));
+    events_->Schedule(1, [this, query_id] { FinalizeQuery(query_id, true); });
+    return query_id;
+  }
+
+  for (VersionId v : versions) {
+    CutTreeRef cuts = st->primary.Cuts(v);
+    int root_len = std::min(options_.insert_code_len, options_.max_split_len);
+    BitCode root = cuts->MinimalContainingCode(rect, root_len);
+    pq.trackers.emplace(
+        v, QueryTracker(rect, root, cuts, options_.max_split_len));
+  }
+  auto [it, inserted] = queries_.emplace(query_id, std::move(pq));
+  MIND_CHECK(inserted);
+  it->second.timeout_event =
+      events_->Schedule(options_.query_timeout, [this, query_id] {
+        FinalizeQuery(query_id, false);
+      });
+
+  for (auto& [v, tracker] : it->second.trackers) {
+    auto m = std::make_shared<QueryMsg>();
+    m->query_id = query_id;
+    m->index = index;
+    m->version = v;
+    m->rect = rect;
+    m->code = tracker.root();
+    m->originator = id();
+    m->sent_at = events_->now();
+    overlay_.Route(tracker.root(), m);
+  }
+  return query_id;
+}
+
+void MindNode::NoteQueryVisit(uint64_t query_id) {
+  if (on_query_visit_) on_query_visit_(query_id, id());
+}
+
+void MindNode::OnQueryArrived(const std::shared_ptr<QueryMsg>& m) {
+  if (getenv("MIND_QUERY_DEBUG")) {
+    std::fprintf(stderr, "[qdbg] node %d (code %s) got query %llu code %s resolve_only=%d\n",
+                 id(), overlay_.code().ToString().c_str(),
+                 (unsigned long long)m->query_id, m->code.ToString().c_str(),
+                 (int)m->resolve_only);
+  }
+  NoteQueryVisit(m->query_id);
+  if (m->resolve_only) {
+    ResolveAndReply(*m, m->code);
+    return;
+  }
+  HandleQueryCode(m, m->code);
+}
+
+void MindNode::HandleQueryCode(const std::shared_ptr<QueryMsg>& m,
+                               const BitCode& code) {
+  const BitCode& my = overlay_.code();
+  if (my.IsPrefixOf(code)) {
+    // Our region contains the whole sub-query region: resolve it.
+    ResolveAndReply(*m, code);
+    return;
+  }
+  if (code.IsPrefixOf(my)) {
+    // The sub-query region spans several nodes: split (§3.6).
+    IndexState* st = FindIndex(m->index);
+    if (st == nullptr) return;
+    CutTreeRef cuts = st->primary.Cuts(m->version);
+    if (cuts == nullptr) return;
+    for (const BitCode& child : cuts->IntersectingChildren(m->rect, code)) {
+      int cpl = my.CommonPrefixLen(child);
+      if (cpl == std::min(my.length(), child.length())) {
+        HandleQueryCode(m, child);  // still (partly) ours: keep splitting
+      } else {
+        auto sub = std::make_shared<QueryMsg>(*m);
+        sub->code = child;
+        overlay_.Route(child, sub);
+      }
+    }
+    return;
+  }
+  // Misrouted during an overlay transient: try again.
+  overlay_.Route(code, m);
+}
+
+void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
+  IndexState* st = FindIndex(m.index);
+  if (st == nullptr) return;
+  CutTreeRef cuts = st->primary.Cuts(m.version);
+  if (cuts == nullptr) return;
+
+  std::vector<Tuple> results;
+  TupleStore* primary = st->primary.Store(m.version);
+  TupleStore* replicas = st->replicas.Store(m.version);
+  auto region = cuts->RectForCode(code);
+  std::optional<Rect> scan_rect;
+  if (region.has_value()) scan_rect = region->Intersect(m.rect);
+  if (scan_rect.has_value()) {
+    if (primary != nullptr) {
+      for (auto& t : primary->Query(*scan_rect)) results.push_back(std::move(t));
+    }
+    // Replica data answers for failed primaries (transparent failover, §3.8);
+    // the originator de-duplicates.
+    if (replicas != nullptr) {
+      for (auto& t : replicas->Query(*scan_rect)) results.push_back(std::move(t));
+    }
+  }
+
+  // Forward pointer (§3.4): versions we acquired via index sync (we joined
+  // after their creation) may have pre-join data at the node we split from;
+  // forward a resolve-only copy there (the paper's joiner->sibling pointer).
+  if (!m.resolve_only && data_sibling_ != kInvalidNode &&
+      st->synced_versions.count(m.version) > 0) {
+    auto fwd = std::make_shared<QueryMsg>(m);
+    fwd->resolve_only = true;
+    fwd->code = code;
+    overlay_.SendDirect(data_sibling_, fwd);
+  }
+
+  size_t n = results.size();
+  SimTime respond_at = std::max(events_->now(), dac_busy_until_) +
+                       options_.query_proc_base +
+                       options_.query_proc_per_tuple * n;
+  dac_busy_until_ = respond_at;
+
+  if (getenv("MIND_QUERY_DEBUG")) {
+    std::fprintf(stderr, "[qdbg] node %d (code %s) resolves %s -> %zu tuples\n",
+                 id(), overlay_.code().ToString().c_str(),
+                 code.ToString().c_str(), results.size());
+  }
+  auto reply = std::make_shared<QueryReplyMsg>();
+  reply->query_id = m.query_id;
+  reply->version = m.version;
+  reply->covered = code;
+  reply->tuples = std::move(results);
+  reply->resolver = id();
+  reply->supplemental = m.resolve_only;
+  NodeId originator = m.originator;
+  events_->ScheduleAt(respond_at, [this, reply, originator] {
+    if (originator == id()) {
+      OnQueryReply(*reply);
+    } else {
+      overlay_.SendDirect(originator, reply);
+    }
+  });
+}
+
+void MindNode::OnQueryReply(const QueryReplyMsg& m) {
+  auto it = queries_.find(m.query_id);
+  if (it == queries_.end()) {
+    if (getenv("MIND_QUERY_DEBUG")) {
+      std::fprintf(stderr, "[qdbg] originator %d: LATE reply from %d covered %s (%zu tuples)\n",
+                   id(), m.resolver, m.covered.ToString().c_str(), m.tuples.size());
+    }
+    return;  // finished or timed out
+  }
+  auto tit = it->second.trackers.find(m.version);
+  if (tit == it->second.trackers.end()) return;
+  if (getenv("MIND_QUERY_DEBUG")) {
+    std::fprintf(stderr, "[qdbg] originator %d: reply from %d covered %s (%zu tuples)\n",
+                 id(), m.resolver, m.covered.ToString().c_str(), m.tuples.size());
+  }
+  tit->second.AddReply(m.resolver, m.covered, m.tuples, !m.supplemental);
+  it->second.visited.insert(m.resolver);
+  for (auto& [v, tracker] : it->second.trackers) {
+    if (!tracker.IsComplete()) return;
+  }
+  FinalizeQuery(m.query_id, true);
+}
+
+void MindNode::FinalizeQuery(uint64_t query_id, bool complete) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  PendingQuery& pq = it->second;
+  if (pq.timeout_event) events_->Cancel(pq.timeout_event);
+
+  QueryResult result;
+  result.query_id = query_id;
+  result.complete = complete;
+  result.latency = events_->now() - pq.started;
+  std::unordered_set<uint64_t> seen;
+  std::unordered_set<NodeId> responders, positive;
+  for (auto& [v, tracker] : pq.trackers) {
+    for (auto& t : tracker.TakeTuples()) {
+      uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(t.origin))
+                      << 40) ^
+                     t.seq;
+      if (seen.insert(key).second) result.tuples.push_back(std::move(t));
+    }
+    for (NodeId r : tracker.responders()) responders.insert(r);
+    for (NodeId r : tracker.positive_responders()) positive.insert(r);
+  }
+  result.responders = responders.size();
+  result.positive_responders = positive.size();
+  for (NodeId r : responders) pq.visited.insert(r);
+  result.nodes_visited = pq.visited.size();
+  QueryCallback cb = std::move(pq.callback);
+  queries_.erase(it);
+  if (cb) cb(result);
+}
+
+// --------------------------------------------------------------- histograms
+
+Status MindNode::StartRebalance(const RebalanceParams& params,
+                                std::function<void(Status)> done) {
+  IndexState* st = FindIndex(params.index);
+  if (st == nullptr) return Status::NotFound("index " + params.index);
+  if (st->primary.Cuts(params.source_version) == nullptr) {
+    return Status::NotFound("unknown source version");
+  }
+  uint64_t collection_id =
+      (static_cast<uint64_t>(static_cast<uint32_t>(id())) << 32) |
+      (++collection_seq_);
+  PendingCollection pc;
+  pc.params = params;
+  pc.merged =
+      std::make_shared<Histogram>(st->def.schema, params.bins_per_dim);
+  pc.done = std::move(done);
+  collections_.emplace(collection_id, std::move(pc));
+
+  auto req = std::make_shared<HistRequestMsg>();
+  req->collection_id = collection_id;
+  req->index = params.index;
+  req->version = params.source_version;
+  req->bins_per_dim = params.bins_per_dim;
+  req->time_shift = params.time_shift;
+  req->collector = id();
+  overlay_.Broadcast(req);
+
+  events_->Schedule(params.collect_window, [this, collection_id] {
+    auto it = collections_.find(collection_id);
+    if (it == collections_.end()) return;
+    PendingCollection pc2 = std::move(it->second);
+    collections_.erase(it);
+    IndexState* st2 = FindIndex(pc2.params.index);
+    Status status = Status::OK();
+    if (st2 == nullptr) {
+      status = Status::NotFound("index dropped during rebalance");
+    } else {
+      auto cuts = CutTree::Balanced(st2->def.schema, *pc2.merged,
+                                    pc2.params.cut_depth);
+      if (!cuts.ok()) {
+        status = cuts.status();
+      } else {
+        status = InstallCuts(
+            pc2.params.index, pc2.params.new_version,
+            std::make_shared<CutTree>(std::move(cuts).value()),
+            pc2.params.new_start);
+      }
+    }
+    if (pc2.done) pc2.done(status);
+  });
+  return Status::OK();
+}
+
+void MindNode::OnHistRequest(const HistRequestMsg& m) {
+  IndexState* st = FindIndex(m.index);
+  if (st == nullptr) return;
+  const TupleStore* store = st->primary.Store(m.version);
+  auto reply = std::make_shared<HistReplyMsg>();
+  reply->collection_id = m.collection_id;
+  reply->histogram = std::make_shared<Histogram>(
+      store != nullptr
+          ? store->BuildHistogram(m.bins_per_dim, st->def.time_attr,
+                                  m.time_shift)
+          : Histogram(st->def.schema, m.bins_per_dim));
+  if (m.collector == id()) {
+    OnHistReply(*reply);
+  } else {
+    overlay_.SendDirect(m.collector, reply);
+  }
+}
+
+void MindNode::OnHistReply(const HistReplyMsg& m) {
+  auto it = collections_.find(m.collection_id);
+  if (it == collections_.end()) return;
+  if (m.histogram != nullptr) {
+    Status s = it->second.merged->Merge(*m.histogram);
+    if (!s.ok()) {
+      MIND_LOG(Warning) << "histogram merge failed: " << s.ToString();
+      return;
+    }
+    ++it->second.replies;
+  }
+}
+
+// --------------------------------------------------------------- sync/churn
+
+void MindNode::RequestIndexSync() {
+  overlay_.SendDirect(data_sibling_, std::make_shared<IndexSyncRequestMsg>());
+}
+
+void MindNode::Crash() {
+  overlay_.Crash();
+  // Volatile state is lost.
+  indices_.clear();
+  for (auto& [qid, pq] : queries_) {
+    if (pq.timeout_event) events_->Cancel(pq.timeout_event);
+  }
+  queries_.clear();
+  collections_.clear();
+  dac_busy_until_ = 0;
+  data_sibling_ = kInvalidNode;
+}
+
+void MindNode::Revive(NodeId bootstrap) { overlay_.Revive(bootstrap); }
+
+// --------------------------------------------------------------- plumbing
+
+void MindNode::OnDelivered(NodeId origin, const MessagePtr& inner, int hops) {
+  (void)origin;
+  auto* mm = dynamic_cast<MindMsg*>(inner.get());
+  if (mm == nullptr) return;
+  switch (mm->kind()) {
+    case MindMsgKind::kInsert:
+      OnInsertArrived(std::static_pointer_cast<InsertMsg>(inner), hops);
+      break;
+    case MindMsgKind::kQuery:
+      OnQueryArrived(std::static_pointer_cast<QueryMsg>(inner));
+      break;
+    default:
+      break;
+  }
+}
+
+void MindNode::OnBroadcastMsg(NodeId origin, const MessagePtr& inner) {
+  (void)origin;
+  auto* mm = dynamic_cast<MindMsg*>(inner.get());
+  if (mm == nullptr) return;
+  switch (mm->kind()) {
+    case MindMsgKind::kCreateIndex:
+      ApplyCreateIndex(static_cast<const CreateIndexMsg&>(*mm));
+      break;
+    case MindMsgKind::kDropIndex:
+      indices_.erase(static_cast<const DropIndexMsg&>(*mm).name);
+      break;
+    case MindMsgKind::kInstallCuts:
+      ApplyInstallCuts(static_cast<const InstallCutsMsg&>(*mm));
+      break;
+    case MindMsgKind::kHistRequest:
+      OnHistRequest(static_cast<const HistRequestMsg&>(*mm));
+      break;
+    default:
+      break;
+  }
+}
+
+void MindNode::OnDirect(NodeId from, const MessagePtr& msg) {
+  auto* mm = dynamic_cast<MindMsg*>(msg.get());
+  if (mm == nullptr) return;
+  switch (mm->kind()) {
+    case MindMsgKind::kReplicate: {
+      const auto& r = static_cast<const ReplicateMsg&>(*mm);
+      IndexState* st = FindIndex(r.index);
+      if (st == nullptr) break;
+      TupleStore* store = st->replicas.Store(r.version);
+      if (store != nullptr) store->Insert(r.tuple);
+      break;
+    }
+    case MindMsgKind::kQueryReply:
+      OnQueryReply(static_cast<const QueryReplyMsg&>(*mm));
+      break;
+    case MindMsgKind::kQuery: {
+      // resolve_only forwards arrive as direct messages.
+      auto q = std::static_pointer_cast<QueryMsg>(msg);
+      if (q->resolve_only) {
+        NoteQueryVisit(q->query_id);
+        ResolveAndReply(*q, q->code);
+      }
+      break;
+    }
+    case MindMsgKind::kHistReply:
+      OnHistReply(static_cast<const HistReplyMsg&>(*mm));
+      break;
+    case MindMsgKind::kIndexSyncRequest: {
+      auto reply = std::make_shared<IndexSyncReplyMsg>();
+      for (const auto& [name, st] : indices_) {
+        IndexSyncReplyMsg::IndexSnapshot snap;
+        snap.def = st.def;
+        for (const auto& info : st.primary.Versions()) {
+          IndexSyncReplyMsg::IndexSnapshot::VersionSnapshot vs;
+          vs.id = info.id;
+          vs.cuts = st.primary.Cuts(info.id);
+          vs.start = info.start;
+          snap.versions.push_back(std::move(vs));
+        }
+        reply->indices.push_back(std::move(snap));
+      }
+      overlay_.SendDirect(from, reply);
+      break;
+    }
+    case MindMsgKind::kIndexSyncReply: {
+      const auto& r = static_cast<const IndexSyncReplyMsg&>(*mm);
+      for (const auto& snap : r.indices) {
+        if (indices_.count(snap.def.name)) continue;
+        auto [it, inserted] = indices_.emplace(
+            snap.def.name,
+            IndexState(snap.def, options_.insert_code_len));
+        MIND_CHECK(inserted);
+        for (const auto& vs : snap.versions) {
+          MIND_CHECK_OK(it->second.primary.AddVersion(vs.id, vs.cuts, vs.start));
+          MIND_CHECK_OK(
+              it->second.replicas.AddVersion(vs.id, vs.cuts, vs.start));
+          it->second.synced_versions.insert(vs.id);
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MindNode::OnForward(const MessagePtr& inner) {
+  auto* mm = dynamic_cast<MindMsg*>(inner.get());
+  if (mm != nullptr && mm->kind() == MindMsgKind::kQuery) {
+    NoteQueryVisit(static_cast<const QueryMsg&>(*mm).query_id);
+  }
+}
+
+// --------------------------------------------------------------- accessors
+
+MindNode::IndexState* MindNode::FindIndex(const std::string& name) {
+  auto it = indices_.find(name);
+  return it == indices_.end() ? nullptr : &it->second;
+}
+
+const MindNode::IndexState* MindNode::FindIndex(const std::string& name) const {
+  auto it = indices_.find(name);
+  return it == indices_.end() ? nullptr : &it->second;
+}
+
+const IndexDef* MindNode::GetIndexDef(const std::string& name) const {
+  const IndexState* st = FindIndex(name);
+  return st ? &st->def : nullptr;
+}
+
+size_t MindNode::PrimaryTupleCount(const std::string& name) const {
+  const IndexState* st = FindIndex(name);
+  return st ? st->primary.TotalTuples() : 0;
+}
+
+size_t MindNode::ReplicaTupleCount(const std::string& name) const {
+  const IndexState* st = FindIndex(name);
+  return st ? st->replicas.TotalTuples() : 0;
+}
+
+const IndexVersions* MindNode::PrimaryVersions(const std::string& name) const {
+  const IndexState* st = FindIndex(name);
+  return st ? &st->primary : nullptr;
+}
+
+}  // namespace mind

@@ -1,0 +1,241 @@
+// One MIND node: the paper's contribution assembled on top of the overlay,
+// storage and data-space substrates.
+//
+// Implements the four-call interface of §3.2 (create_index, drop_index,
+// insert_record, query_index) plus the internals of §3.4-§3.8: data-space
+// embedding per index version, insert routing, query splitting with direct
+// replies and completion detection, prefix-neighbor replication, daily
+// version installation and the histogram collection service.
+#ifndef MIND_MIND_MIND_NODE_H_
+#define MIND_MIND_MIND_NODE_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mind/index_def.h"
+#include "mind/messages.h"
+#include "mind/query_tracker.h"
+#include "overlay/overlay_node.h"
+#include "storage/version_manager.h"
+
+namespace mind {
+
+struct MindOptions {
+  /// Bits of data-space code computed for inserts/queries; must exceed any
+  /// node code length (overlay depth), 64 max.
+  int insert_code_len = 32;
+  /// Replication level m (§3.8): each stored tuple is copied to the peers
+  /// sharing len-1 .. len-m code bits. 0 disables; -1 replicates to every
+  /// peer ("full replication" in Figure 16).
+  int replication = 1;
+  /// Originator-side query timeout; an incomplete query is reported with
+  /// complete=false (counted as failed in the Figure 16 experiment).
+  SimTime query_timeout = FromSeconds(45);
+  /// Max sub-query code length (split depth bound).
+  int max_split_len = 24;
+  /// Local processing model, replacing the prototype's MySQL DAC: per-tuple
+  /// insert commit time and per-sub-query resolution time. Arriving work
+  /// queues FIFO behind the node's single storage thread (this is what makes
+  /// hotspot nodes produce the paper's long latency tails).
+  SimTime insert_proc_time = 300;        // 0.3 ms per tuple
+  SimTime query_proc_base = 2000;        // 2 ms per sub-query
+  SimTime query_proc_per_tuple = 5;      // + 5 us per returned tuple
+  uint64_t seed = 0x31337;
+};
+
+/// Final result of a distributed query, delivered to the caller's callback.
+struct QueryResult {
+  uint64_t query_id = 0;
+  /// False if the timeout fired before full coverage (some sub-queries
+  /// unanswered, e.g. owners dead without replicas).
+  bool complete = false;
+  std::vector<Tuple> tuples;
+  SimTime latency = 0;
+  /// Distinct nodes that resolved sub-queries (responders).
+  size_t responders = 0;
+  /// Responders that returned data — "the nodes involved while retrieving
+  /// the results" (Figure 9's query cost headline).
+  size_t positive_responders = 0;
+  /// Distinct nodes the originator knows took part (itself + responders).
+  /// For the paper's full "query cost" (forwarders included, Figure 9) use
+  /// MindNet's per-query visit registry, which observes every hop.
+  size_t nodes_visited = 0;
+};
+
+class MindNode {
+ public:
+  MindNode(Simulator* sim, OverlayOptions overlay_options, MindOptions options,
+           std::optional<GeoPoint> position = std::nullopt);
+
+  OverlayNode& overlay() { return overlay_; }
+  const OverlayNode& overlay() const { return overlay_; }
+  NodeId id() const { return overlay_.id(); }
+
+  // ---- §3.2 interface ----------------------------------------------------
+
+  /// Creates an index on every node (overlay broadcast), opening version
+  /// `version` with embedding `cuts` valid from `start`.
+  Status CreateIndex(const IndexDef& def, CutTreeRef cuts,
+                     VersionId version = 1, SimTime start = 0);
+
+  /// Removes the index from every node.
+  Status DropIndex(const std::string& name);
+
+  /// Opens a new version of an index with new (re-balanced) cuts on every
+  /// node. Data is never migrated (§3.7); the old version keeps serving
+  /// queries over its time range.
+  Status InstallCuts(const std::string& name, VersionId version,
+                     CutTreeRef cuts, SimTime start);
+
+  /// Inserts a record into an index from this node. The destination version
+  /// is chosen by the tuple's timestamp attribute (or the latest version if
+  /// the index is not time-versioned).
+  Status Insert(const std::string& index, Tuple tuple);
+
+  using QueryCallback = std::function<void(const QueryResult&)>;
+
+  /// Issues a multi-dimensional range query. Returns the query id; the
+  /// callback fires exactly once (completion or timeout).
+  Result<uint64_t> Query(const std::string& index, const Rect& rect,
+                         QueryCallback callback);
+
+  // ---- failure control (benches / churn) ----------------------------------
+
+  void BecomeFirst() { overlay_.BecomeFirst(); }
+  void Join(NodeId bootstrap) { overlay_.Join(bootstrap); }
+  void Crash();
+  void Revive(NodeId bootstrap);
+
+  // ---- introspection -------------------------------------------------------
+
+  bool HasIndex(const std::string& name) const { return indices_.count(name) > 0; }
+  const IndexDef* GetIndexDef(const std::string& name) const;
+  /// Tuples held for an index (primary copies only).
+  size_t PrimaryTupleCount(const std::string& name) const;
+  /// Tuples held as replicas.
+  size_t ReplicaTupleCount(const std::string& name) const;
+  const IndexVersions* PrimaryVersions(const std::string& name) const;
+
+  /// Fired at the *storing* node when a tuple commits (primary copy).
+  struct StoredInfo {
+    std::string index;
+    VersionId version = 0;
+    NodeId origin = kInvalidNode;
+    NodeId storer = kInvalidNode;
+    SimTime latency = 0;  // insert-call to commit
+    int hops = 0;         // overlay hops of the insert path
+  };
+  using StoredFn = std::function<void(const StoredInfo&)>;
+  void set_on_stored(StoredFn fn) { on_stored_ = std::move(fn); }
+
+  /// Fired whenever this node sees a query (forwarding, splitting or
+  /// resolving); benches use it to measure the paper's query cost.
+  using QueryVisitFn = std::function<void(uint64_t query_id, NodeId node)>;
+  void set_on_query_visit(QueryVisitFn fn) { on_query_visit_ = std::move(fn); }
+
+  // ---- histogram / balancing service (§3.7) --------------------------------
+
+  /// Runs one collection round from this (designated) node: broadcast a
+  /// histogram request for `version` of `index`, merge replies for
+  /// `collect_window`, build balanced cuts of depth `cut_depth`, and install
+  /// them as `new_version` valid from `new_start`.
+  struct RebalanceParams {
+    std::string index;
+    VersionId source_version = 1;
+    int bins_per_dim = 8;
+    int cut_depth = 8;
+    VersionId new_version = 2;
+    SimTime new_start = 0;
+    SimTime collect_window = FromSeconds(10);
+    /// Timestamp-attribute shift applied when histogramming (typically one
+    /// day, so the new cuts sit where the next day's data will fall).
+    Value time_shift = 0;
+  };
+  Status StartRebalance(const RebalanceParams& params,
+                        std::function<void(Status)> done = nullptr);
+
+ private:
+  struct IndexState {
+    IndexDef def;
+    IndexVersions primary;
+    IndexVersions replicas;
+    /// Versions learned through IndexSync (we joined after their creation):
+    /// their pre-join data lives at our split parent (§3.4 forward pointer).
+    std::set<VersionId> synced_versions;
+    explicit IndexState(IndexDef d, int code_len)
+        : def(std::move(d)), primary(code_len), replicas(code_len) {}
+  };
+
+  struct PendingQuery {
+    std::string index;
+    Rect rect;
+    QueryCallback callback;
+    SimTime started = 0;
+    std::map<VersionId, QueryTracker> trackers;
+    std::unordered_set<NodeId> visited;  // filled via on_query_visit wiring
+    EventId timeout_event = 0;
+  };
+
+  struct PendingCollection {
+    RebalanceParams params;
+    std::shared_ptr<Histogram> merged;
+    size_t replies = 0;
+    std::function<void(Status)> done;
+  };
+
+  // message plumbing
+  void OnDelivered(NodeId origin, const MessagePtr& inner, int hops);
+  void OnBroadcastMsg(NodeId origin, const MessagePtr& inner);
+  void OnDirect(NodeId from, const MessagePtr& msg);
+  void OnForward(const MessagePtr& inner);
+
+  void ApplyCreateIndex(const CreateIndexMsg& m);
+  void ApplyInstallCuts(const InstallCutsMsg& m);
+  void OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops);
+  void OnQueryArrived(const std::shared_ptr<QueryMsg>& m);
+  void HandleQueryCode(const std::shared_ptr<QueryMsg>& m, const BitCode& code);
+  void ResolveAndReply(const QueryMsg& m, const BitCode& code);
+  void OnQueryReply(const QueryReplyMsg& m);
+  void OnHistRequest(const HistRequestMsg& m);
+  void OnHistReply(const HistReplyMsg& m);
+  void FinalizeQuery(uint64_t query_id, bool complete);
+  void RequestIndexSync();
+  void NoteQueryVisit(uint64_t query_id);
+
+  IndexState* FindIndex(const std::string& name);
+  const IndexState* FindIndex(const std::string& name) const;
+
+  Simulator* sim_;
+  EventQueue* events_;
+  MindOptions options_;
+  Rng rng_;
+  OverlayNode overlay_;
+
+  std::map<std::string, IndexState> indices_;
+  std::unordered_map<uint64_t, PendingQuery> queries_;
+  uint64_t query_seq_ = 0;
+
+  // local storage-thread model (the DAC queue)
+  SimTime dac_busy_until_ = 0;
+
+  // data-sibling forward pointer (§3.4): the node we split from holds data
+  // inserted into versions that predate our join.
+  NodeId data_sibling_ = kInvalidNode;
+  SimTime join_time_ = 0;
+
+  std::unordered_map<uint64_t, PendingCollection> collections_;
+  uint64_t collection_seq_ = 0;
+
+  StoredFn on_stored_;
+  QueryVisitFn on_query_visit_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_MIND_MIND_NODE_H_

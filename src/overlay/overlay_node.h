@@ -1,0 +1,326 @@
+// One node of the MIND hypercube overlay (paper §3.3, §3.8).
+//
+// Responsibilities:
+//  * vertex code management (join split, failure takeover),
+//  * the randomized join protocol of Adler et al. with the paper's
+//    deadlock-free serialization of concurrent joins (optimistic accept +
+//    preemption by joins to shallower nodes),
+//  * greedy prefix routing with reconnect backoff and expanding-ring
+//    recovery on dead ends,
+//  * heartbeat failure detection and sibling takeover (code shortening),
+//  * overlay-wide broadcast with duplicate suppression.
+//
+// The application layer (mind/) sits on top through callbacks; messages that
+// are not OverlayMsg subclasses are passed up as direct application traffic.
+#ifndef MIND_OVERLAY_OVERLAY_NODE_H_
+#define MIND_OVERLAY_OVERLAY_NODE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "overlay/messages.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/bitcode.h"
+#include "util/rng.h"
+
+namespace mind {
+
+struct OverlayOptions {
+  /// Heartbeat period; 0 disables failure detection (static experiments).
+  SimTime heartbeat_interval = 0;
+  /// A peer is declared dead after this many silent heartbeat periods.
+  int heartbeat_miss_limit = 3;
+  /// First reconnect retry delay; doubles per attempt (paper §3.8 observes
+  /// ~45 s worst-case reconnect before rerouting).
+  SimTime reconnect_backoff = FromSeconds(1);
+  int reconnect_max_attempts = 5;
+  /// Joiner retry delay after reject/abort/timeout (plus jitter).
+  SimTime join_retry_delay = FromMillis(500);
+  /// Join phase timeout (candidate wait, commit wait, ack collection).
+  SimTime join_phase_timeout = FromSeconds(5);
+  int route_max_hops = 64;
+  /// Peer-table cap per common-prefix level (the hypercube keeps ~log N
+  /// neighbors; without pruning every node would eventually know everyone).
+  int max_peers_per_level = 2;
+  /// Expanding ring: TTLs 1..ring_max_ttl are tried in turn.
+  int ring_max_ttl = 4;
+  SimTime ring_reply_timeout = FromMillis(800);
+  /// How long a vacancy probe waits for a RegionAlive before absorbing.
+  SimTime region_probe_timeout = FromSeconds(3);
+  /// Escalation levels for vacancy watches: when a dead region's sibling
+  /// subtree is dead too, the watch walks up the virtual tree so some
+  /// ancestor's sibling subtree absorbs the whole dead branch (§3.8:
+  /// "applied recursively").
+  int vacancy_escalations = 8;
+  uint64_t seed = 0x07e7;
+};
+
+/// Counters exposed to benches and tests.
+struct OverlayStats {
+  uint64_t envelopes_delivered = 0;
+  uint64_t envelopes_forwarded = 0;
+  uint64_t envelopes_dropped = 0;
+  uint64_t dead_ends = 0;
+  uint64_t ring_searches = 0;
+  uint64_t ring_found = 0;
+  uint64_t join_attempts = 0;
+  uint64_t join_rejects = 0;
+  uint64_t join_preemptions = 0;
+  uint64_t takeovers = 0;
+  uint64_t peers_declared_dead = 0;
+};
+
+class OverlayNode : public Host {
+ public:
+  /// Registers the node with the simulator's network (optionally at a
+  /// geographic position). The node starts un-joined.
+  OverlayNode(Simulator* sim, OverlayOptions options,
+              std::optional<GeoPoint> position = std::nullopt);
+
+  NodeId id() const { return id_; }
+  const BitCode& code() const { return code_; }
+  bool joined() const { return joined_; }
+  bool alive() const { return alive_; }
+  const OverlayStats& stats() const { return stats_; }
+  const std::unordered_map<NodeId, BitCode>& peers() const { return peers_; }
+
+  /// Bootstraps a 1-node overlay (empty code).
+  void BecomeFirst();
+
+  /// Joins the overlay through any live member. Retries internally until
+  /// committed; fires on_joined when done.
+  void Join(NodeId bootstrap);
+
+  /// Crashes the node: drops all overlay state and detaches from the network.
+  void Crash();
+
+  /// Revives a crashed node and rejoins through `bootstrap`.
+  void Revive(NodeId bootstrap);
+
+  // -------- Application-facing API --------------------------------------
+
+  /// Routes `inner` to the node owning `target`; that node's on_deliver runs
+  /// with (origin, inner, hops).
+  void Route(const BitCode& target, MessagePtr inner);
+
+  /// Sends an application message straight to a known node (query replies,
+  /// replication). Retries over transient link failures; gives up to
+  /// on_direct_failed after reconnect_max_attempts.
+  void SendDirect(NodeId to, MessagePtr msg);
+
+  /// Floods `inner` to every overlay node (including this one).
+  void Broadcast(MessagePtr inner);
+
+  /// Peers whose codes share exactly len-1, len-2, ..., len-m leading bits
+  /// with ours — the replication set of §3.8. m < 0 returns all peers.
+  std::vector<NodeId> ReplicationTargets(int m) const;
+
+  using DeliverFn =
+      std::function<void(NodeId origin, const MessagePtr& inner, int hops)>;
+  using DirectFn = std::function<void(NodeId from, const MessagePtr& msg)>;
+  using DirectFailedFn = std::function<void(NodeId to, const MessagePtr& msg)>;
+
+  void set_on_deliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
+  void set_on_broadcast(DirectFn fn) { on_broadcast_ = std::move(fn); }
+  void set_on_direct(DirectFn fn) { on_direct_ = std::move(fn); }
+  void set_on_direct_failed(DirectFailedFn fn) {
+    on_direct_failed_ = std::move(fn);
+  }
+  void set_on_joined(std::function<void()> fn) { on_joined_ = std::move(fn); }
+  void set_on_code_change(std::function<void(BitCode, BitCode)> fn) {
+    on_code_change_ = std::move(fn);
+  }
+  /// Fired when this node takes over a failed sibling's region (the code we
+  /// absorbed is passed).
+  void set_on_takeover(std::function<void(BitCode)> fn) {
+    on_takeover_ = std::move(fn);
+  }
+
+  /// Fired with the payload whenever this node forwards a routed envelope
+  /// (used to measure per-query overlay visit counts).
+  void set_on_forward(std::function<void(const MessagePtr&)> fn) {
+    on_forward_ = std::move(fn);
+  }
+
+  /// The node we split from when joining (our data sibling), or kInvalidNode
+  /// for the bootstrap node.
+  NodeId join_parent() const { return join_parent_; }
+
+  // -------- Host interface ------------------------------------------------
+
+  void HandleMessage(NodeId from, const MessagePtr& msg) override;
+  void HandleSendFailure(NodeId to, const MessagePtr& msg) override;
+
+ private:
+  friend class OverlayTestPeek;
+
+  // ---- core helpers (overlay_node.cc)
+  void SetCode(BitCode new_code);
+  void AnnounceCode();
+  // Enforces max_peers_per_level (always keeps the exact sibling).
+  void PrunePeers();
+  // Greedy step: forward toward env->target or deliver locally.
+  void ProcessEnvelope(std::shared_ptr<RouteEnvelope> env);
+  // Best next hop for target (peer with strictly larger common prefix),
+  // skipping peers in `avoid`; kInvalidNode if none.
+  NodeId BestNextHop(const BitCode& target) const;
+  bool OwnsTarget(const BitCode& target) const;
+  void SendRaw(NodeId to, MessagePtr msg);  // network send, no retry logic
+  void OnBroadcastMsg(NodeId from, const std::shared_ptr<BroadcastMsg>& b);
+
+  // ---- join protocol (join.cc)
+  void StartJoinAttempt();
+  void OnJoinFind(const JoinFindMsg& m);
+  void OnJoinCandidate(const JoinCandidateMsg& m);
+  void OnJoinRequest(NodeId from, const JoinRequestMsg& m);
+  void OnNeighborAdd(NodeId from, const NeighborAddMsg& m);
+  void OnNeighborAddAck(NodeId from, const NeighborAddAckMsg& m);
+  void OnNeighborAddReject(const NeighborAddRejectMsg& m);
+  void OnJoinCommit(NodeId from, const JoinCommitMsg& m);
+  void OnJoinDecline(NodeId from);
+  void OnJoinAbort();
+  void OnJoinCommitNotify(NodeId from, const JoinCommitNotifyMsg& m);
+  void CommitPendingJoin();
+  void AbortPendingJoin(bool notify_joiner);
+  void ScheduleJoinRetry();
+  void CancelJoinTimer();
+
+  // ---- failure handling (recovery.cc)
+  void OnHeartbeatTimer();
+  void NotePeerAlive(NodeId peer, const BitCode* code_hint);
+  void DeclarePeerDead(NodeId peer);
+  void OnRegionVacant(const RegionVacantMsg& m);
+  void OnRegionProbe(const RegionProbeMsg& m);
+  void OnRegionAlive(const RegionAliveMsg& m);
+  // Drives recursive takeover from the *detector's* side: probe the region;
+  // if dead, notify its sibling subtree; re-probe; escalate to the parent
+  // region if still dead (the sibling subtree was dead too).
+  void StartVacancyWatch(const BitCode& region, int escalations_left,
+                         bool recheck_phase);
+  void OnWatchTimeout(uint64_t probe_id);
+  // Absorbs `p` if the structural conditions still hold for our current code
+  // (exact sibling -> shorten; all-zeros descendant of the sibling subtree ->
+  // relabel). Re-checked after the probe timeout.
+  void TryAbsorbRegion(const BitCode& p);
+  // True if some known peer's code is prefix-compatible with p (someone
+  // covers that region).
+  bool RegionCoveredByPeer(const BitCode& p) const;
+  void QueueForRetry(NodeId to, MessagePtr msg);
+  void OnRetryTimer(NodeId to);
+  void GiveUpOnPeerQueue(NodeId to);
+  void StartRingSearch(std::shared_ptr<RouteEnvelope> env);
+  void ContinueRingSearch(uint64_t search_id);
+  void OnRingFind(NodeId from, const std::shared_ptr<RingFindMsg>& m);
+  void OnRingFound(NodeId from, const RingFoundMsg& m);
+
+  // ---- state
+  Simulator* sim_;
+  Network* net_;
+  EventQueue* events_;
+  OverlayOptions options_;
+  Rng rng_;
+  NodeId id_ = kInvalidNode;
+
+  bool alive_ = true;
+  bool joined_ = false;
+  BitCode code_;
+  std::unordered_map<NodeId, BitCode> peers_;
+
+  // join: joiner side
+  enum class JoinState { kIdle, kWaitCandidate, kWaitCommit };
+  JoinState join_state_ = JoinState::kIdle;
+  NodeId bootstrap_ = kInvalidNode;
+  NodeId join_candidate_ = kInvalidNode;
+  NodeId join_proposer_ = kInvalidNode;
+  NodeId join_parent_ = kInvalidNode;
+  EventId join_timer_ = 0;
+  int join_failures_ = 0;  // consecutive, drives retry backoff
+
+  // join: parent side
+  struct PendingJoin {
+    uint64_t join_id = 0;
+    NodeId joiner = kInvalidNode;
+    BitCode joiner_code;
+    BitCode my_new_code;
+    std::unordered_set<NodeId> awaiting_acks;
+    EventId timeout_event = 0;
+  };
+  std::optional<PendingJoin> pending_join_;
+  uint64_t join_seq_ = 0;
+
+  // join: peer side (staged neighbor additions)
+  struct StagedAdd {
+    NodeId parent;
+    int parent_depth;
+    NodeId joiner;
+    BitCode joiner_code;
+    BitCode parent_new_code;
+    EventId expiry_event = 0;
+  };
+  std::unordered_map<uint64_t, StagedAdd> staged_adds_;
+
+  // failure detection / reliable send
+  std::unordered_map<NodeId, SimTime> last_seen_;
+  struct RetryState {
+    std::deque<MessagePtr> queue;
+    int attempts = 0;
+    EventId timer = 0;
+  };
+  std::unordered_map<NodeId, RetryState> retry_;
+  std::unordered_map<NodeId, SimTime> avoid_until_;
+  EventId heartbeat_timer_ = 0;
+
+  // ring searches in progress at this (stuck) node
+  struct RingSearch {
+    std::shared_ptr<RouteEnvelope> env;
+    int ttl = 0;
+    EventId timeout_event = 0;
+  };
+  std::unordered_map<uint64_t, RingSearch> ring_searches_;
+  std::unordered_set<uint64_t> ring_seen_;
+  uint64_t ring_seq_ = 0;
+
+  // vacancy probes in flight at this node (probe_id -> region)
+  struct VacancyProbe {
+    BitCode region;
+    EventId timeout_event = 0;
+  };
+  std::unordered_map<uint64_t, VacancyProbe> vacancy_probes_;
+
+  // detector-side vacancy watches (probe_id -> state)
+  struct VacancyWatch {
+    BitCode region;
+    int escalations_left = 0;
+    bool recheck_phase = false;
+    EventId timeout_event = 0;
+  };
+  std::unordered_map<uint64_t, VacancyWatch> watches_;
+  std::unordered_set<uint64_t> probed_regions_;  // hashes, dedup in flight
+  uint64_t probe_seq_ = 0;
+
+  // broadcast dedup
+  std::unordered_set<uint64_t> bcast_seen_;
+  uint64_t bcast_seq_ = 0;
+
+  // callbacks
+  DeliverFn on_deliver_;
+  DirectFn on_broadcast_;
+  DirectFn on_direct_;
+  DirectFailedFn on_direct_failed_;
+  std::function<void()> on_joined_;
+  std::function<void(BitCode, BitCode)> on_code_change_;
+  std::function<void(BitCode)> on_takeover_;
+  std::function<void(const MessagePtr&)> on_forward_;
+
+  OverlayStats stats_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_OVERLAY_OVERLAY_NODE_H_

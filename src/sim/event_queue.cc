@@ -1,0 +1,78 @@
+#include "sim/event_queue.h"
+
+#include "util/logging.h"
+
+namespace mind {
+
+EventId EventQueue::ScheduleAt(SimTime t, EventFn fn) {
+  MIND_CHECK_GE(t, now_) << "cannot schedule in the past";
+  EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventQueue::PopNext(Event* out) {
+  while (!heap_.empty()) {
+    // top() is const&; the closure is moved out right before pop(), which is
+    // safe because the heap ordering does not involve fn.
+    Event& top = const_cast<Event&>(heap_.top());
+    if (!live_.count(top.id)) {  // cancelled
+      heap_.pop();
+      continue;
+    }
+    live_.erase(top.id);
+    *out = Event{top.time, top.id, std::move(top.fn)};
+    heap_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::PeekTime(SimTime* t) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (!live_.count(top.id)) {
+      heap_.pop();
+      continue;
+    }
+    *t = top.time;
+    return true;
+  }
+  return false;
+}
+
+size_t EventQueue::Run(size_t limit) {
+  size_t fired = 0;
+  Event ev;
+  while (fired < limit && PopNext(&ev)) {
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+size_t EventQueue::RunUntil(SimTime t) {
+  size_t fired = 0;
+  SimTime next;
+  while (PeekTime(&next) && next <= t) {
+    Event ev;
+    if (!PopNext(&ev)) break;
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+  }
+  if (t > now_) now_ = t;
+  return fired;
+}
+
+bool EventQueue::Step() {
+  Event ev;
+  if (!PopNext(&ev)) return false;
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+}  // namespace mind

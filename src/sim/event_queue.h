@@ -1,0 +1,83 @@
+// The discrete-event core: a virtual clock plus a priority queue of
+// timestamped callbacks. Deterministic: ties are broken by insertion order.
+#ifndef MIND_SIM_EVENT_QUEUE_H_
+#define MIND_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mind {
+
+using EventId = uint64_t;
+using EventFn = std::function<void()>;
+
+/// \brief Virtual clock + event queue.
+///
+/// Components schedule callbacks at future virtual times; Run() drains the
+/// queue in timestamp order, advancing the clock. Events can be cancelled by
+/// id (used for timers such as heartbeats and retry backoffs).
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (>= now).
+  EventId ScheduleAt(SimTime t, EventFn fn);
+
+  /// Schedules `fn` to run `delay` after now.
+  EventId Schedule(SimTime delay, EventFn fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void Cancel(EventId id) { live_.erase(id); }
+
+  /// Runs events until the queue is empty or `limit` events have fired.
+  /// Returns the number of events fired.
+  size_t Run(size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= t, then advances the clock to exactly t.
+  size_t RunUntil(SimTime t);
+
+  /// Fires the single next event, if any. Returns true if one fired.
+  bool Step();
+
+  bool empty() const { return live_.empty(); }
+  size_t pending() const { return live_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;  // also the tie-breaker: lower id fires first at equal time
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  // Pops the next live (non-cancelled) event; returns false if none.
+  bool PopNext(Event* out);
+  // Timestamp of the next live event; false if none (mutates heap to drop
+  // cancelled prefixes).
+  bool PeekTime(SimTime* t);
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> live_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SIM_EVENT_QUEUE_H_

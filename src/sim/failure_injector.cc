@@ -1,0 +1,64 @@
+#include "sim/failure_injector.h"
+
+#include "util/logging.h"
+
+namespace mind {
+
+FailureInjector::FailureInjector(EventQueue* events, Network* network,
+                                 FailureOptions options)
+    : events_(events), network_(network), options_(options), rng_(options.seed) {}
+
+void FailureInjector::Start(SimTime horizon) {
+  const size_t n = network_->host_count();
+  const double hours = ToSeconds(horizon) / 3600.0;
+
+  if (options_.link_flaps_per_pair_hour > 0) {
+    for (NodeId a = 0; a < static_cast<NodeId>(n); ++a) {
+      for (NodeId b = a + 1; b < static_cast<NodeId>(n); ++b) {
+        // Poisson process over the horizon, pre-sampled.
+        double rate_per_us =
+            options_.link_flaps_per_pair_hour / (3600.0 * 1e6);
+        SimTime t = events_->now();
+        for (;;) {
+          t += static_cast<SimTime>(rng_.Exponential(rate_per_us));
+          if (t >= events_->now() + horizon) break;
+          SimTime dur = static_cast<SimTime>(rng_.Exponential(
+              1.0 / static_cast<double>(options_.mean_flap_duration)));
+          events_->ScheduleAt(t, [this, a, b, dur]() {
+            network_->SetLinkDown(a, b, dur);
+          });
+          ++scheduled_flaps_;
+        }
+      }
+    }
+    (void)hours;
+  }
+
+  if (options_.node_crashes_per_hour > 0) {
+    NodeId last = churn_last_ < 0 ? static_cast<NodeId>(n) - 1 : churn_last_;
+    for (NodeId id = churn_first_; id <= last; ++id) {
+      double rate_per_us = options_.node_crashes_per_hour / (3600.0 * 1e6);
+      SimTime t = events_->now();
+      for (;;) {
+        t += static_cast<SimTime>(rng_.Exponential(rate_per_us));
+        if (t >= events_->now() + horizon) break;
+        SimTime down = static_cast<SimTime>(rng_.Exponential(
+            1.0 / static_cast<double>(options_.mean_downtime)));
+        events_->ScheduleAt(t, [this, id]() {
+          if (!network_->IsNodeUp(id)) return;  // already down
+          network_->SetNodeUp(id, false);
+          if (on_crash_) on_crash_(id);
+        });
+        events_->ScheduleAt(t + down, [this, id]() {
+          if (network_->IsNodeUp(id)) return;
+          network_->SetNodeUp(id, true);
+          if (on_revive_) on_revive_(id);
+        });
+        ++scheduled_crashes_;
+        t += down;  // next crash only after recovery
+      }
+    }
+  }
+}
+
+}  // namespace mind

@@ -1,0 +1,44 @@
+// Message and Host abstractions for the simulated wide-area network.
+#ifndef MIND_SIM_MESSAGE_H_
+#define MIND_SIM_MESSAGE_H_
+
+#include <cstddef>
+#include <memory>
+
+namespace mind {
+
+/// Identifier of a host attached to the Network (dense, 0-based).
+using NodeId = int;
+constexpr NodeId kInvalidNode = -1;
+
+/// \brief Base class for all simulated network messages.
+///
+/// SizeBytes() drives link transmission/queuing delay; subclasses carrying
+/// tuples or query results override it with realistic wire sizes.
+struct Message {
+  virtual ~Message() = default;
+  virtual size_t SizeBytes() const { return 64; }
+  virtual const char* TypeName() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<Message>;
+
+/// \brief A network endpoint (one MIND process in the paper's deployment).
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// Called when a message is delivered to this host.
+  virtual void HandleMessage(NodeId from, const MessagePtr& msg) = 0;
+
+  /// Called when a send from this host could not be completed (link down or
+  /// peer dead) — the simulated analogue of a failed TCP connection.
+  virtual void HandleSendFailure(NodeId to, const MessagePtr& msg) {
+    (void)to;
+    (void)msg;
+  }
+};
+
+}  // namespace mind
+
+#endif  // MIND_SIM_MESSAGE_H_

@@ -1,0 +1,154 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mind {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+// Speed of light in fibre ~ 200 km/ms; real paths are not great circles.
+constexpr double kFibreKmPerMs = 200.0;
+constexpr double kPathStretch = 1.3;
+constexpr double kPerLinkOverheadMs = 1.5;
+
+double DegToRad(double d) { return d * M_PI / 180.0; }
+}  // namespace
+
+double GreatCircleKm(const GeoPoint& a, const GeoPoint& b) {
+  double phi1 = DegToRad(a.lat_deg), phi2 = DegToRad(b.lat_deg);
+  double dphi = phi2 - phi1;
+  double dlambda = DegToRad(b.lon_deg - a.lon_deg);
+  double h = std::sin(dphi / 2) * std::sin(dphi / 2) +
+             std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) *
+                 std::sin(dlambda / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+SimTime PropagationDelayUs(const GeoPoint& a, const GeoPoint& b) {
+  double km = GreatCircleKm(a, b) * kPathStretch;
+  double ms = km / kFibreKmPerMs + kPerLinkOverheadMs;
+  return FromMillis(ms);
+}
+
+Network::Network(EventQueue* events, NetworkOptions options)
+    : events_(events), options_(options), rng_(options.seed) {}
+
+NodeId Network::AddHost(Host* host) {
+  MIND_CHECK(host != nullptr);
+  hosts_.push_back(HostState{host, false, GeoPoint{}, true});
+  return static_cast<NodeId>(hosts_.size() - 1);
+}
+
+NodeId Network::AddHost(Host* host, GeoPoint position) {
+  NodeId id = AddHost(host);
+  hosts_[id].has_position = true;
+  hosts_[id].position = position;
+  return id;
+}
+
+void Network::SetLatency(NodeId a, NodeId b, SimTime one_way) {
+  latency_override_[DirKey(a, b)] = one_way;
+  latency_override_[DirKey(b, a)] = one_way;
+}
+
+SimTime Network::Latency(NodeId a, NodeId b) const {
+  auto it = latency_override_.find(DirKey(a, b));
+  if (it != latency_override_.end()) return it->second;
+  const HostState& ha = hosts_[a];
+  const HostState& hb = hosts_[b];
+  if (ha.has_position && hb.has_position) {
+    return PropagationDelayUs(ha.position, hb.position);
+  }
+  return options_.default_latency;
+}
+
+SimTime Network::JitterUs() {
+  double ms = rng_.LogNormal(options_.jitter_mu_ln_ms, options_.jitter_sigma_ln);
+  return FromMillis(ms);
+}
+
+void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
+  MIND_CHECK(from >= 0 && static_cast<size_t>(from) < hosts_.size());
+  MIND_CHECK(to >= 0 && static_cast<size_t>(to) < hosts_.size());
+  if (!hosts_[from].up) return;  // a dead node cannot send
+
+  if (from == to) {
+    events_->Schedule(options_.loopback_delay, [this, from, to, msg]() {
+      if (hosts_[to].up) hosts_[to].host->HandleMessage(from, msg);
+    });
+    return;
+  }
+
+  SimTime now = events_->now();
+  LinkState& link = links_[DirKey(from, to)];
+
+  bool link_down = link.down_until > now || links_[DirKey(to, from)].down_until > now;
+  if (link_down || !hosts_[to].up) {
+    events_->Schedule(options_.send_fail_detect, [this, from, to, msg]() {
+      if (hosts_[from].up) hosts_[from].host->HandleSendFailure(to, msg);
+    });
+    return;
+  }
+
+  double tx_sec =
+      static_cast<double>(msg->SizeBytes()) / options_.bandwidth_bytes_per_sec;
+  SimTime depart = std::max(now, link.busy_until) + FromSeconds(tx_sec);
+  link.busy_until = depart;
+  SimTime arrival = depart + Latency(from, to) + JitterUs();
+  // The paper's prototype speaks TCP: per-link delivery is in order. Jitter
+  // therefore stretches the stream but never reorders it.
+  arrival = std::max(arrival, link.last_arrival + 1);
+  link.last_arrival = arrival;
+  SimTime delay = arrival - now;
+  link.stats.messages++;
+  link.stats.bytes += msg->SizeBytes();
+
+  events_->Schedule(delay, [this, from, to, msg, delay]() {
+    if (!hosts_[to].up) {
+      // Destination died while the message was in flight: sender learns of
+      // the failure (its TCP connection resets).
+      if (hosts_[from].up) hosts_[from].host->HandleSendFailure(to, msg);
+      return;
+    }
+    if (delay_observer_) delay_observer_(from, to, delay);
+    hosts_[to].host->HandleMessage(from, msg);
+  });
+}
+
+void Network::SetNodeUp(NodeId id, bool up) {
+  MIND_CHECK(id >= 0 && static_cast<size_t>(id) < hosts_.size());
+  hosts_[id].up = up;
+}
+
+bool Network::IsNodeUp(NodeId id) const {
+  MIND_CHECK(id >= 0 && static_cast<size_t>(id) < hosts_.size());
+  return hosts_[id].up;
+}
+
+void Network::SetLinkDown(NodeId a, NodeId b, SimTime duration) {
+  SimTime until = events_->now() + duration;
+  LinkState& ab = links_[DirKey(a, b)];
+  LinkState& ba = links_[DirKey(b, a)];
+  ab.down_until = std::max(ab.down_until, until);
+  ba.down_until = std::max(ba.down_until, until);
+}
+
+bool Network::IsLinkUp(NodeId a, NodeId b) const {
+  auto it = links_.find(DirKey(a, b));
+  SimTime now = events_->now();
+  if (it != links_.end() && it->second.down_until > now) return false;
+  it = links_.find(DirKey(b, a));
+  if (it != links_.end() && it->second.down_until > now) return false;
+  return true;
+}
+
+Network::LinkStats Network::GetLinkStats(NodeId from, NodeId to) const {
+  auto it = links_.find(DirKey(from, to));
+  if (it == links_.end()) return LinkStats{};
+  return it->second.stats;
+}
+
+}  // namespace mind

@@ -1,0 +1,136 @@
+// Simulated wide-area network: geographic propagation delay, per-link FIFO
+// bandwidth queues, jitter, link outages and node crashes.
+//
+// This substrate replaces the paper's PlanetLab deployment (see DESIGN.md §2):
+// it reproduces the properties the evaluation depends on — propagation delay
+// that follows real geography, queuing hotspots, transient link failures and
+// node churn — under deterministic, seedable control.
+#ifndef MIND_SIM_NETWORK_H_
+#define MIND_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace mind {
+
+/// Latitude/longitude in degrees; used to derive propagation delays.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres.
+double GreatCircleKm(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay for a fibre path between two points: distance at
+/// ~2/3 c with a path-stretch factor, plus a fixed per-link overhead.
+SimTime PropagationDelayUs(const GeoPoint& a, const GeoPoint& b);
+
+struct NetworkOptions {
+  /// One-way latency used for host pairs without coordinates or overrides.
+  SimTime default_latency = FromMillis(20);
+  /// Per-directed-link service rate; transmission time = size / bandwidth.
+  double bandwidth_bytes_per_sec = 2.0 * 1024 * 1024;
+  /// Additive jitter: lognormal with these parameters, in milliseconds.
+  /// Defaults give a ~0.5 ms median with an occasional multi-ms tail — the
+  /// shape we attribute to shared PlanetLab hosts in the paper's runs.
+  double jitter_mu_ln_ms = -0.7;
+  double jitter_sigma_ln = 1.0;
+  /// Time for a sender to detect that a send failed (peer dead / link down).
+  SimTime send_fail_detect = FromMillis(200);
+  /// Local loopback delivery delay (from == to).
+  SimTime loopback_delay = 10;  // us
+  uint64_t seed = 0x5eed;
+};
+
+/// \brief The simulated network fabric.
+///
+/// Hosts register and obtain dense NodeIds. Send() models FIFO queuing on the
+/// directed link, propagation delay and jitter, then delivers via
+/// Host::HandleMessage. If the link is down or the destination dead, the
+/// sender gets Host::HandleSendFailure after a detection delay.
+class Network {
+ public:
+  Network(EventQueue* events, NetworkOptions options);
+
+  /// Registers a host without coordinates.
+  NodeId AddHost(Host* host);
+  /// Registers a host at a geographic position; latency to other positioned
+  /// hosts follows great-circle distance.
+  NodeId AddHost(Host* host, GeoPoint position);
+
+  size_t host_count() const { return hosts_.size(); }
+
+  /// Overrides the one-way latency between a and b (both directions).
+  void SetLatency(NodeId a, NodeId b, SimTime one_way);
+
+  /// One-way latency currently in effect between a and b.
+  SimTime Latency(NodeId a, NodeId b) const;
+
+  /// Sends a message. See class comment for delivery/failure semantics.
+  void Send(NodeId from, NodeId to, MessagePtr msg);
+
+  /// Marks a node dead/alive. Dead nodes neither send nor receive; messages
+  /// already in flight toward a node that dies are lost (sender notified).
+  void SetNodeUp(NodeId id, bool up);
+  bool IsNodeUp(NodeId id) const;
+
+  /// Takes the (undirected) link down for `duration` from now. Overlapping
+  /// calls extend the outage.
+  void SetLinkDown(NodeId a, NodeId b, SimTime duration);
+  bool IsLinkUp(NodeId a, NodeId b) const;
+
+  /// Per-directed-link transfer counters (Fig 12 uses the message counts).
+  struct LinkStats {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+  LinkStats GetLinkStats(NodeId from, NodeId to) const;
+
+  /// Observer invoked on each delivery with (from, to, total one-way delay).
+  /// Used by the Fig 8 bench to trace per-link transmission delays.
+  using DelayObserver = std::function<void(NodeId, NodeId, SimTime)>;
+  void SetDelayObserver(DelayObserver obs) { delay_observer_ = std::move(obs); }
+
+  EventQueue* events() const { return events_; }
+
+ private:
+  struct HostState {
+    Host* host = nullptr;
+    bool has_position = false;
+    GeoPoint position;
+    bool up = true;
+  };
+  struct LinkState {
+    SimTime busy_until = 0;    // FIFO transmit queue tail (directed)
+    SimTime down_until = 0;    // outage end (stored on the directed pair)
+    SimTime last_arrival = 0;  // enforces in-order (TCP-like) delivery
+    LinkStats stats;
+  };
+
+  uint64_t DirKey(NodeId from, NodeId to) const {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+
+  SimTime JitterUs();
+
+  EventQueue* events_;
+  NetworkOptions options_;
+  Rng rng_;
+  std::vector<HostState> hosts_;
+  std::unordered_map<uint64_t, LinkState> links_;
+  std::unordered_map<uint64_t, SimTime> latency_override_;
+  DelayObserver delay_observer_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SIM_NETWORK_H_

@@ -1,0 +1,13 @@
+#include "sim/simulator.h"
+
+namespace mind {
+
+Simulator::Simulator(SimulatorOptions options) : rng_(options.seed) {
+  options.network.seed = rng_.Fork(1).Next();
+  options.failures.seed = rng_.Fork(2).Next();
+  network_ = std::make_unique<Network>(&events_, options.network);
+  failures_ = std::make_unique<FailureInjector>(&events_, network_.get(),
+                                                options.failures);
+}
+
+}  // namespace mind

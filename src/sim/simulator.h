@@ -1,0 +1,54 @@
+// Convenience owner of the discrete-event world: clock, network, failure
+// injector and the root RNG.
+#ifndef MIND_SIM_SIMULATOR_H_
+#define MIND_SIM_SIMULATOR_H_
+
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/failure_injector.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace mind {
+
+struct SimulatorOptions {
+  NetworkOptions network;
+  FailureOptions failures;
+  uint64_t seed = 0x5eed;
+};
+
+/// \brief One simulated world.
+///
+/// Construct, add hosts via network(), schedule workload via events(), then
+/// Run()/RunUntil() to execute.
+class Simulator {
+ public:
+  explicit Simulator(SimulatorOptions options = {});
+
+  EventQueue& events() { return events_; }
+  Network& network() { return *network_; }
+  FailureInjector& failures() { return *failures_; }
+  Rng& rng() { return rng_; }
+
+  SimTime now() const { return events_.now(); }
+
+  /// Runs until the event queue drains (or `limit` events).
+  size_t Run(size_t limit = SIZE_MAX) { return events_.Run(limit); }
+
+  /// Runs all events with timestamp <= t and advances the clock to t.
+  size_t RunUntil(SimTime t) { return events_.RunUntil(t); }
+
+  /// Runs `delta` past the current virtual time.
+  size_t RunFor(SimTime delta) { return events_.RunUntil(events_.now() + delta); }
+
+ private:
+  EventQueue events_;
+  Rng rng_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<FailureInjector> failures_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SIM_SIMULATOR_H_

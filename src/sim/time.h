@@ -1,0 +1,25 @@
+// Virtual time. All simulation timestamps are microseconds in uint64.
+#ifndef MIND_SIM_TIME_H_
+#define MIND_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace mind {
+
+/// Virtual time in microseconds since the start of the simulation.
+using SimTime = uint64_t;
+
+constexpr SimTime kUsPerMs = 1000;
+constexpr SimTime kUsPerSec = 1000 * 1000;
+constexpr SimTime kUsPerMin = 60 * kUsPerSec;
+constexpr SimTime kUsPerHour = 60 * kUsPerMin;
+constexpr SimTime kUsPerDay = 24 * kUsPerHour;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr SimTime FromSeconds(double s) { return static_cast<SimTime>(s * 1e6); }
+constexpr SimTime FromMillis(double ms) { return static_cast<SimTime>(ms * 1e3); }
+
+}  // namespace mind
+
+#endif  // MIND_SIM_TIME_H_

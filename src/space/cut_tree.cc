@@ -1,0 +1,324 @@
+#include "space/cut_tree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mind {
+
+CutTree CutTree::Even(const Schema& schema) {
+  MIND_CHECK_OK(schema.Validate());
+  return CutTree(schema);
+}
+
+Result<CutTree> CutTree::Balanced(const Schema& schema, const Histogram& hist,
+                                  int depth) {
+  MIND_RETURN_NOT_OK(schema.Validate());
+  if (!(hist.schema() == schema)) {
+    return Status::InvalidArgument("histogram schema does not match index schema");
+  }
+  if (depth < 0 || depth > 24) {
+    return Status::InvalidArgument("balanced cut depth must be in [0, 24]");
+  }
+  CutTree tree(schema);
+  tree.materialized_depth_ = depth;
+  if (depth == 0) return tree;
+  auto items = hist.WeightedCellCenters();
+  tree.nodes_.reserve((size_t{1} << depth) - 1);
+  BuildBalancedRec(&tree, hist, &items, 0, items.size(),
+                   Rect::FullSpace(schema), 0, depth);
+  return tree;
+}
+
+int CutTree::BuildBalancedRec(CutTree* tree, const Histogram& hist,
+                              std::vector<std::pair<Point, double>>* items,
+                              size_t begin, size_t end, const Rect& rect,
+                              int depth, int max_depth) {
+  if (depth >= max_depth) return -1;
+  const int k = tree->schema_.dims();
+
+  double total = 0.0;
+  for (size_t i = begin; i < end; ++i) total += (*items)[i].second;
+
+  // Try dimensions starting from the round-robin choice; skip any where no
+  // interior, mass-splitting cut exists (e.g. a timestamp domain far wider
+  // than the day's data). Degenerate cuts would burn tree depth and leave
+  // provably-empty regions assigned to real nodes.
+  //
+  // The cut interpolates *within* the weighted-median histogram cell
+  // (uniform-within-cell assumption): cutting at cell centers can misplace
+  // the cut by half a cell, which is fatal when the live data spans less
+  // than one cell along the dimension.
+  int chosen_dim = -1;
+  Value chosen_cut = 0;
+  for (int offset = 0; offset < k && chosen_dim < 0 && total > 0.0; ++offset) {
+    const int dim = (depth + offset) % k;
+    const Interval iv = rect.interval(dim);
+    if (iv.lo >= iv.hi) continue;
+    std::sort(items->begin() + begin, items->begin() + end,
+              [dim](const auto& a, const auto& b) {
+                return a.first[dim] < b.first[dim];
+              });
+    // Walk to the weighted median cell along `dim`, grouping items that
+    // share the same coordinate (they lie in the same histogram bin).
+    double before = 0.0;
+    double in_cell = 0.0;
+    Value median_coord = iv.lo;
+    {
+      size_t i = begin;
+      while (i < end) {
+        Value coord = (*items)[i].first[dim];
+        double group = 0.0;
+        size_t j = i;
+        while (j < end && (*items)[j].first[dim] == coord) {
+          group += (*items)[j].second;
+          ++j;
+        }
+        if (before + group >= total / 2.0) {
+          median_coord = coord;
+          in_cell = group;
+          break;
+        }
+        before += group;
+        i = j;
+      }
+      if (in_cell <= 0.0) continue;  // no median found (empty)
+    }
+    const int bin = hist.BinOf(dim, median_coord);
+    const Value blo = hist.BinLo(dim, bin);
+    const Value bhi = hist.BinHi(dim, bin);
+    double frac = (total / 2.0 - before) / in_cell;
+    frac = std::clamp(frac, 0.0, 1.0);
+    long double width = static_cast<long double>(bhi - blo) + 1;
+    Value cut = blo + static_cast<Value>(static_cast<long double>(frac) * width);
+    if (cut > bhi) cut = bhi;
+    // Keep the cut interior to the region.
+    if (cut >= iv.hi) cut = iv.hi - 1;
+    if (cut < iv.lo) cut = iv.lo;
+    // Expected mass on each side under uniform-within-cell: reject cuts that
+    // starve a side.
+    long double cell_frac_low =
+        width > 0 ? (static_cast<long double>(cut - blo) + 1) / width : 1.0;
+    if (cut < blo) cell_frac_low = 0.0;
+    if (cut > bhi) cell_frac_low = 1.0;
+    double low_est = before + static_cast<double>(cell_frac_low) * in_cell;
+    double high_est = total - low_est;
+    if (low_est <= total * 1e-3 || high_est <= total * 1e-3) continue;
+    // If essentially all mass sits inside one cell, the interpolated cut is
+    // guesswork (the data may occupy a sliver of the cell): prefer a
+    // dimension the histogram can actually resolve, and let the fallback
+    // below bisect within the cell otherwise.
+    if (in_cell >= total * 0.95) continue;
+    chosen_dim = dim;
+    chosen_cut = cut;
+  }
+
+  if (chosen_dim < 0) {
+    // The histogram cannot resolve a split (all mass within one cell per
+    // dimension): bisect within the occupied cell of the widest dimension.
+    // Real data inside the cell still spreads across it, so repeated
+    // bisection converges on it like a binary search.
+    int dim = depth % k;
+    uint64_t best_span = 0;
+    for (int d = 0; d < k; ++d) {
+      uint64_t span = rect.interval(d).Size();
+      if (span > best_span) {
+        best_span = span;
+        dim = d;
+      }
+    }
+    const Interval iv = rect.interval(dim);
+    Value lo = iv.lo, hi = iv.hi;
+    if (total > 0.0 && lo < hi) {
+      // Locate the weighted-median cell along `dim` and clip to it.
+      std::sort(items->begin() + begin, items->begin() + end,
+                [dim](const auto& a, const auto& b) {
+                  return a.first[dim] < b.first[dim];
+                });
+      double acc = 0.0;
+      Value median_coord = lo;
+      for (size_t i = begin; i < end; ++i) {
+        acc += (*items)[i].second;
+        if (acc >= total / 2.0) {
+          median_coord = (*items)[i].first[dim];
+          break;
+        }
+      }
+      const int bin = hist.BinOf(dim, median_coord);
+      Value clo = std::max(lo, hist.BinLo(dim, bin));
+      Value chi = std::min(hi, hist.BinHi(dim, bin));
+      if (clo < chi) {
+        lo = clo;
+        hi = chi;
+      }
+    }
+    chosen_dim = dim;
+    chosen_cut = lo >= hi ? iv.lo : lo + (hi - lo) / 2;
+    if (chosen_cut >= iv.hi) chosen_cut = iv.hi - 1;
+    if (chosen_cut < iv.lo) chosen_cut = iv.lo;
+  }
+
+  // Partition items (cells go whole to the side containing their center).
+  auto mid_it = std::partition(items->begin() + begin, items->begin() + end,
+                               [chosen_dim, chosen_cut](const auto& a) {
+                                 return a.first[chosen_dim] <= chosen_cut;
+                               });
+  size_t mid = static_cast<size_t>(mid_it - items->begin());
+
+  int idx = static_cast<int>(tree->nodes_.size());
+  tree->nodes_.push_back(
+      Node{chosen_cut, static_cast<int16_t>(chosen_dim), -1, -1});
+
+  Rect left = rect;
+  left.mutable_interval(chosen_dim)->hi = chosen_cut;
+  int c0 = BuildBalancedRec(tree, hist, items, begin, mid, left, depth + 1,
+                            max_depth);
+
+  int c1 = -1;
+  if (chosen_cut < rect.interval(chosen_dim).hi) {
+    Rect right = rect;
+    right.mutable_interval(chosen_dim)->lo = chosen_cut + 1;
+    c1 = BuildBalancedRec(tree, hist, items, mid, end, right, depth + 1,
+                          max_depth);
+  }
+  tree->nodes_[idx].child0 = c0;
+  tree->nodes_[idx].child1 = c1;
+  return idx;
+}
+
+CutTree::Cursor CutTree::Root() const {
+  Cursor c;
+  c.rect = Rect::FullSpace(schema_);
+  c.node = nodes_.empty() ? -1 : 0;
+  c.depth = 0;
+  return c;
+}
+
+int CutTree::CursorDim(const Cursor& c) const {
+  return c.node >= 0 ? nodes_[c.node].dim : DimAtDepth(c.depth);
+}
+
+Value CutTree::CutValue(const Cursor& c) const {
+  if (c.node >= 0) return nodes_[c.node].cut;
+  const Interval iv = c.rect.interval(CursorDim(c));
+  return iv.lo + (iv.hi - iv.lo) / 2;
+}
+
+bool CutTree::Descend(Cursor* c, int bit) const {
+  const int dim = CursorDim(*c);
+  const Value cut = CutValue(*c);
+  const Interval iv = c->rect.interval(dim);
+  if (bit == 0) {
+    c->rect.mutable_interval(dim)->hi = cut;
+    c->node = (c->node >= 0) ? nodes_[c->node].child0 : -1;
+  } else {
+    if (cut >= iv.hi) return false;  // empty high side
+    c->rect.mutable_interval(dim)->lo = cut + 1;
+    c->node = (c->node >= 0) ? nodes_[c->node].child1 : -1;
+  }
+  ++c->depth;
+  return true;
+}
+
+BitCode CutTree::CodeForPoint(const Point& p, int len) const {
+  MIND_CHECK(len >= 0 && len <= BitCode::kMaxLen);
+  Point q = schema_.Clamp(p);
+  Cursor c = Root();
+  BitCode code;
+  for (int i = 0; i < len; ++i) {
+    const int dim = CursorDim(c);
+    const Value cut = CutValue(c);
+    const int bit = (q[dim] <= cut) ? 0 : 1;
+    bool ok = Descend(&c, bit);
+    MIND_CHECK(ok);  // bit==1 implies q[dim] > cut, so high side is non-empty
+    code.PushBack(bit);
+  }
+  return code;
+}
+
+std::optional<Rect> CutTree::RectForCode(const BitCode& code) const {
+  Cursor c = Root();
+  for (int i = 0; i < code.length(); ++i) {
+    if (!Descend(&c, code.bit(i))) return std::nullopt;
+  }
+  return c.rect;
+}
+
+BitCode CutTree::MinimalContainingCode(const Rect& query, int max_len) const {
+  MIND_CHECK_EQ(query.dims(), schema_.dims());
+  MIND_CHECK(max_len >= 0 && max_len <= BitCode::kMaxLen);
+  Cursor c = Root();
+  BitCode code;
+  auto clipped = Rect::FullSpace(schema_).Intersect(query);
+  if (!clipped) return code;  // query outside the space: empty code (root)
+  const Rect q = *clipped;
+  while (code.length() < max_len) {
+    const int dim = CursorDim(c);
+    const Value cut = CutValue(c);
+    const Interval qi = q.interval(dim);
+    int bit;
+    if (qi.hi <= cut) {
+      bit = 0;
+    } else if (qi.lo > cut) {
+      bit = 1;
+    } else {
+      break;  // query straddles the cut
+    }
+    if (!Descend(&c, bit)) break;
+    code.PushBack(bit);
+  }
+  return code;
+}
+
+std::vector<BitCode> CutTree::IntersectingChildren(const Rect& query,
+                                                   const BitCode& code) const {
+  std::vector<BitCode> out;
+  Cursor c = Root();
+  for (int i = 0; i < code.length(); ++i) {
+    if (!Descend(&c, code.bit(i))) return out;  // empty region: no children
+  }
+  for (int bit = 0; bit <= 1; ++bit) {
+    Cursor child = c;
+    if (!Descend(&child, bit)) continue;
+    if (child.rect.Intersects(query)) out.push_back(code.Child(bit));
+  }
+  return out;
+}
+
+void CutTree::CoverRec(const Cursor& c, const Rect& query, int len,
+                       size_t max_codes, BitCode* prefix,
+                       std::vector<BitCode>* out, bool* overflow) const {
+  if (*overflow) return;
+  if (!c.rect.Intersects(query)) return;
+  if (prefix->length() == len) {
+    if (out->size() >= max_codes) {
+      *overflow = true;
+      return;
+    }
+    out->push_back(*prefix);
+    return;
+  }
+  for (int bit = 0; bit <= 1; ++bit) {
+    Cursor child = c;
+    if (!Descend(&child, bit)) continue;
+    prefix->PushBack(bit);
+    CoverRec(child, query, len, max_codes, prefix, out, overflow);
+    prefix->PopBack();
+  }
+}
+
+Result<std::vector<BitCode>> CutTree::Cover(const Rect& query, int len,
+                                            size_t max_codes) const {
+  MIND_CHECK(len >= 0 && len <= BitCode::kMaxLen);
+  std::vector<BitCode> out;
+  BitCode prefix;
+  bool overflow = false;
+  CoverRec(Root(), query, len, max_codes, &prefix, &out, &overflow);
+  if (overflow) {
+    return Status::OutOfRange("query cover exceeds max_codes at len " +
+                              std::to_string(len));
+  }
+  return out;
+}
+
+}  // namespace mind

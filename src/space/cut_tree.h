@@ -1,0 +1,121 @@
+// The data-space embedding at the heart of MIND (paper §3.4, §3.7).
+//
+// A CutTree recursively cuts the k-dimensional data space with axis-aligned
+// hyper-planes, cycling through the dimensions (dimension = depth mod k).
+// Each cut appends one bit to the region's code: 0 for the low side, 1 for
+// the high side, so every hyper-rectangle produced by the cuts carries a
+// BitCode. A tuple is stored at the overlay node whose vertex code maximally
+// matches the tuple's region code; a query's covering codes determine which
+// nodes it must visit.
+//
+// Two construction modes:
+//  * Even(): every cut bisects the current interval at its midpoint. Simple,
+//    but skewed traffic data then piles up on few nodes (Figure 2).
+//  * Balanced(): the first `depth` cuts are chosen from a multi-dimensional
+//    histogram of a previous day's data so that each side carries roughly
+//    half the mass (Figure 5, bottom right; §3.7). Beyond the materialized
+//    depth, descent continues with midpoint cuts.
+//
+// The tree is per-index, per-version state, installed identically at every
+// node; it is deliberately decoupled from the overlay structure (the paper's
+// key design point).
+#ifndef MIND_SPACE_CUT_TREE_H_
+#define MIND_SPACE_CUT_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "space/histogram.h"
+#include "space/rect.h"
+#include "space/schema.h"
+#include "util/bitcode.h"
+#include "util/status.h"
+
+namespace mind {
+
+class CutTree {
+ public:
+  /// Pure midpoint cuts (no materialized nodes).
+  static CutTree Even(const Schema& schema);
+
+  /// Histogram-balanced cuts for the first `depth` levels. The histogram's
+  /// schema must equal `schema`; depth in [0, 24] (2^depth regions).
+  static Result<CutTree> Balanced(const Schema& schema, const Histogram& hist,
+                                  int depth);
+
+  const Schema& schema() const { return schema_; }
+  int materialized_depth() const { return materialized_depth_; }
+
+  /// Code of length `len` for a point (clamped into the domain first).
+  BitCode CodeForPoint(const Point& p, int len) const;
+
+  /// The hyper-rectangle addressed by `code`, or nullopt if the code walks
+  /// into an empty side (possible only for codes not produced by descent).
+  std::optional<Rect> RectForCode(const BitCode& code) const;
+
+  /// Longest code (<= max_len bits) whose rectangle fully contains
+  /// query ∩ space. This is where a query is first routed (§3.6).
+  BitCode MinimalContainingCode(const Rect& query, int max_len) const;
+
+  /// The children codes of `code` (one bit longer) whose rectangles
+  /// intersect `query`; 0, 1 or 2 entries. Used by nodes to split queries
+  /// into sub-queries. `rect` must be the rectangle of `code`.
+  std::vector<BitCode> IntersectingChildren(const Rect& query,
+                                            const BitCode& code) const;
+
+  /// All codes of length exactly `len` whose rectangles intersect `query`.
+  /// Errors with OutOfRange if more than `max_codes` would be produced.
+  Result<std::vector<BitCode>> Cover(const Rect& query, int len,
+                                     size_t max_codes = 65536) const;
+
+  /// Dimension cut at a given depth.
+  int DimAtDepth(int depth) const { return depth % schema_.dims(); }
+
+ private:
+  struct Node {
+    Value cut = 0;       // low side: [lo, cut]; high side: [cut+1, hi]
+    int16_t dim = 0;     // balanced cuts may deviate from round-robin when a
+                         // dimension is degenerate (no interior cut exists)
+    int32_t child0 = -1; // materialized children (-1 => implicit midpoint)
+    int32_t child1 = -1;
+  };
+
+  // Walking state: current region + materialized node (or -1).
+  struct Cursor {
+    Rect rect;
+    int node = -1;
+    int depth = 0;
+  };
+
+  explicit CutTree(Schema schema) : schema_(std::move(schema)) {}
+
+  Cursor Root() const;
+  // Dimension cut at the cursor (materialized node's dim, else round-robin).
+  int CursorDim(const Cursor& c) const;
+  // Cut value applied at the cursor's depth within its rect.
+  Value CutValue(const Cursor& c) const;
+  // Descends one level. Returns false if that side is empty (only possible
+  // for bit==1 on a single-value interval).
+  bool Descend(Cursor* c, int bit) const;
+
+  void CoverRec(const Cursor& c, const Rect& query, int len, size_t max_codes,
+                BitCode* prefix, std::vector<BitCode>* out, bool* overflow) const;
+
+  static int BuildBalancedRec(CutTree* tree, const Histogram& hist,
+                              std::vector<std::pair<Point, double>>* items,
+                              size_t begin, size_t end, const Rect& rect,
+                              int depth, int max_depth);
+
+  Schema schema_;
+  int materialized_depth_ = 0;
+  std::vector<Node> nodes_;  // empty for Even(); else root at index 0
+};
+
+/// Immutable shared handle; cut trees are distributed to every node of an
+/// index and never mutated after installation.
+using CutTreeRef = std::shared_ptr<const CutTree>;
+
+}  // namespace mind
+
+#endif  // MIND_SPACE_CUT_TREE_H_

@@ -1,0 +1,151 @@
+#include "space/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mind {
+
+namespace {
+using u128 = unsigned __int128;
+
+// Inclusive-domain span as a 128-bit count (max - min + 1 can overflow 64).
+u128 Span(Value min, Value max) { return static_cast<u128>(max - min) + 1; }
+}  // namespace
+
+Histogram::Histogram(const Schema& schema, int bins_per_dim)
+    : schema_(schema), bins_per_dim_(bins_per_dim) {
+  MIND_CHECK_GE(bins_per_dim, 1);
+  MIND_CHECK_GE(schema.dims(), 1);
+  u128 cells = 1;
+  for (int d = 0; d < schema.dims(); ++d) {
+    cells *= static_cast<u128>(bins_per_dim);
+    MIND_CHECK(cells <= static_cast<u128>(UINT64_MAX))
+        << "histogram grid too large";
+  }
+  num_cells_ = static_cast<uint64_t>(cells);
+}
+
+int Histogram::BinOf(int dim, Value v) const {
+  const AttributeDef& a = schema_.attr(dim);
+  if (v < a.min) v = a.min;
+  if (v > a.max) v = a.max;
+  u128 span = Span(a.min, a.max);
+  u128 off = static_cast<u128>(v - a.min);
+  int bin = static_cast<int>(off * static_cast<u128>(bins_per_dim_) / span);
+  return std::min(bin, bins_per_dim_ - 1);
+}
+
+Value Histogram::BinLo(int dim, int bin) const {
+  const AttributeDef& a = schema_.attr(dim);
+  u128 span = Span(a.min, a.max);
+  return a.min + static_cast<Value>(span * static_cast<u128>(bin) /
+                                    static_cast<u128>(bins_per_dim_));
+}
+
+Value Histogram::BinHi(int dim, int bin) const {
+  if (bin == bins_per_dim_ - 1) return schema_.attr(dim).max;
+  return BinLo(dim, bin + 1) - 1;
+}
+
+uint64_t Histogram::CellKey(const std::vector<int>& cell) const {
+  MIND_CHECK_EQ(static_cast<int>(cell.size()), dims());
+  uint64_t key = 0;
+  for (int d = 0; d < dims(); ++d) {
+    MIND_CHECK(cell[d] >= 0 && cell[d] < bins_per_dim_);
+    key = key * static_cast<uint64_t>(bins_per_dim_) +
+          static_cast<uint64_t>(cell[d]);
+  }
+  return key;
+}
+
+void Histogram::CellFromKey(uint64_t key, std::vector<int>* cell) const {
+  cell->resize(dims());
+  for (int d = dims() - 1; d >= 0; --d) {
+    (*cell)[d] = static_cast<int>(key % static_cast<uint64_t>(bins_per_dim_));
+    key /= static_cast<uint64_t>(bins_per_dim_);
+  }
+}
+
+void Histogram::Add(const Point& p, double mass) {
+  MIND_CHECK_EQ(static_cast<int>(p.size()), dims());
+  uint64_t key = 0;
+  for (int d = 0; d < dims(); ++d) {
+    key = key * static_cast<uint64_t>(bins_per_dim_) +
+          static_cast<uint64_t>(BinOf(d, p[d]));
+  }
+  cells_[key] += mass;
+  total_ += mass;
+}
+
+Status Histogram::Merge(const Histogram& other) {
+  if (!(other.schema_ == schema_) || other.bins_per_dim_ != bins_per_dim_) {
+    return Status::InvalidArgument(
+        "histogram merge requires identical schema and granularity");
+  }
+  for (const auto& [key, mass] : other.cells_) {
+    cells_[key] += mass;
+  }
+  total_ += other.total_;
+  return Status::OK();
+}
+
+double Histogram::CellMass(const std::vector<int>& cell) const {
+  auto it = cells_.find(CellKey(cell));
+  return it == cells_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<Point, double>> Histogram::WeightedCellCenters() const {
+  std::vector<std::pair<Point, double>> out;
+  out.reserve(cells_.size());
+  std::vector<int> cell;
+  for (const auto& [key, mass] : cells_) {
+    CellFromKey(key, &cell);
+    Point center(dims());
+    for (int d = 0; d < dims(); ++d) {
+      Value lo = BinLo(d, cell[d]);
+      Value hi = BinHi(d, cell[d]);
+      center[d] = lo + (hi - lo) / 2;
+    }
+    out.emplace_back(std::move(center), mass);
+  }
+  // Deterministic order independent of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+double Histogram::MassInRect(const Rect& r) const {
+  MIND_CHECK_EQ(r.dims(), dims());
+  double sum = 0.0;
+  std::vector<int> cell;
+  for (const auto& [key, mass] : cells_) {
+    CellFromKey(key, &cell);
+    double frac = 1.0;
+    for (int d = 0; d < dims() && frac > 0.0; ++d) {
+      Value blo = BinLo(d, cell[d]);
+      Value bhi = BinHi(d, cell[d]);
+      Value lo = std::max(blo, r.interval(d).lo);
+      Value hi = std::min(bhi, r.interval(d).hi);
+      if (lo > hi) {
+        frac = 0.0;
+        break;
+      }
+      long double cover = static_cast<long double>(hi - lo) + 1;
+      long double width = static_cast<long double>(bhi - blo) + 1;
+      frac *= static_cast<double>(cover / width);
+    }
+    sum += mass * frac;
+  }
+  return sum;
+}
+
+std::vector<double> Histogram::Densify() const {
+  MIND_CHECK_LE(num_cells_, uint64_t{1} << 24) << "grid too large to densify";
+  std::vector<double> dense(num_cells_, 0.0);
+  for (const auto& [key, mass] : cells_) dense[key] = mass;
+  return dense;
+}
+
+}  // namespace mind

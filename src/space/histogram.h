@@ -1,0 +1,77 @@
+// Sparse multi-dimensional equi-width histograms.
+//
+// MIND uses histograms in two places (paper §2.2, §3.7):
+//   * a designated node aggregates per-node histograms once a day and the
+//     result drives the *balanced cuts* of the next day's index version;
+//   * the mismatch metric (Appendix A) compares day-to-day distributions to
+//     justify that stationarity.
+#ifndef MIND_SPACE_HISTOGRAM_H_
+#define MIND_SPACE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "space/rect.h"
+#include "space/schema.h"
+#include "util/status.h"
+
+namespace mind {
+
+/// \brief A d-dimensional grid of bins_per_dim^d equal-width cells over the
+/// schema's domain, storing (possibly fractional) masses sparsely.
+class Histogram {
+ public:
+  /// bins_per_dim must be >= 1 and bins_per_dim^dims must fit in uint64.
+  Histogram(const Schema& schema, int bins_per_dim);
+
+  const Schema& schema() const { return schema_; }
+  int bins_per_dim() const { return bins_per_dim_; }
+  int dims() const { return schema_.dims(); }
+  uint64_t num_cells() const { return num_cells_; }
+  size_t num_nonzero_cells() const { return cells_.size(); }
+
+  /// Adds mass at a point (coordinates outside the domain are clamped).
+  void Add(const Point& p, double mass = 1.0);
+
+  /// Adds all of `other`'s mass; requires identical schema and granularity.
+  Status Merge(const Histogram& other);
+
+  double total_mass() const { return total_; }
+
+  /// Bin index of a value along one dimension (clamped into range).
+  int BinOf(int dim, Value v) const;
+
+  /// Inclusive value bounds of a bin along a dimension.
+  Value BinLo(int dim, int bin) const;
+  Value BinHi(int dim, int bin) const;
+
+  /// Mass of one cell, addressed by per-dimension bin indices.
+  double CellMass(const std::vector<int>& cell) const;
+
+  /// All nonzero cells as (cell-center point, mass) pairs — the input to
+  /// balanced-cut construction.
+  std::vector<std::pair<Point, double>> WeightedCellCenters() const;
+
+  /// Mass intersecting `r`, with linear (uniform-within-cell) interpolation
+  /// of partially covered cells.
+  double MassInRect(const Rect& r) const;
+
+  /// Per-cell masses, dense, in row-major cell order (for tests / plots).
+  /// Only call for small grids.
+  std::vector<double> Densify() const;
+
+ private:
+  uint64_t CellKey(const std::vector<int>& cell) const;
+  void CellFromKey(uint64_t key, std::vector<int>* cell) const;
+
+  Schema schema_;
+  int bins_per_dim_;
+  uint64_t num_cells_;
+  std::unordered_map<uint64_t, double> cells_;
+  double total_ = 0.0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SPACE_HISTOGRAM_H_

@@ -1,0 +1,63 @@
+#include "space/mismatch.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace mind {
+
+namespace {
+
+Status CheckComparable(const Histogram& a, const Histogram& b) {
+  if (!(a.schema() == b.schema()) || a.bins_per_dim() != b.bins_per_dim()) {
+    return Status::InvalidArgument(
+        "mismatch requires identical schema and granularity");
+  }
+  return Status::OK();
+}
+
+// Walks the union of nonzero cells of both histograms, accumulating
+// sum |wa * a(x) - wb * b(x)| / 2.
+double HalfL1(const Histogram& a, const Histogram& b, double wa, double wb) {
+  // Compare via dense cell keys when tiny, else via cell centers (which are
+  // identical for identical grids). We recover cells through
+  // WeightedCellCenters to stay independent of the sparse-map internals.
+  auto ca = a.WeightedCellCenters();
+  auto cb = b.WeightedCellCenters();
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < ca.size() && j < cb.size()) {
+    if (ca[i].first == cb[j].first) {
+      sum += std::fabs(wa * ca[i].second - wb * cb[j].second);
+      ++i;
+      ++j;
+    } else if (ca[i].first < cb[j].first) {
+      sum += std::fabs(wa * ca[i].second);
+      ++i;
+    } else {
+      sum += std::fabs(wb * cb[j].second);
+      ++j;
+    }
+  }
+  for (; i < ca.size(); ++i) sum += std::fabs(wa * ca[i].second);
+  for (; j < cb.size(); ++j) sum += std::fabs(wb * cb[j].second);
+  return sum / 2.0;
+}
+
+}  // namespace
+
+Result<double> MismatchTuples(const Histogram& a, const Histogram& b) {
+  MIND_RETURN_NOT_OK(CheckComparable(a, b));
+  return HalfL1(a, b, 1.0, 1.0);
+}
+
+Result<double> MismatchFraction(const Histogram& a, const Histogram& b) {
+  MIND_RETURN_NOT_OK(CheckComparable(a, b));
+  if (a.total_mass() <= 0.0 || b.total_mass() <= 0.0) {
+    return Status::InvalidArgument("mismatch of empty histogram");
+  }
+  return HalfL1(a, b, 1.0 / a.total_mass(), 1.0 / b.total_mass());
+}
+
+}  // namespace mind

@@ -1,0 +1,24 @@
+// The mismatch metric of Appendix A: the fraction of data that must move to
+// turn one day's distribution into another's, computed over a common
+// multi-dimensional histogram grid. Used to validate diurnal stationarity
+// (Figure 3) and to bound re-balancing cost.
+#ifndef MIND_SPACE_MISMATCH_H_
+#define MIND_SPACE_MISMATCH_H_
+
+#include "space/histogram.h"
+#include "util/status.h"
+
+namespace mind {
+
+/// Raw mismatch: sum_x |I(i,x) - I(j,x)| / 2 over all bins, in tuples.
+/// Requires identical schema and granularity.
+Result<double> MismatchTuples(const Histogram& a, const Histogram& b);
+
+/// Normalized mismatch in [0, 1]: histograms are first normalized to unit
+/// mass, so the value is the fraction of data that must be rearranged.
+/// This is what Figure 3 plots ("mismatch close to 1" for hourly histograms).
+Result<double> MismatchFraction(const Histogram& a, const Histogram& b);
+
+}  // namespace mind
+
+#endif  // MIND_SPACE_MISMATCH_H_

@@ -1,0 +1,63 @@
+#include "space/schema.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace mind {
+
+Status Schema::Validate() const {
+  if (attrs_.empty()) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& a : attrs_) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("schema attribute with empty name");
+    }
+    if (!names.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+    if (a.min > a.max) {
+      return Status::InvalidArgument("attribute " + a.name + " has min > max");
+    }
+  }
+  return Status::OK();
+}
+
+int Schema::FindAttr(const std::string& name) const {
+  for (int i = 0; i < dims(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return -1;
+}
+
+Point Schema::Clamp(Point p) const {
+  MIND_CHECK_EQ(static_cast<int>(p.size()), dims());
+  for (int i = 0; i < dims(); ++i) {
+    if (p[i] < attrs_[i].min) p[i] = attrs_[i].min;
+    if (p[i] > attrs_[i].max) p[i] = attrs_[i].max;
+  }
+  return p;
+}
+
+bool Schema::Contains(const Point& p) const {
+  if (static_cast<int>(p.size()) != dims()) return false;
+  for (int i = 0; i < dims(); ++i) {
+    if (p[i] < attrs_[i].min || p[i] > attrs_[i].max) return false;
+  }
+  return true;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.attrs_.size() != b.attrs_.size()) return false;
+  for (size_t i = 0; i < a.attrs_.size(); ++i) {
+    if (a.attrs_[i].name != b.attrs_[i].name ||
+        a.attrs_[i].min != b.attrs_[i].min || a.attrs_[i].max != b.attrs_[i].max) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mind

@@ -1,0 +1,63 @@
+// Index schemas: the k attributes of a MIND index and their value domains.
+//
+// All attribute values are normalized to uint64. IP addresses map directly;
+// timestamps are seconds; byte counts and fanouts are plain integers. Each
+// attribute declares inclusive domain bounds [min, max]; following the paper
+// (§4.1, footnote), values above max are clamped to max ("assigned the
+// largest possible range") — the bounds are chosen so that <0.1% of tuples
+// exceed them.
+#ifndef MIND_SPACE_SCHEMA_H_
+#define MIND_SPACE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mind {
+
+/// One attribute value.
+using Value = uint64_t;
+
+/// A data item's position in the k-dimensional attribute space: one Value
+/// per schema attribute, in schema order.
+using Point = std::vector<Value>;
+
+struct AttributeDef {
+  std::string name;
+  Value min = 0;
+  Value max = UINT64_MAX;
+};
+
+/// \brief The ordered attribute list of a MIND index.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Checks names are unique and non-empty and min <= max for every attribute.
+  Status Validate() const;
+
+  int dims() const { return static_cast<int>(attrs_.size()); }
+  const AttributeDef& attr(int i) const { return attrs_[i]; }
+  const std::vector<AttributeDef>& attrs() const { return attrs_; }
+
+  /// Index of the attribute named `name`, or -1.
+  int FindAttr(const std::string& name) const;
+
+  /// Clamps each coordinate of `p` into its attribute domain.
+  Point Clamp(Point p) const;
+
+  /// True if every coordinate of `p` lies within its attribute domain.
+  bool Contains(const Point& p) const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<AttributeDef> attrs_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SPACE_SCHEMA_H_

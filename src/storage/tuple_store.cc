@@ -1,0 +1,100 @@
+#include "storage/tuple_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mind {
+
+namespace {
+// Left-aligned key of a code and the (inclusive) key range it covers.
+uint64_t KeyOf(const BitCode& code) {
+  if (code.length() == 0) return 0;
+  return code.bits() << (64 - code.length());
+}
+uint64_t KeyRangeEnd(const BitCode& code) {
+  if (code.length() == 0) return UINT64_MAX;
+  uint64_t span = (code.length() == 64) ? 0 : ((uint64_t{1} << (64 - code.length())) - 1);
+  return KeyOf(code) + span;
+}
+// Cover length for queries: fine enough to prune, coarse enough to bound the
+// number of ranges.
+constexpr int kQueryCoverLen = 12;
+constexpr size_t kMaxCoverCodes = 4096;
+}  // namespace
+
+TupleStore::TupleStore(CutTreeRef cuts, int code_len)
+    : cuts_(std::move(cuts)), code_len_(code_len) {
+  MIND_CHECK(cuts_ != nullptr);
+  MIND_CHECK(code_len_ > 0 && code_len_ <= BitCode::kMaxLen);
+}
+
+void TupleStore::Insert(Tuple tuple) {
+  BitCode code = cuts_->CodeForPoint(tuple.point, code_len_);
+  approx_bytes_ += tuple.WireBytes() + 16;
+  rows_.push_back(Row{KeyOf(code), std::move(tuple)});
+  sorted_ = false;
+}
+
+void TupleStore::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(rows_.begin(), rows_.end(),
+            [](const Row& a, const Row& b) { return a.key < b.key; });
+  sorted_ = true;
+}
+
+template <typename Fn>
+void TupleStore::Scan(const Rect& rect, Fn&& fn) const {
+  EnsureSorted();
+  int len = std::min(kQueryCoverLen, code_len_);
+  auto cover = cuts_->Cover(rect, len, kMaxCoverCodes);
+  if (!cover.ok()) {
+    // Pathologically wide query: fall back to a full scan.
+    for (const Row& r : rows_) {
+      if (rect.Contains(r.tuple.point)) fn(r.tuple);
+    }
+    return;
+  }
+  for (const BitCode& code : cover.value()) {
+    uint64_t lo = KeyOf(code);
+    uint64_t hi = KeyRangeEnd(code);
+    auto first = std::lower_bound(
+        rows_.begin(), rows_.end(), lo,
+        [](const Row& r, uint64_t k) { return r.key < k; });
+    for (auto it = first; it != rows_.end() && it->key <= hi; ++it) {
+      if (rect.Contains(it->tuple.point)) fn(it->tuple);
+    }
+  }
+}
+
+std::vector<Tuple> TupleStore::Query(const Rect& rect) const {
+  std::vector<Tuple> out;
+  Scan(rect, [&out](const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+size_t TupleStore::Count(const Rect& rect) const {
+  size_t n = 0;
+  Scan(rect, [&n](const Tuple&) { ++n; });
+  return n;
+}
+
+Histogram TupleStore::BuildHistogram(int bins_per_dim, int time_attr,
+                                     Value time_shift) const {
+  Histogram h(cuts_->schema(), bins_per_dim);
+  if (time_attr < 0 || time_shift == 0) {
+    for (const Row& r : rows_) h.Add(r.tuple.point);
+    return h;
+  }
+  const Value max = cuts_->schema().attr(time_attr).max;
+  Point p;
+  for (const Row& r : rows_) {
+    p = r.tuple.point;
+    Value shifted = p[time_attr] + time_shift;
+    p[time_attr] = (shifted < p[time_attr] || shifted > max) ? max : shifted;
+    h.Add(p);
+  }
+  return h;
+}
+
+}  // namespace mind

@@ -1,0 +1,69 @@
+// Per-node, per-(index, version) tuple storage with rectangle queries.
+//
+// Replaces the paper's MySQL/JDBC backend (DESIGN.md §2). Tuples are keyed by
+// their data-space code (left-aligned in 64 bits), kept sorted, and a
+// rectangle query first narrows to the key ranges of its covering codes and
+// then filters exactly — the in-memory analogue of the prototype's SQL
+// statement over a code-clustered table.
+#ifndef MIND_STORAGE_TUPLE_STORE_H_
+#define MIND_STORAGE_TUPLE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "space/cut_tree.h"
+#include "space/histogram.h"
+#include "space/rect.h"
+#include "storage/tuple.h"
+
+namespace mind {
+
+class TupleStore {
+ public:
+  /// `cuts` is the embedding under which tuples are coded; `code_len` the
+  /// stored key precision (also the maximum useful cover length).
+  TupleStore(CutTreeRef cuts, int code_len);
+
+  /// Adds a tuple (O(1) amortized; the sort order is restored lazily).
+  void Insert(Tuple tuple);
+
+  size_t size() const { return rows_.size(); }
+  uint64_t approx_bytes() const { return approx_bytes_; }
+
+  /// All tuples whose point lies inside `rect`.
+  std::vector<Tuple> Query(const Rect& rect) const;
+
+  /// Number of matching tuples without materializing them.
+  size_t Count(const Rect& rect) const;
+
+  /// Histogram of the stored points at the given granularity (input to the
+  /// daily balancing service). If `time_attr` >= 0, that coordinate is
+  /// shifted forward by `time_shift` (clamped into the domain): cuts built
+  /// from day d's data must be positioned where day d+1's timestamps will
+  /// fall, or every new tuple lands on the high side of every time cut.
+  Histogram BuildHistogram(int bins_per_dim, int time_attr = -1,
+                           Value time_shift = 0) const;
+
+  const CutTreeRef& cuts() const { return cuts_; }
+
+ private:
+  struct Row {
+    uint64_t key;  // left-aligned code bits
+    Tuple tuple;
+  };
+
+  void EnsureSorted() const;
+  // Invokes fn on every tuple inside rect.
+  template <typename Fn>
+  void Scan(const Rect& rect, Fn&& fn) const;
+
+  CutTreeRef cuts_;
+  int code_len_;
+  mutable std::vector<Row> rows_;
+  mutable bool sorted_ = true;
+  uint64_t approx_bytes_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_STORAGE_TUPLE_STORE_H_

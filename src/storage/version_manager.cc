@@ -1,0 +1,99 @@
+#include "storage/version_manager.h"
+
+#include "util/logging.h"
+
+namespace mind {
+
+Status IndexVersions::AddVersion(VersionId id, CutTreeRef cuts, SimTime start) {
+  if (cuts == nullptr) {
+    return Status::InvalidArgument("null cut tree");
+  }
+  if (!entries_.empty()) {
+    if (id <= entries_.back().id) {
+      return Status::InvalidArgument("version ids must increase");
+    }
+    if (start < entries_.back().start) {
+      return Status::InvalidArgument("version start times must not decrease");
+    }
+  }
+  Entry e;
+  e.id = id;
+  e.start = start;
+  e.cuts = cuts;
+  e.store = std::make_unique<TupleStore>(std::move(cuts), code_len_);
+  entries_.push_back(std::move(e));
+  return Status::OK();
+}
+
+TupleStore* IndexVersions::StoreForTime(SimTime t) {
+  TupleStore* best = nullptr;
+  for (auto& e : entries_) {
+    if (e.start <= t) best = e.store.get();
+  }
+  return best;
+}
+
+const IndexVersions::Entry* IndexVersions::Find(VersionId id) const {
+  for (const auto& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+TupleStore* IndexVersions::Store(VersionId id) {
+  return const_cast<TupleStore*>(
+      static_cast<const IndexVersions*>(this)->Store(id));
+}
+
+const TupleStore* IndexVersions::Store(VersionId id) const {
+  const Entry* e = Find(id);
+  return e ? e->store.get() : nullptr;
+}
+
+CutTreeRef IndexVersions::Cuts(VersionId id) const {
+  const Entry* e = Find(id);
+  return e ? e->cuts : nullptr;
+}
+
+std::vector<VersionId> IndexVersions::VersionsOverlapping(SimTime t1,
+                                                          SimTime t2) const {
+  std::vector<VersionId> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    SimTime start = entries_[i].start;
+    SimTime end = (i + 1 < entries_.size()) ? entries_[i + 1].start : UINT64_MAX;
+    if (start <= t2 && t1 < end) out.push_back(entries_[i].id);
+  }
+  return out;
+}
+
+std::vector<IndexVersions::VersionInfo> IndexVersions::Versions() const {
+  std::vector<VersionInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back({e.id, e.start});
+  return out;
+}
+
+Result<SimTime> IndexVersions::StartOf(VersionId id) const {
+  const Entry* e = Find(id);
+  if (e == nullptr) return Status::NotFound("unknown version");
+  return e->start;
+}
+
+std::optional<VersionId> IndexVersions::LatestVersion() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.back().id;
+}
+
+size_t IndexVersions::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& e : entries_) n += e.store->size();
+  return n;
+}
+
+uint64_t IndexVersions::TotalBytes() const {
+  uint64_t n = 0;
+  for (const auto& e : entries_) n += e.store->approx_bytes();
+  return n;
+}
+
+}  // namespace mind

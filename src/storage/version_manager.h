@@ -1,0 +1,77 @@
+// Daily index versions (paper §3.7).
+//
+// MIND never migrates historical data when the balanced cuts change: each
+// newly installed cut tree opens a new *version* of the index, valid from its
+// installation time. A query's time range selects the version(s) it must be
+// evaluated against.
+#ifndef MIND_STORAGE_VERSION_MANAGER_H_
+#define MIND_STORAGE_VERSION_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+#include "space/cut_tree.h"
+#include "storage/tuple_store.h"
+
+namespace mind {
+
+using VersionId = uint32_t;
+
+/// \brief The version chain of one index at one node.
+class IndexVersions {
+ public:
+  explicit IndexVersions(int code_len) : code_len_(code_len) {}
+
+  /// Opens a new version valid from `start`. Versions must be added in
+  /// increasing (id, start) order; the previous version closes at `start`.
+  Status AddVersion(VersionId id, CutTreeRef cuts, SimTime start);
+
+  /// Version in effect at time t (the last version with start <= t), or
+  /// nullptr if none.
+  TupleStore* StoreForTime(SimTime t);
+
+  /// Store of a specific version, or nullptr.
+  TupleStore* Store(VersionId id);
+  const TupleStore* Store(VersionId id) const;
+
+  /// Cut tree of a specific version, or nullptr.
+  CutTreeRef Cuts(VersionId id) const;
+
+  /// Ids of versions whose validity window [start, next_start) overlaps
+  /// [t1, t2] (inclusive); the last version is open-ended.
+  std::vector<VersionId> VersionsOverlapping(SimTime t1, SimTime t2) const;
+
+  /// Latest version id, or nullopt if none.
+  std::optional<VersionId> LatestVersion() const;
+
+  /// All versions with their validity start times, in order.
+  struct VersionInfo {
+    VersionId id;
+    SimTime start;
+  };
+  std::vector<VersionInfo> Versions() const;
+
+  /// Start time of a version; error if unknown.
+  Result<SimTime> StartOf(VersionId id) const;
+
+  size_t TotalTuples() const;
+  uint64_t TotalBytes() const;
+
+ private:
+  struct Entry {
+    VersionId id;
+    SimTime start;
+    CutTreeRef cuts;
+    std::unique_ptr<TupleStore> store;
+  };
+  const Entry* Find(VersionId id) const;
+
+  int code_len_;
+  std::vector<Entry> entries_;  // sorted by (id, start)
+};
+
+}  // namespace mind
+
+#endif  // MIND_STORAGE_VERSION_MANAGER_H_

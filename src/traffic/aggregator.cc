@@ -1,0 +1,73 @@
+#include "traffic/aggregator.h"
+
+#include "util/logging.h"
+
+namespace mind {
+
+Aggregator::Aggregator(AggregatorOptions options) : options_(options) {
+  MIND_CHECK_GT(options_.window_sec, 0.0);
+}
+
+void Aggregator::Add(const FlowRecord& f) {
+  Key key;
+  key.window = static_cast<uint64_t>(f.time_sec / options_.window_sec);
+  key.router = f.router;
+  key.src_base = IpPrefix(f.src_ip, options_.prefix_len).First();
+  key.dst_base = IpPrefix(f.dst_ip, options_.prefix_len).First();
+  Accum& acc = windows_[key];
+  acc.octets += f.bytes;
+  acc.flows += 1;
+  if (f.bytes <= options_.short_flow_bytes) acc.fanout += 1;
+  acc.dsts.insert(f.dst_ip);
+  acc.ports[f.dst_port] += 1;
+}
+
+AggregateRecord Aggregator::Finish(const Key& key, Accum& acc) const {
+  AggregateRecord rec;
+  rec.src_prefix = IpPrefix(key.src_base, options_.prefix_len);
+  rec.dst_prefix = IpPrefix(key.dst_base, options_.prefix_len);
+  rec.window_start =
+      static_cast<uint64_t>(static_cast<double>(key.window) * options_.window_sec);
+  rec.octets = acc.octets;
+  rec.fanout = acc.fanout;
+  rec.distinct_dsts = static_cast<uint32_t>(acc.dsts.size());
+  rec.flows = acc.flows;
+  rec.avg_flow_size = acc.flows > 0 ? acc.octets / acc.flows : 0;
+  uint32_t best = 0;
+  for (const auto& [port, count] : acc.ports) {
+    if (count > best || (count == best && port < rec.top_dst_port)) {
+      best = count;
+      rec.top_dst_port = port;
+    }
+  }
+  rec.router = key.router;
+  return rec;
+}
+
+std::vector<AggregateRecord> Aggregator::DrainCompleted(double time_sec) {
+  uint64_t cutoff = static_cast<uint64_t>(time_sec / options_.window_sec);
+  std::vector<AggregateRecord> out;
+  auto it = windows_.begin();
+  while (it != windows_.end() && it->first.window < cutoff) {
+    out.push_back(Finish(it->first, it->second));
+    it = windows_.erase(it);
+  }
+  return out;
+}
+
+std::vector<AggregateRecord> Aggregator::DrainAll() {
+  std::vector<AggregateRecord> out;
+  out.reserve(windows_.size());
+  for (auto& [key, acc] : windows_) out.push_back(Finish(key, acc));
+  windows_.clear();
+  return out;
+}
+
+std::vector<AggregateRecord> AggregateAll(const std::vector<FlowRecord>& flows,
+                                          AggregatorOptions options) {
+  Aggregator agg(options);
+  for (const auto& f : flows) agg.Add(f);
+  return agg.DrainAll();
+}
+
+}  // namespace mind

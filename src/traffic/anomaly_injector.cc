@@ -1,0 +1,140 @@
+#include "traffic/anomaly_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mind {
+
+const char* AnomalyTypeName(AnomalyType t) {
+  switch (t) {
+    case AnomalyType::kAlphaFlow: return "alpha-flow";
+    case AnomalyType::kDos: return "dos";
+    case AnomalyType::kPortScan: return "port-scan";
+  }
+  return "?";
+}
+
+std::vector<FlowRecord> AnomalyInjector::Generate(const AnomalyEvent& event,
+                                                  double t0_sec,
+                                                  double t1_sec) const {
+  std::vector<FlowRecord> out;
+  double lo = std::max(t0_sec, event.start_sec);
+  double hi = std::min(t1_sec, event.start_sec + event.duration_sec);
+  if (lo >= hi) return out;
+
+  const Topology& topo = generator_->topology();
+  const IpPrefix& src = generator_->prefix(event.src_prefix);
+  const IpPrefix& dst = generator_->prefix(event.dst_prefix);
+  int src_router = generator_->HomeRouter(event.src_prefix);
+  int dst_router = generator_->HomeRouter(event.dst_prefix);
+
+  uint64_t key = (static_cast<uint64_t>(event.day) << 40) ^
+                 (static_cast<uint64_t>(event.start_sec) << 16) ^
+                 (event.src_prefix << 8) ^ event.dst_prefix ^
+                 static_cast<uint64_t>(event.type);
+  Rng rng = Rng(seed_).Fork(key);
+
+  auto emit_at = [&](FlowRecord f) {
+    int observers[2] = {src_router, dst_router};
+    int n_obs = observers[0] == observers[1] ? 1 : 2;
+    for (int o = 0; o < n_obs; ++o) {
+      double p = Topology::SamplingRate(topo.router(observers[o]).backbone);
+      double keep =
+          1.0 - std::pow(1.0 - p, static_cast<double>(std::max(1u, f.packets)));
+      if (!rng.Bernoulli(keep)) continue;
+      FlowRecord obs = f;
+      obs.router = observers[o];
+      obs.bytes = static_cast<uint64_t>(
+          std::max(40.0, static_cast<double>(f.bytes) * p));
+      obs.packets = static_cast<uint32_t>(
+          std::max(1.0, static_cast<double>(f.packets) * p));
+      out.push_back(obs);
+    }
+  };
+
+  switch (event.type) {
+    case AnomalyType::kAlphaFlow: {
+      // One very large point-to-point transfer: report it once per 10 s
+      // slice so it lands in every aggregation window it spans.
+      IpAddr s = src.First() + static_cast<IpAddr>(rng.Uniform(src.Size()));
+      IpAddr d = dst.First() + static_cast<IpAddr>(rng.Uniform(dst.Size()));
+      double slice = 10.0;
+      double bytes_per_slice =
+          event.magnitude * slice / event.duration_sec;
+      for (double t = lo; t < hi; t += slice) {
+        FlowRecord f;
+        f.src_ip = s;
+        f.dst_ip = d;
+        f.src_port = 33000;
+        f.dst_port = 443;
+        f.bytes = static_cast<uint64_t>(bytes_per_slice);
+        f.packets =
+            static_cast<uint32_t>(std::max(1.0, bytes_per_slice / 1400.0));
+        f.time_sec = static_cast<double>(event.day) * 86400.0 + t +
+                     rng.UniformDouble() * slice * 0.5;
+        emit_at(f);
+      }
+      break;
+    }
+    case AnomalyType::kDos:
+    case AnomalyType::kPortScan: {
+      // Probe floods: rather than iterating millions of raw packets, draw
+      // the number of *sampled* records per observer directly
+      // (Poisson(raw_rate * duration * sampling_rate)).
+      const bool is_dos = event.type == AnomalyType::kDos;
+      const bool distributed = is_dos && event.distributed;
+      IpAddr victim = dst.First() + static_cast<IpAddr>(rng.Uniform(dst.Size()));
+      IpAddr scanner = src.First() + static_cast<IpAddr>(rng.Uniform(src.Size()));
+      int observers[2] = {src_router, dst_router};
+      int n_obs = observers[0] == observers[1] ? 1 : 2;
+      if (distributed) {
+        // Sources are everywhere; the victim's home router sees the flood.
+        observers[0] = dst_router;
+        n_obs = 1;
+      }
+      for (int o = 0; o < n_obs; ++o) {
+        int router = observers[o];
+        double p = Topology::SamplingRate(topo.router(router).backbone);
+        uint64_t k = rng.Poisson(event.magnitude * (hi - lo) * p);
+        for (uint64_t i = 0; i < k; ++i) {
+          FlowRecord f;
+          if (is_dos) {
+            // Many spoofed sources, one victim.
+            if (distributed) {
+              const IpPrefix& sp = generator_->prefix(
+                  rng.Uniform(generator_->prefix_count()));
+              f.src_ip =
+                  sp.First() + static_cast<IpAddr>(rng.Uniform(sp.Size()));
+            } else {
+              f.src_ip =
+                  src.First() + static_cast<IpAddr>(rng.Uniform(src.Size()));
+            }
+            f.dst_ip = victim;
+            f.dst_port = 80;
+          } else {
+            // One scanner, many probed hosts.
+            f.src_ip = scanner;
+            f.dst_ip = dst.First() + static_cast<IpAddr>(rng.Uniform(dst.Size()));
+            f.dst_port = static_cast<uint16_t>(rng.Bernoulli(0.5) ? 3306 : 445);
+          }
+          f.src_port = static_cast<uint16_t>(1024 + rng.Uniform(64512));
+          f.bytes = 40;
+          f.packets = 1;
+          f.time_sec = static_cast<double>(event.day) * 86400.0 + lo +
+                       rng.UniformDouble() * (hi - lo);
+          f.router = router;
+          out.push_back(f);
+        }
+      }
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const FlowRecord& a, const FlowRecord& b) {
+    return a.time_sec < b.time_sec;
+  });
+  return out;
+}
+
+}  // namespace mind

@@ -1,0 +1,58 @@
+// Injects the three anomaly classes of the paper's §5 experiment (alpha
+// flows, DoS attacks, port scans) into the synthetic trace, replacing the
+// Lakhina et al. Abilene anomalies of December 18, 2003.
+#ifndef MIND_TRAFFIC_ANOMALY_INJECTOR_H_
+#define MIND_TRAFFIC_ANOMALY_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "traffic/flow.h"
+#include "traffic/flow_generator.h"
+
+namespace mind {
+
+enum class AnomalyType { kAlphaFlow, kDos, kPortScan };
+
+const char* AnomalyTypeName(AnomalyType t);
+
+struct AnomalyEvent {
+  AnomalyType type = AnomalyType::kAlphaFlow;
+  int day = 0;
+  double start_sec = 0;       // within the day
+  double duration_sec = 120;  // anomaly length
+  size_t src_prefix = 0;      // index into the generator's prefix universe
+  size_t dst_prefix = 0;
+  /// Alpha flow: raw bytes transferred. DoS: flood packets per second.
+  /// Port scan: probed hosts per second.
+  double magnitude = 0;
+  /// DoS only: when true the flood is *distributed* — spoofed sources span
+  /// the whole prefix universe, so aggregation yields one record per source
+  /// prefix per window, all destined for the victim's region (a storage and
+  /// routing hotspot); observed at the victim's home router.
+  bool distributed = false;
+};
+
+/// \brief Produces the extra raw flow records an anomaly adds to the trace.
+///
+/// Like legitimate traffic, anomalous flows are observed (with sampling) at
+/// the source's and destination's home routers — so the query result's
+/// origin set identifies the monitors on the anomaly's path (§5).
+class AnomalyInjector {
+ public:
+  explicit AnomalyInjector(const FlowGenerator* generator, uint64_t seed = 0xbad)
+      : generator_(generator), seed_(seed) {}
+
+  /// Records the event contributes within [t0_sec, t1_sec) of event.day
+  /// (times within the day).
+  std::vector<FlowRecord> Generate(const AnomalyEvent& event, double t0_sec,
+                                   double t1_sec) const;
+
+ private:
+  const FlowGenerator* generator_;
+  uint64_t seed_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_TRAFFIC_ANOMALY_INJECTOR_H_

@@ -1,0 +1,54 @@
+// Raw (sampled NetFlow-style) flow records and the aggregated records MIND
+// indexes (paper §2.2, §4.1).
+#ifndef MIND_TRAFFIC_FLOW_H_
+#define MIND_TRAFFIC_FLOW_H_
+
+#include <cstdint>
+
+#include "util/ip.h"
+
+namespace mind {
+
+/// One sampled NetFlow record as exported by a backbone router.
+struct FlowRecord {
+  IpAddr src_ip = 0;
+  IpAddr dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  /// Bytes reported by the router (post-sampling estimate).
+  uint64_t bytes = 0;
+  uint32_t packets = 0;
+  /// Observation time in seconds since the trace epoch (day * 86400 + tod).
+  double time_sec = 0;
+  /// Observing router (monitor) index in the topology.
+  int router = -1;
+};
+
+/// One aggregated record: traffic between a source and destination prefix in
+/// one time window at one monitor. Aggregation (30 s windows) plus threshold
+/// filtering reduces record volume by ~2 orders of magnitude (Figure 1).
+struct AggregateRecord {
+  IpPrefix src_prefix;
+  IpPrefix dst_prefix;
+  /// Window start, seconds since trace epoch.
+  uint64_t window_start = 0;
+  /// Total bytes in the window.
+  uint64_t octets = 0;
+  /// Short connection attempts in the window (the paper's Index-1 fanout:
+  /// scan probes and DoS floods both drive it up).
+  uint32_t fanout = 0;
+  /// Distinct destination hosts contacted.
+  uint32_t distinct_dsts = 0;
+  /// Number of flows aggregated.
+  uint32_t flows = 0;
+  /// Average bytes per flow (the paper's Index-3 flow_size).
+  uint64_t avg_flow_size = 0;
+  /// Most frequent destination port in the window.
+  uint16_t top_dst_port = 0;
+  /// Observing monitor.
+  int router = -1;
+};
+
+}  // namespace mind
+
+#endif  // MIND_TRAFFIC_FLOW_H_

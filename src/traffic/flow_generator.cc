@@ -1,0 +1,239 @@
+#include "traffic/flow_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mind {
+
+FlowGenerator::FlowGenerator(const Topology& topology,
+                             FlowGeneratorOptions options)
+    : topology_(topology),
+      options_(options),
+      popularity_(static_cast<size_t>(topology.size()) *
+                      static_cast<size_t>(options.prefixes_per_router),
+                  options.popularity_exponent),
+      diurnal_(options.diurnal_floor),
+      common_ports_({80, 443, 25, 53, 110, 143, 22, 21, 3306, 8080, 6881,
+                     1433, 135, 445, 139}),
+      port_popularity_(15, 1.2) {
+  MIND_CHECK_GE(options.prefixes_per_router, 1);
+  size_t n = topology.size() * static_cast<size_t>(options.prefixes_per_router);
+  prefixes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Customer /16s spread across the routable space (as real allocations
+    // are): a coarse histogram over the dst_prefix dimension must be able to
+    // tell customers apart, or no embedding could balance it.
+    IpAddr a = 10u + static_cast<IpAddr>((i * 37) % 180);
+    IpAddr b = static_cast<IpAddr>((i * 151) % 256);
+    prefixes_.emplace_back((a << 24) | (b << 16), options.prefix_len);
+  }
+}
+
+bool FlowGenerator::InHotSet(size_t prefix_idx, int hour) const {
+  // ~5% of prefixes are "hot" each hour; the set is keyed by hour alone so
+  // the same diurnal mixture repeats every day (Figure 3's stationarity).
+  uint64_t h = (prefix_idx * 0x9E3779B97F4A7C15ull) ^
+               (static_cast<uint64_t>(hour) * 0x85EBCA6B0ull) ^ options_.seed;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return (h % 100) < 5;
+}
+
+const std::vector<size_t>& FlowGenerator::DayPermutation(int day) {
+  MIND_CHECK_GE(day, 0);
+  while (static_cast<int>(day_perms_.size()) <= day) {
+    if (day_perms_.empty()) {
+      // Day 0: a fixed random assignment of prefixes to popularity ranks.
+      std::vector<size_t> perm(prefixes_.size());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      Rng rng = Rng(options_.seed).Fork(0xDA40);
+      rng.Shuffle(&perm);
+      day_perms_.push_back(std::move(perm));
+    } else {
+      // Next day: bounded drift — a few random rank transpositions.
+      std::vector<size_t> perm = day_perms_.back();
+      Rng rng = Rng(options_.seed).Fork(0xDA41 + day_perms_.size());
+      size_t swaps = static_cast<size_t>(
+          options_.day_drift * static_cast<double>(perm.size()));
+      for (size_t s = 0; s < swaps; ++s) {
+        size_t a = rng.Uniform(perm.size());
+        size_t b = rng.Uniform(perm.size());
+        std::swap(perm[a], perm[b]);
+      }
+      day_perms_.push_back(std::move(perm));
+    }
+  }
+  return day_perms_[day];
+}
+
+size_t FlowGenerator::RankOnDay(int day, size_t prefix_idx) {
+  const auto& perm = DayPermutation(day);
+  for (size_t rank = 0; rank < perm.size(); ++rank) {
+    if (perm[rank] == prefix_idx) return rank;
+  }
+  MIND_LOG(Fatal) << "prefix index out of range";
+  return 0;
+}
+
+double FlowGenerator::HourNoise(int day, int router, int hour) {
+  // Deterministic per-(day, router, hour) log-normal multiplier.
+  uint64_t key = (static_cast<uint64_t>(day) << 32) ^
+                 (static_cast<uint64_t>(router) << 8) ^
+                 static_cast<uint64_t>(hour);
+  Rng rng = Rng(options_.seed).Fork(0xA0153 ^ key);
+  return rng.LogNormal(0.0, options_.hour_noise_sigma);
+}
+
+void FlowGenerator::Generate(
+    int day, double t0_sec, double t1_sec,
+    const std::function<void(const FlowRecord&)>& emit) {
+  MIND_CHECK(t0_sec >= 0 && t1_sec <= 86400.0 && t0_sec <= t1_sec);
+  const auto& perm = DayPermutation(day);
+  uint64_t window_key = (static_cast<uint64_t>(day) << 20) ^
+                        (static_cast<uint64_t>(t0_sec * 16));
+  Rng rng = Rng(options_.seed).Fork(0xF70 ^ window_key);
+
+  // Generate flow arrivals router by router (arrivals are attributed to the
+  // source prefix's home router; the destination's home router observes the
+  // same flow too).
+  const size_t n_routers = topology_.size();
+  for (size_t r = 0; r < n_routers; ++r) {
+    double rate = options_.peak_flows_per_router_sec;
+    double t = t0_sec;
+    while (t < t1_sec) {
+      int hour = static_cast<int>(t / 3600.0);
+      double level = diurnal_.At(t) * HourNoise(day, static_cast<int>(r), hour);
+      double lambda = std::max(1e-6, rate * level);
+      t += rng.Exponential(lambda);
+      if (t >= t1_sec) break;
+
+      // Source prefix: a prefix homed at router r, biased by popularity.
+      // Sample global ranks until one homed here (bounded retries), else
+      // pick a uniform local prefix.
+      size_t src_idx = prefixes_.size();
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        size_t candidate = perm[popularity_.Sample(&rng)];
+        if (HomeRouter(candidate) == static_cast<int>(r)) {
+          src_idx = candidate;
+          break;
+        }
+      }
+      if (src_idx == prefixes_.size()) {
+        src_idx = r + n_routers * rng.Uniform(
+                          static_cast<uint64_t>(options_.prefixes_per_router));
+      }
+      // Destination prefix: half the traffic follows the hour's hot set
+      // (the mixture that shifts hour-to-hour but repeats day-to-day), the
+      // rest is popularity-weighted over the whole universe (gravity model).
+      size_t dst_idx;
+      if (rng.Bernoulli(options_.hot_set_fraction)) {
+        size_t pick = rng.Uniform(prefixes_.size());
+        for (size_t probe = 0; probe < prefixes_.size(); ++probe) {
+          size_t candidate = (pick + probe) % prefixes_.size();
+          if (InHotSet(candidate, hour)) {
+            pick = candidate;
+            break;
+          }
+        }
+        dst_idx = pick;
+      } else {
+        dst_idx = perm[popularity_.Sample(&rng)];
+      }
+
+      FlowRecord f;
+      f.src_ip = prefixes_[src_idx].First() +
+                 static_cast<IpAddr>(rng.Uniform(prefixes_[src_idx].Size()));
+      f.dst_ip = prefixes_[dst_idx].First() +
+                 static_cast<IpAddr>(rng.Uniform(prefixes_[dst_idx].Size()));
+      f.src_port = static_cast<uint16_t>(1024 + rng.Uniform(64512));
+      f.dst_port = common_ports_[port_popularity_.Sample(&rng)];
+      bool short_flow = rng.Bernoulli(options_.short_flow_fraction);
+      double raw_bytes;
+      if (short_flow) {
+        raw_bytes = 40.0 + rng.UniformDouble() * 400.0;
+      } else if (rng.Bernoulli(options_.elephant_fraction)) {
+        // Bulk transfers: the alpha-flow population of Index-2. (Capped at
+        // what fits in one reporting window; larger transfers span windows.)
+        raw_bytes = std::min(5.0e8, rng.Pareto(options_.elephant_scale, 1.1));
+      } else {
+        raw_bytes = std::min(5.0e8, rng.Pareto(options_.flow_bytes_scale,
+                                               options_.flow_bytes_shape));
+      }
+      uint32_t raw_packets = static_cast<uint32_t>(
+          std::max(1.0, raw_bytes / 700.0));
+      f.time_sec = static_cast<double>(day) * 86400.0 + t;
+
+      // The flow is observed (subject to per-network packet sampling) at the
+      // source's and the destination's home routers.
+      int observers[2] = {static_cast<int>(r), HomeRouter(dst_idx)};
+      int n_obs = observers[0] == observers[1] ? 1 : 2;
+      for (int o = 0; o < n_obs; ++o) {
+        int router = observers[o];
+        double p = Topology::SamplingRate(topology_.router(router).backbone);
+        double keep = 1.0 - std::pow(1.0 - p, static_cast<double>(raw_packets));
+        if (!rng.Bernoulli(keep)) continue;
+        FlowRecord obs = f;
+        obs.router = router;
+        // NetFlow with sampling reports the sampled volume.
+        obs.bytes = static_cast<uint64_t>(std::max(40.0, raw_bytes * p));
+        obs.packets = static_cast<uint32_t>(
+            std::max(1.0, static_cast<double>(raw_packets) * p));
+        emit(obs);
+      }
+    }
+
+    // Endemic background scanning from this router's customers (worm and
+    // scan noise): bursts of tiny probes toward one destination prefix.
+    double expected_scans =
+        options_.scans_per_router_hour * (t1_sec - t0_sec) / 3600.0;
+    uint64_t n_scans = rng.Poisson(expected_scans);
+    for (uint64_t s = 0; s < n_scans; ++s) {
+      double t_start = t0_sec + rng.UniformDouble() * (t1_sec - t0_sec);
+      double t_end = std::min(t1_sec, t_start + 5.0 + rng.UniformDouble() * 25.0);
+      size_t src_idx =
+          r + n_routers * rng.Uniform(
+                  static_cast<uint64_t>(options_.prefixes_per_router));
+      size_t dst_idx = rng.Uniform(prefixes_.size());
+      IpAddr scanner = prefixes_[src_idx].First() +
+                       static_cast<IpAddr>(rng.Uniform(prefixes_[src_idx].Size()));
+      double raw_probes = std::clamp(
+          options_.scan_probes_scale * rng.Pareto(1.0, 1.3), 100.0, 200000.0);
+      uint16_t port = rng.Bernoulli(0.5) ? 445 : 3306;
+
+      int observers[2] = {static_cast<int>(r), HomeRouter(dst_idx)};
+      int n_obs = observers[0] == observers[1] ? 1 : 2;
+      for (int o = 0; o < n_obs; ++o) {
+        int router = observers[o];
+        double p = Topology::SamplingRate(topology_.router(router).backbone);
+        uint64_t k = rng.Poisson(raw_probes * p);
+        for (uint64_t i = 0; i < k; ++i) {
+          FlowRecord f;
+          f.src_ip = scanner;
+          f.dst_ip = prefixes_[dst_idx].First() +
+                     static_cast<IpAddr>(rng.Uniform(prefixes_[dst_idx].Size()));
+          f.src_port = 40000;
+          f.dst_port = port;
+          f.bytes = 40 + rng.Uniform(20);
+          f.packets = 1;
+          f.time_sec = static_cast<double>(day) * 86400.0 + t_start +
+                       rng.UniformDouble() * (t_end - t_start);
+          f.router = router;
+          emit(f);
+        }
+      }
+    }
+  }
+}
+
+std::vector<FlowRecord> FlowGenerator::GenerateVec(int day, double t0_sec,
+                                                   double t1_sec) {
+  std::vector<FlowRecord> out;
+  Generate(day, t0_sec, t1_sec,
+           [&out](const FlowRecord& f) { out.push_back(f); });
+  return out;
+}
+
+}  // namespace mind

@@ -1,0 +1,84 @@
+#include "traffic/indices.h"
+
+#include <algorithm>
+
+namespace mind {
+
+namespace {
+Value Clamp(uint64_t v, uint64_t max) { return std::min<uint64_t>(v, max); }
+}  // namespace
+
+IndexDef MakeIndex1(const PaperIndexOptions& opts) {
+  IndexDef def;
+  def.name = "index1_fanout";
+  def.schema = Schema({{"dst_prefix", 0, 0xFFFFFFFFull},
+                       {"timestamp", 0, opts.max_time_sec},
+                       {"fanout", 0, opts.index1_max_fanout}});
+  def.carried = {"src_prefix", "node"};
+  def.time_attr = 1;
+  return def;
+}
+
+IndexDef MakeIndex2(const PaperIndexOptions& opts) {
+  IndexDef def;
+  def.name = "index2_octets";
+  def.schema = Schema({{"dst_prefix", 0, 0xFFFFFFFFull},
+                       {"timestamp", 0, opts.max_time_sec},
+                       {"octets", 0, opts.index2_max_octets}});
+  def.carried = {"src_prefix", "node"};
+  def.time_attr = 1;
+  return def;
+}
+
+IndexDef MakeIndex3(const PaperIndexOptions& opts) {
+  IndexDef def;
+  def.name = "index3_flowsize";
+  def.schema = Schema({{"dst_prefix", 0, 0xFFFFFFFFull},
+                       {"timestamp", 0, opts.max_time_sec},
+                       {"flow_size", 0, opts.index3_max_flow_size}});
+  def.carried = {"src_prefix", "dst_port", "node"};
+  def.time_attr = 1;
+  return def;
+}
+
+std::optional<Tuple> ToIndex1Tuple(const AggregateRecord& rec, uint64_t seq,
+                                   const PaperIndexOptions& opts) {
+  if (rec.fanout < opts.index1_min_fanout) return std::nullopt;
+  Tuple t;
+  t.point = {rec.dst_prefix.First(), rec.window_start,
+             Clamp(rec.fanout, opts.index1_max_fanout)};
+  t.extra = {rec.src_prefix.First(), static_cast<Value>(rec.router)};
+  t.origin = rec.router;
+  t.seq = seq;
+  return t;
+}
+
+std::optional<Tuple> ToIndex2Tuple(const AggregateRecord& rec, uint64_t seq,
+                                   const PaperIndexOptions& opts) {
+  if (rec.octets < opts.index2_min_octets) return std::nullopt;
+  Tuple t;
+  t.point = {rec.dst_prefix.First(), rec.window_start,
+             Clamp(rec.octets, opts.index2_max_octets)};
+  t.extra = {rec.src_prefix.First(), static_cast<Value>(rec.router)};
+  t.origin = rec.router;
+  t.seq = seq;
+  return t;
+}
+
+std::optional<Tuple> ToIndex3Tuple(const AggregateRecord& rec, uint64_t seq,
+                                   const PaperIndexOptions& opts) {
+  if (rec.avg_flow_size < opts.index3_min_flow_size ||
+      rec.flows < opts.index3_min_flows) {
+    return std::nullopt;
+  }
+  Tuple t;
+  t.point = {rec.dst_prefix.First(), rec.window_start,
+             Clamp(rec.avg_flow_size, opts.index3_max_flow_size)};
+  t.extra = {rec.src_prefix.First(), static_cast<Value>(rec.top_dst_port),
+             static_cast<Value>(rec.router)};
+  t.origin = rec.router;
+  t.seq = seq;
+  return t;
+}
+
+}  // namespace mind

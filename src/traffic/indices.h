@@ -1,0 +1,58 @@
+// The three network-monitoring indices of the paper's evaluation (§4.1) and
+// the aggregate-record -> tuple conversions with their filtering thresholds.
+//
+//   Index-1 (dst_prefix, timestamp, fanout | src_prefix, node):
+//       port scans / DoS ("sources that attempted to connect to more than F
+//       hosts in destination prefix D within T"). Filter: fanout >= 16.
+//   Index-2 (dst_prefix, timestamp, octets | src_prefix, node):
+//       alpha flows ("flows destined for D carrying at least O octets within
+//       T"). Filter: octets >= 80 KB.
+//   Index-3 (dst_prefix, timestamp, flow_size | src_prefix, dst_port, node):
+//       applications hiding on well-known ports / tunnels. Filter:
+//       avg flow size >= 1.5 KB.
+//
+// Attribute upper bounds follow the paper's footnote (5024, 2 MB, 128 KB —
+// exceeded by <0.1% of tuples; larger values clamp to the top of the range).
+#ifndef MIND_TRAFFIC_INDICES_H_
+#define MIND_TRAFFIC_INDICES_H_
+
+#include <optional>
+
+#include "mind/index_def.h"
+#include "storage/tuple.h"
+#include "traffic/flow.h"
+
+namespace mind {
+
+struct PaperIndexOptions {
+  /// Trace horizon for the timestamp domain, in seconds.
+  uint64_t max_time_sec = 14 * 86400;
+  uint32_t index1_min_fanout = 16;
+  uint64_t index2_min_octets = 80 * 1024;
+  uint64_t index3_min_flow_size = 1536;
+  /// Index-3 tracks per-connection averages of traffic *aggregates*; a
+  /// singleton flow is not an aggregate pattern.
+  uint32_t index3_min_flows = 2;
+  uint32_t index1_max_fanout = 5024;
+  uint64_t index2_max_octets = 2 * 1024 * 1024;
+  uint64_t index3_max_flow_size = 128 * 1024;
+};
+
+/// Definitions of the paper's three indices.
+IndexDef MakeIndex1(const PaperIndexOptions& opts = {});
+IndexDef MakeIndex2(const PaperIndexOptions& opts = {});
+IndexDef MakeIndex3(const PaperIndexOptions& opts = {});
+
+/// Conversions; nullopt when the record is filtered out (below threshold).
+/// `seq` must be unique per (record origin). The observing monitor is
+/// carried both as Tuple::origin and as the trailing carried attribute.
+std::optional<Tuple> ToIndex1Tuple(const AggregateRecord& rec, uint64_t seq,
+                                   const PaperIndexOptions& opts = {});
+std::optional<Tuple> ToIndex2Tuple(const AggregateRecord& rec, uint64_t seq,
+                                   const PaperIndexOptions& opts = {});
+std::optional<Tuple> ToIndex3Tuple(const AggregateRecord& rec, uint64_t seq,
+                                   const PaperIndexOptions& opts = {});
+
+}  // namespace mind
+
+#endif  // MIND_TRAFFIC_INDICES_H_

@@ -1,0 +1,72 @@
+#include "traffic/topology.h"
+
+namespace mind {
+
+Topology Topology::Abilene() {
+  // The 11 Abilene backbone routers, 2004 (names as in the paper's §5 DoS
+  // path listings).
+  return Topology({
+      {"STTL", "Seattle", Backbone::kAbilene, {47.61, -122.33}},
+      {"SNVA", "Sunnyvale", Backbone::kAbilene, {37.37, -122.04}},
+      {"LOSA", "Los Angeles", Backbone::kAbilene, {34.05, -118.24}},
+      {"DNVR", "Denver", Backbone::kAbilene, {39.74, -104.99}},
+      {"KSCY", "Kansas City", Backbone::kAbilene, {39.10, -94.58}},
+      {"HSTN", "Houston", Backbone::kAbilene, {29.76, -95.37}},
+      {"CHIN", "Chicago", Backbone::kAbilene, {41.88, -87.63}},
+      {"IPLS", "Indianapolis", Backbone::kAbilene, {39.77, -86.16}},
+      {"ATLA", "Atlanta", Backbone::kAbilene, {33.75, -84.39}},
+      {"WASH", "Washington DC", Backbone::kAbilene, {38.91, -77.04}},
+      {"NYCM", "New York", Backbone::kAbilene, {40.71, -74.01}},
+  });
+}
+
+Topology Topology::Geant() {
+  // 23 GÉANT PoPs circa 2004.
+  return Topology({
+      {"AT", "Vienna", Backbone::kGeant, {48.21, 16.37}},
+      {"BE", "Brussels", Backbone::kGeant, {50.85, 4.35}},
+      {"CH", "Geneva", Backbone::kGeant, {46.20, 6.14}},
+      {"CY", "Nicosia", Backbone::kGeant, {35.19, 33.38}},
+      {"CZ", "Prague", Backbone::kGeant, {50.09, 14.42}},
+      {"DE", "Frankfurt", Backbone::kGeant, {50.11, 8.68}},
+      {"DK", "Copenhagen", Backbone::kGeant, {55.68, 12.57}},
+      {"ES", "Madrid", Backbone::kGeant, {40.42, -3.70}},
+      {"FR", "Paris", Backbone::kGeant, {48.86, 2.35}},
+      {"GR", "Athens", Backbone::kGeant, {37.98, 23.73}},
+      {"HR", "Zagreb", Backbone::kGeant, {45.81, 15.98}},
+      {"HU", "Budapest", Backbone::kGeant, {47.50, 19.04}},
+      {"IE", "Dublin", Backbone::kGeant, {53.35, -6.26}},
+      {"IL", "Tel Aviv", Backbone::kGeant, {32.07, 34.78}},
+      {"IT", "Milan", Backbone::kGeant, {45.46, 9.19}},
+      {"LU", "Luxembourg", Backbone::kGeant, {49.61, 6.13}},
+      {"NL", "Amsterdam", Backbone::kGeant, {52.37, 4.90}},
+      {"PL", "Poznan", Backbone::kGeant, {52.41, 16.93}},
+      {"PT", "Lisbon", Backbone::kGeant, {38.72, -9.14}},
+      {"SE", "Stockholm", Backbone::kGeant, {59.33, 18.07}},
+      {"SI", "Ljubljana", Backbone::kGeant, {46.06, 14.51}},
+      {"SK", "Bratislava", Backbone::kGeant, {48.15, 17.11}},
+      {"UK", "London", Backbone::kGeant, {51.51, -0.13}},
+  });
+}
+
+Topology Topology::AbileneGeant() {
+  std::vector<RouterInfo> routers = Abilene().routers_;
+  for (const auto& r : Geant().routers_) routers.push_back(r);
+  return Topology(std::move(routers));
+}
+
+int Topology::FindRouter(const std::string& name) const {
+  for (size_t i = 0; i < routers_.size(); ++i) {
+    if (routers_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<GeoPoint> Topology::Positions() const {
+  std::vector<GeoPoint> out;
+  out.reserve(routers_.size());
+  for (const auto& r : routers_) out.push_back(r.position);
+  return out;
+}
+
+}  // namespace mind

@@ -1,0 +1,59 @@
+// Backbone topologies: the 11 Abilene routers and 23 GÉANT PoPs (2004-era),
+// with real city coordinates. These drive both the geographic latency model
+// of the simulated deployment (the paper placed PlanetLab nodes to match
+// router locations, §4.2) and prefix-to-router homing in the traffic
+// generator.
+#ifndef MIND_TRAFFIC_TOPOLOGY_H_
+#define MIND_TRAFFIC_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace mind {
+
+enum class Backbone { kAbilene, kGeant };
+
+struct RouterInfo {
+  std::string name;   // Abilene router code or GÉANT PoP city
+  std::string city;
+  Backbone backbone;
+  GeoPoint position;
+};
+
+/// \brief A set of backbone routers (monitor locations).
+class Topology {
+ public:
+  /// The 11 Abilene backbone routers (2004).
+  static Topology Abilene();
+  /// 23 GÉANT points of presence (2004).
+  static Topology Geant();
+  /// Abilene + GÉANT: the 34-node deployment of the baseline experiment.
+  static Topology AbileneGeant();
+
+  size_t size() const { return routers_.size(); }
+  const RouterInfo& router(size_t i) const { return routers_[i]; }
+  const std::vector<RouterInfo>& routers() const { return routers_; }
+
+  /// Index of the router with the given name, or -1.
+  int FindRouter(const std::string& name) const;
+
+  /// Geographic positions in router order (feed to MindNetOptions).
+  std::vector<GeoPoint> Positions() const;
+
+  /// Packet sampling rate applied by this router's NetFlow config
+  /// (1/100 on Abilene, 1/1000 on GÉANT; §4.2).
+  static double SamplingRate(Backbone b) {
+    return b == Backbone::kAbilene ? 1.0 / 100 : 1.0 / 1000;
+  }
+
+ private:
+  explicit Topology(std::vector<RouterInfo> routers)
+      : routers_(std::move(routers)) {}
+  std::vector<RouterInfo> routers_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_TRAFFIC_TOPOLOGY_H_

@@ -1,0 +1,149 @@
+#include "traffic/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace mind {
+
+namespace {
+
+constexpr char kFlowHeader[] =
+    "src_ip,dst_ip,src_port,dst_port,bytes,packets,time_sec,router";
+constexpr char kAggrHeader[] =
+    "src_prefix,dst_prefix,window_start,octets,fanout,distinct_dsts,flows,"
+    "avg_flow_size,top_dst_port,router";
+
+Result<std::vector<std::string>> SplitFields(const std::string& line,
+                                             size_t expect) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  if (fields.size() != expect) {
+    return Status::InvalidArgument("expected " + std::to_string(expect) +
+                                   " fields, got " +
+                                   std::to_string(fields.size()) + ": " + line);
+  }
+  return fields;
+}
+
+Result<uint64_t> ParseU64(const std::string& s) {
+  try {
+    size_t pos = 0;
+    uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) return Status::InvalidArgument("bad integer: " + s);
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("bad integer: " + s);
+  }
+}
+
+Result<double> ParseF64(const std::string& s) {
+  try {
+    size_t pos = 0;
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) return Status::InvalidArgument("bad number: " + s);
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("bad number: " + s);
+  }
+}
+
+}  // namespace
+
+Status WriteFlowsCsv(std::ostream& out, const std::vector<FlowRecord>& flows) {
+  out << kFlowHeader << "\n";
+  out << std::setprecision(15);  // sub-millisecond timestamps survive the trip
+  for (const auto& f : flows) {
+    out << IpToString(f.src_ip) << ',' << IpToString(f.dst_ip) << ','
+        << f.src_port << ',' << f.dst_port << ',' << f.bytes << ','
+        << f.packets << ',' << f.time_sec << ',' << f.router << "\n";
+  }
+  if (!out.good()) return Status::Internal("flow CSV write failed");
+  return Status::OK();
+}
+
+Result<std::vector<FlowRecord>> ReadFlowsCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind(kFlowHeader, 0) != 0) {
+    return Status::InvalidArgument("missing flow CSV header");
+  }
+  std::vector<FlowRecord> out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    MIND_ASSIGN_OR_RETURN(auto fields, SplitFields(line, 8));
+    FlowRecord f;
+    MIND_ASSIGN_OR_RETURN(f.src_ip, ParseIp(fields[0]));
+    MIND_ASSIGN_OR_RETURN(f.dst_ip, ParseIp(fields[1]));
+    MIND_ASSIGN_OR_RETURN(uint64_t sp, ParseU64(fields[2]));
+    MIND_ASSIGN_OR_RETURN(uint64_t dp, ParseU64(fields[3]));
+    if (sp > 65535 || dp > 65535) {
+      return Status::InvalidArgument("port out of range: " + line);
+    }
+    f.src_port = static_cast<uint16_t>(sp);
+    f.dst_port = static_cast<uint16_t>(dp);
+    MIND_ASSIGN_OR_RETURN(f.bytes, ParseU64(fields[4]));
+    MIND_ASSIGN_OR_RETURN(uint64_t pk, ParseU64(fields[5]));
+    f.packets = static_cast<uint32_t>(pk);
+    MIND_ASSIGN_OR_RETURN(f.time_sec, ParseF64(fields[6]));
+    MIND_ASSIGN_OR_RETURN(uint64_t r, ParseU64(fields[7]));
+    f.router = static_cast<int>(r);
+    out.push_back(f);
+  }
+  return out;
+}
+
+Status WriteAggregatesCsv(std::ostream& out,
+                          const std::vector<AggregateRecord>& aggregates) {
+  out << kAggrHeader << "\n";
+  for (const auto& a : aggregates) {
+    out << a.src_prefix.ToString() << ',' << a.dst_prefix.ToString() << ','
+        << a.window_start << ',' << a.octets << ',' << a.fanout << ','
+        << a.distinct_dsts << ',' << a.flows << ',' << a.avg_flow_size << ','
+        << a.top_dst_port << ',' << a.router << "\n";
+  }
+  if (!out.good()) return Status::Internal("aggregate CSV write failed");
+  return Status::OK();
+}
+
+Result<std::vector<AggregateRecord>> ReadAggregatesCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind(kAggrHeader, 0) != 0) {
+    return Status::InvalidArgument("missing aggregate CSV header");
+  }
+  std::vector<AggregateRecord> out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    MIND_ASSIGN_OR_RETURN(auto fields, SplitFields(line, 10));
+    AggregateRecord a;
+    MIND_ASSIGN_OR_RETURN(a.src_prefix, IpPrefix::Parse(fields[0]));
+    MIND_ASSIGN_OR_RETURN(a.dst_prefix, IpPrefix::Parse(fields[1]));
+    MIND_ASSIGN_OR_RETURN(a.window_start, ParseU64(fields[2]));
+    MIND_ASSIGN_OR_RETURN(a.octets, ParseU64(fields[3]));
+    MIND_ASSIGN_OR_RETURN(uint64_t fo, ParseU64(fields[4]));
+    a.fanout = static_cast<uint32_t>(fo);
+    MIND_ASSIGN_OR_RETURN(uint64_t dd, ParseU64(fields[5]));
+    a.distinct_dsts = static_cast<uint32_t>(dd);
+    MIND_ASSIGN_OR_RETURN(uint64_t fl, ParseU64(fields[6]));
+    a.flows = static_cast<uint32_t>(fl);
+    MIND_ASSIGN_OR_RETURN(a.avg_flow_size, ParseU64(fields[7]));
+    MIND_ASSIGN_OR_RETURN(uint64_t tp, ParseU64(fields[8]));
+    a.top_dst_port = static_cast<uint16_t>(tp);
+    MIND_ASSIGN_OR_RETURN(uint64_t r, ParseU64(fields[9]));
+    a.router = static_cast<int>(r);
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace mind

@@ -1,0 +1,35 @@
+// CSV import/export of raw flow records and aggregate records, so generated
+// traces can be persisted, inspected with standard tools, or replaced by
+// real NetFlow exports converted to the same format.
+//
+// Formats (one record per line, header row included):
+//   flows:      src_ip,dst_ip,src_port,dst_port,bytes,packets,time_sec,router
+//   aggregates: src_prefix,dst_prefix,window_start,octets,fanout,
+//               distinct_dsts,flows,avg_flow_size,top_dst_port,router
+#ifndef MIND_TRAFFIC_TRACE_IO_H_
+#define MIND_TRAFFIC_TRACE_IO_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "traffic/flow.h"
+#include "util/status.h"
+
+namespace mind {
+
+/// Writes raw flow records as CSV.
+Status WriteFlowsCsv(std::ostream& out, const std::vector<FlowRecord>& flows);
+
+/// Reads raw flow records from CSV (header required).
+Result<std::vector<FlowRecord>> ReadFlowsCsv(std::istream& in);
+
+/// Writes aggregate records as CSV.
+Status WriteAggregatesCsv(std::ostream& out,
+                          const std::vector<AggregateRecord>& aggregates);
+
+/// Reads aggregate records from CSV (header required).
+Result<std::vector<AggregateRecord>> ReadAggregatesCsv(std::istream& in);
+
+}  // namespace mind
+
+#endif  // MIND_TRAFFIC_TRACE_IO_H_

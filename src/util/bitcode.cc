@@ -1,0 +1,51 @@
+#include "util/bitcode.h"
+
+#include <bit>
+
+namespace mind {
+
+BitCode BitCode::FromBits(uint64_t bits, int len) {
+  MIND_CHECK(len >= 0 && len <= kMaxLen);
+  BitCode c;
+  c.len_ = len;
+  c.bits_ = (len == 0) ? 0 : (len == 64 ? bits : (bits & ((uint64_t{1} << len) - 1)));
+  return c;
+}
+
+BitCode BitCode::FromString(const std::string& s) {
+  BitCode c;
+  for (char ch : s) {
+    MIND_CHECK(ch == '0' || ch == '1') << "bad bit char '" << ch << "'";
+    c.PushBack(ch - '0');
+  }
+  return c;
+}
+
+int BitCode::CommonPrefixLen(const BitCode& other) const {
+  int min_len = std::min(len_, other.len_);
+  if (min_len == 0) return 0;
+  // Left-align both codes in 64 bits, XOR, count leading zeros.
+  uint64_t a = bits_ << (kMaxLen - len_);
+  uint64_t b = other.bits_ << (kMaxLen - other.len_);
+  uint64_t x = a ^ b;
+  int lz = (x == 0) ? kMaxLen : std::countl_zero(x);
+  return std::min(lz, min_len);
+}
+
+std::string BitCode::ToString() const {
+  if (len_ == 0) return "(empty)";
+  std::string s;
+  s.reserve(len_);
+  for (int i = 0; i < len_; ++i) s.push_back(static_cast<char>('0' + bit(i)));
+  return s;
+}
+
+bool operator<(const BitCode& a, const BitCode& b) {
+  int cpl = a.CommonPrefixLen(b);
+  if (cpl == a.len_ || cpl == b.len_) {
+    return a.len_ < b.len_;  // prefix sorts first; equal -> false
+  }
+  return a.bit(cpl) < b.bit(cpl);
+}
+
+}  // namespace mind

@@ -1,0 +1,129 @@
+// BitCode: a variable-length binary string of up to 64 bits.
+//
+// BitCodes serve two roles in MIND (the paper keeps them deliberately
+// symmetric):
+//   * the hypercube overlay address of a node ("vertex code"), and
+//   * the label of a hyper-rectangle produced by recursively cutting an
+//     index's data space.
+// Routing and storage placement only ever compare codes: a tuple is stored at
+// the node whose code maximally matches the tuple's data-space code.
+#ifndef MIND_UTIL_BITCODE_H_
+#define MIND_UTIL_BITCODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/logging.h"
+
+namespace mind {
+
+class BitCode {
+ public:
+  static constexpr int kMaxLen = 64;
+
+  /// Empty code (length 0) — the root / the whole data space.
+  BitCode() = default;
+
+  /// Builds a code from the low `len` bits of `bits`; the most significant of
+  /// those is bit 0 of the code.
+  static BitCode FromBits(uint64_t bits, int len);
+
+  /// Parses a string of '0'/'1' characters.
+  static BitCode FromString(const std::string& s);
+
+  int length() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  /// Bit at position `i` (0 = first / most significant cut).
+  int bit(int i) const {
+    MIND_CHECK(i >= 0 && i < len_);
+    return static_cast<int>((bits_ >> (len_ - 1 - i)) & 1u);
+  }
+
+  /// Appends one bit.
+  void PushBack(int b) {
+    MIND_CHECK(len_ < kMaxLen);
+    MIND_CHECK(b == 0 || b == 1);
+    bits_ = (bits_ << 1) | static_cast<uint64_t>(b);
+    ++len_;
+  }
+
+  /// Removes the last bit; requires non-empty.
+  void PopBack() {
+    MIND_CHECK_GT(len_, 0);
+    bits_ >>= 1;
+    --len_;
+  }
+
+  /// Returns this code with one extra bit appended.
+  BitCode Child(int b) const {
+    BitCode c = *this;
+    c.PushBack(b);
+    return c;
+  }
+
+  /// Returns the code with the last bit dropped; requires non-empty.
+  BitCode Parent() const {
+    BitCode c = *this;
+    c.PopBack();
+    return c;
+  }
+
+  /// Returns the code with the last bit flipped; requires non-empty.
+  /// On the virtual binary tree of codes this is the sibling leaf.
+  BitCode Sibling() const { return WithBitFlipped(len_ - 1); }
+
+  /// Returns the code with bit `i` flipped.
+  BitCode WithBitFlipped(int i) const {
+    MIND_CHECK(i >= 0 && i < len_);
+    BitCode c = *this;
+    c.bits_ ^= (uint64_t{1} << (len_ - 1 - i));
+    return c;
+  }
+
+  /// First `n` bits (n <= length()).
+  BitCode Prefix(int n) const {
+    MIND_CHECK(n >= 0 && n <= len_);
+    return FromBits(bits_ >> (len_ - n), n);
+  }
+
+  /// Number of leading bits shared with `other`.
+  int CommonPrefixLen(const BitCode& other) const;
+
+  /// True if this code is a prefix of `other` (equal codes count).
+  bool IsPrefixOf(const BitCode& other) const {
+    return len_ <= other.len_ && CommonPrefixLen(other) == len_;
+  }
+
+  /// Raw bits, right-aligned (low `length()` bits).
+  uint64_t bits() const { return bits_; }
+
+  /// '0'/'1' rendering; "(empty)" for the empty code.
+  std::string ToString() const;
+
+  friend bool operator==(const BitCode& a, const BitCode& b) {
+    return a.len_ == b.len_ && a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const BitCode& a, const BitCode& b) { return !(a == b); }
+
+  /// Lexicographic order with the convention that a proper prefix sorts
+  /// before its extensions (tree pre-order).
+  friend bool operator<(const BitCode& a, const BitCode& b);
+
+  struct Hash {
+    size_t operator()(const BitCode& c) const {
+      uint64_t x = c.bits_ * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(c.len_);
+      x ^= x >> 32;
+      return static_cast<size_t>(x * 0xbf58476d1ce4e5b9ull);
+    }
+  };
+
+ private:
+  uint64_t bits_ = 0;  // right-aligned: bit 0 of the code is the MSB of the low len_ bits
+  int len_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_UTIL_BITCODE_H_

@@ -1,0 +1,53 @@
+#include "util/ip.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace mind {
+
+std::string IpToString(IpAddr ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+Result<IpAddr> ParseIp(const std::string& s) {
+  unsigned a, b, c, d;
+  char tail;
+  int n = std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    return Status::InvalidArgument("bad IPv4 address: " + s);
+  }
+  return static_cast<IpAddr>((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+IpPrefix::IpPrefix(IpAddr base, int len) : len_(len) {
+  MIND_CHECK(len >= 0 && len <= 32);
+  base_ = (len == 0) ? 0 : (base & (0xFFFFFFFFu << (32 - len)));
+}
+
+Result<IpPrefix> IpPrefix::Parse(const std::string& s) {
+  auto slash = s.find('/');
+  if (slash == std::string::npos) {
+    return Status::InvalidArgument("prefix missing '/': " + s);
+  }
+  MIND_ASSIGN_OR_RETURN(IpAddr base, ParseIp(s.substr(0, slash)));
+  int len = 0;
+  try {
+    len = std::stoi(s.substr(slash + 1));
+  } catch (...) {
+    return Status::InvalidArgument("bad prefix length: " + s);
+  }
+  if (len < 0 || len > 32) {
+    return Status::InvalidArgument("prefix length out of range: " + s);
+  }
+  return IpPrefix(base, len);
+}
+
+std::string IpPrefix::ToString() const {
+  return IpToString(base_) + "/" + std::to_string(len_);
+}
+
+}  // namespace mind

@@ -1,0 +1,71 @@
+// IPv4 address and prefix arithmetic used by the traffic generator and the
+// network-monitoring indices (addresses are index attributes; customer
+// prefixes define query ranges).
+#ifndef MIND_UTIL_IP_H_
+#define MIND_UTIL_IP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mind {
+
+/// An IPv4 address as a host-order 32-bit integer.
+using IpAddr = uint32_t;
+
+/// Renders a.b.c.d.
+std::string IpToString(IpAddr ip);
+
+/// Parses "a.b.c.d".
+Result<IpAddr> ParseIp(const std::string& s);
+
+/// \brief An IPv4 prefix (CIDR block), e.g. 192.168.32.0/20.
+///
+/// A prefix is a contiguous address range [First(), Last()], which is what
+/// makes prefix predicates expressible as one-dimensional range constraints
+/// in MIND queries.
+class IpPrefix {
+ public:
+  IpPrefix() = default;
+  /// Builds `base`/`len`; host bits of `base` are zeroed.
+  IpPrefix(IpAddr base, int len);
+
+  /// Parses "a.b.c.d/len".
+  static Result<IpPrefix> Parse(const std::string& s);
+
+  IpAddr First() const { return base_; }
+  IpAddr Last() const {
+    return len_ == 32 ? base_ : (base_ | (0xFFFFFFFFu >> len_));
+  }
+
+  int length() const { return len_; }
+
+  /// Number of addresses covered (2^(32-len)); 2^32 clamps to UINT32_MAX+1
+  /// represented as uint64.
+  uint64_t Size() const { return uint64_t{1} << (32 - len_); }
+
+  bool Contains(IpAddr ip) const {
+    if (len_ == 0) return true;
+    return (ip >> (32 - len_)) == (base_ >> (32 - len_));
+  }
+
+  bool Contains(const IpPrefix& other) const {
+    return other.len_ >= len_ && Contains(other.base_);
+  }
+
+  /// "a.b.c.d/len".
+  std::string ToString() const;
+
+  friend bool operator==(const IpPrefix& a, const IpPrefix& b) {
+    return a.base_ == b.base_ && a.len_ == b.len_;
+  }
+
+ private:
+  IpAddr base_ = 0;
+  int len_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_UTIL_IP_H_

@@ -1,0 +1,66 @@
+// Minimal logging and invariant-check facility.
+//
+// CHECK macros are for programmer errors (precondition violations inside the
+// library); fallible operations return Status instead (see util/status.h).
+#ifndef MIND_UTIL_LOGGING_H_
+#define MIND_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace mind {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. FATAL aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Sets the minimum level that is actually emitted (default: kWarning, so
+/// tests and benchmarks stay quiet).
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+#define MIND_LOG(level)                                                  \
+  ::mind::internal::LogMessage(::mind::LogLevel::k##level, __FILE__, __LINE__)
+
+#define MIND_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  MIND_LOG(Fatal) << "Check failed: " #cond " "
+
+#define MIND_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    ::mind::Status _st_chk = (expr);                                      \
+    if (!_st_chk.ok())                                                    \
+      MIND_LOG(Fatal) << "Status not OK: " << _st_chk.ToString();         \
+  } while (0)
+
+#define MIND_CHECK_EQ(a, b) MIND_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MIND_CHECK_NE(a, b) MIND_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MIND_CHECK_LT(a, b) MIND_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MIND_CHECK_LE(a, b) MIND_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MIND_CHECK_GT(a, b) MIND_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MIND_CHECK_GE(a, b) MIND_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace mind
+
+#endif  // MIND_UTIL_LOGGING_H_

@@ -1,0 +1,162 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mind {
+
+namespace {
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  MIND_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  MIND_CHECK_LE(lo, hi);
+  uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return Next();
+  return lo + Uniform(span + 1);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Exponential(double lambda) {
+  MIND_CHECK_GT(lambda, 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::Pareto(double x_m, double alpha) {
+  MIND_CHECK_GT(x_m, 0.0);
+  MIND_CHECK_GT(alpha, 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+uint64_t Rng::Poisson(double mean) {
+  MIND_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= UniformDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  double v = Normal(mean, std::sqrt(mean));
+  return v <= 0 ? 0 : static_cast<uint64_t>(v + 0.5);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = UniformDouble();
+  } while (u1 == 0.0);
+  u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Derive a child seed from the parent seed and stream id; independent of
+  // how much of the parent stream has been consumed.
+  uint64_t x = seed_ ^ (stream_id * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull);
+  return Rng(SplitMix64(&x));
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  MIND_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(size_t rank) const {
+  MIND_CHECK_LT(rank, cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+DiurnalCurve::DiurnalCurve(double floor, double peak_second)
+    : floor_(floor), peak_second_(peak_second) {
+  MIND_CHECK(floor > 0.0 && floor <= 1.0);
+}
+
+double DiurnalCurve::At(double sec) const {
+  double t = std::fmod(sec, 86400.0);
+  if (t < 0) t += 86400.0;
+  // Raised cosine centred on the peak: 1 at peak, floor at the antipode.
+  double phase = 2.0 * M_PI * (t - peak_second_) / 86400.0;
+  double w = 0.5 * (1.0 + std::cos(phase));  // 1 at peak, 0 at trough
+  return floor_ + (1.0 - floor_) * w;
+}
+
+}  // namespace mind

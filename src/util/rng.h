@@ -1,0 +1,110 @@
+// Seedable random number generation and the heavy-tailed samplers used by the
+// synthetic backbone-traffic generator.
+//
+// All randomness in the repository flows through Rng instances so that every
+// experiment is reproducible bit-for-bit from its seed.
+#ifndef MIND_UTIL_RNG_H_
+#define MIND_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mind {
+
+/// xoshiro256** PRNG seeded via SplitMix64. Not cryptographic; fast and
+/// statistically solid for simulation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda);
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed flow sizes).
+  double Pareto(double x_m, double alpha);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation beyond).
+  uint64_t Poisson(double mean);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal with parameters of the underlying normal.
+  double LogNormal(double mu, double sigma);
+
+  /// A new Rng whose stream is a deterministic function of this one's seed
+  /// and `stream_id`; use to give independent generators to sub-components.
+  Rng Fork(uint64_t stream_id) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  uint64_t seed_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Zipf(n, s) sampler over ranks {0, .., n-1} with exponent s, using the
+/// inverse-CDF table method (O(n) setup, O(log n) per sample). Used for
+/// popularity of prefixes/ports in traffic generation.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Rank in [0, n); rank 0 is the most popular.
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Piecewise-linear diurnal modulation curve: value in [floor, 1] as a
+/// function of seconds-of-day, peaking mid-day. Models the day/night traffic
+/// cycle of backbone links.
+class DiurnalCurve {
+ public:
+  /// `floor` is the night-time fraction of peak rate; `peak_second` is when
+  /// the curve peaks (default 14:00).
+  explicit DiurnalCurve(double floor = 0.35, double peak_second = 14 * 3600.0);
+
+  /// Multiplier in [floor, 1] for time-of-day `sec` (seconds, wraps at 86400).
+  double At(double sec) const;
+
+ private:
+  double floor_;
+  double peak_second_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_UTIL_RNG_H_

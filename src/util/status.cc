@@ -1,0 +1,29 @@
+#include "util/status.h"
+
+namespace mind {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeToString(code());
+  s += ": ";
+  s += message();
+  return s;
+}
+
+}  // namespace mind

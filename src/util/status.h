@@ -1,0 +1,153 @@
+// Status and Result<T>: error handling without exceptions, in the style of
+// Apache Arrow / RocksDB. Library code on fallible paths returns Status (or
+// Result<T> when it produces a value); programmer errors use CHECK macros
+// from util/logging.h.
+#ifndef MIND_UTIL_STATUS_H_
+#define MIND_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mind {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnavailable,
+  kTimedOut,
+  kAborted,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a short human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// An OK Status carries no allocation; error statuses carry a code and a
+/// message. Statuses are cheap to move and to copy when OK.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}     // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  /// Value access; requires ok().
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagate a non-OK Status from an expression.
+#define MIND_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::mind::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define MIND_CONCAT_IMPL(a, b) a##b
+#define MIND_CONCAT(a, b) MIND_CONCAT_IMPL(a, b)
+
+// Assign the value of a Result expression to `lhs`, or propagate its error.
+#define MIND_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto MIND_CONCAT(_res_, __LINE__) = (expr);                  \
+  if (!MIND_CONCAT(_res_, __LINE__).ok())                      \
+    return MIND_CONCAT(_res_, __LINE__).status();              \
+  lhs = std::move(MIND_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace mind
+
+#endif  // MIND_UTIL_STATUS_H_

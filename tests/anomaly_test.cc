@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "anomaly/ground_truth.h"
+#include "anomaly/mind_detector.h"
+#include "traffic/aggregator.h"
+#include "traffic/flow_generator.h"
+#include "traffic/indices.h"
+#include "traffic/topology.h"
+
+namespace mind {
+namespace {
+
+// ---------------------------------------------------------------- GroundTruth
+
+AggregateRecord Rec(IpAddr src, IpAddr dst, uint64_t window, uint64_t octets,
+                    uint32_t fanout, uint32_t distinct, int router) {
+  AggregateRecord r;
+  r.src_prefix = IpPrefix(src, 16);
+  r.dst_prefix = IpPrefix(dst, 16);
+  r.window_start = window;
+  r.octets = octets;
+  r.fanout = fanout;
+  r.distinct_dsts = distinct;
+  r.flows = fanout + 1;
+  r.avg_flow_size = octets / std::max(1u, r.flows);
+  r.router = router;
+  return r;
+}
+
+TEST(GroundTruthTest, DetectsAlphaFlow) {
+  GroundTruthDetector det;
+  std::vector<AggregateRecord> recs = {
+      Rec(0x0A010000, 0x0A020000, 300, 10'000'000, 0, 1, 2),
+      Rec(0x0A010000, 0x0A020000, 330, 9'000'000, 0, 1, 2),
+      Rec(0x0A010000, 0x0A020000, 330, 9'000'000, 0, 1, 7),  // second monitor
+      Rec(0x0A030000, 0x0A040000, 300, 1'000, 0, 1, 0),      // normal
+  };
+  auto anomalies = det.Detect(recs);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kAlphaFlow);
+  EXPECT_EQ(anomalies[0].first_window, 300u);
+  EXPECT_EQ(anomalies[0].last_window, 330u);
+  EXPECT_EQ(anomalies[0].record_count, 3u);
+  EXPECT_EQ(anomalies[0].observers, (std::set<int>{2, 7}));
+  EXPECT_EQ(anomalies[0].peak, 10'000'000u);
+}
+
+TEST(GroundTruthTest, DistinguishesDosFromScan) {
+  GroundTruthDetector det;
+  std::vector<AggregateRecord> recs = {
+      Rec(0x0A010000, 0x0A020000, 300, 100'000, 2000, 1, 0),     // DoS
+      Rec(0x0A050000, 0x0A060000, 600, 90'000, 2000, 4000, 1),   // scan
+  };
+  auto anomalies = det.Detect(recs);
+  ASSERT_EQ(anomalies.size(), 2u);
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kDos);
+  EXPECT_EQ(anomalies[1].type, AnomalyType::kPortScan);
+}
+
+TEST(GroundTruthTest, ThresholdsRespectOptions) {
+  GroundTruthOptions opts;
+  opts.alpha_octets = 1000;
+  opts.fanout = 10;
+  GroundTruthDetector det(opts);
+  std::vector<AggregateRecord> recs = {
+      Rec(0x0A010000, 0x0A020000, 300, 2000, 0, 1, 0),
+      Rec(0x0A030000, 0x0A040000, 300, 10, 11, 11, 0),
+  };
+  EXPECT_EQ(det.Detect(recs).size(), 2u);
+  GroundTruthDetector strict;  // default: much higher thresholds
+  EXPECT_TRUE(strict.Detect(recs).empty());
+}
+
+TEST(GroundTruthTest, EmptyInputEmptyOutput) {
+  GroundTruthDetector det;
+  EXPECT_TRUE(det.Detect({}).empty());
+}
+
+// An end-to-end check of the detector against the injector.
+TEST(GroundTruthTest, DetectsInjectedAnomalies) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 40;
+  gopts.seed = 31;
+  FlowGenerator gen(topo, gopts);
+  AnomalyInjector inj(&gen);
+
+  std::vector<FlowRecord> raw = gen.GenerateVec(0, 42000, 43200);
+  AnomalyEvent alpha;
+  alpha.type = AnomalyType::kAlphaFlow;
+  alpha.start_sec = 42300;
+  alpha.duration_sec = 120;
+  alpha.src_prefix = 0;
+  alpha.dst_prefix = 7;
+  alpha.magnitude = 6e9;
+  AnomalyEvent scan;
+  scan.type = AnomalyType::kPortScan;
+  scan.start_sec = 42700;
+  scan.duration_sec = 180;
+  scan.src_prefix = 2;
+  scan.dst_prefix = 9;
+  scan.magnitude = 20000;
+  for (const auto& ev : {alpha, scan}) {
+    for (auto& f : inj.Generate(ev, 42000, 43200)) raw.push_back(f);
+  }
+
+  auto aggregated = AggregateAll(raw, {30.0, 16, 300});
+  auto anomalies = GroundTruthDetector().Detect(aggregated);
+  bool saw_alpha = false, saw_scan = false;
+  for (const auto& a : anomalies) {
+    if (a.type == AnomalyType::kAlphaFlow) saw_alpha = true;
+    if (a.type == AnomalyType::kPortScan) saw_scan = true;
+  }
+  EXPECT_TRUE(saw_alpha);
+  EXPECT_TRUE(saw_scan);
+}
+
+// ---------------------------------------------------------------- Captures
+
+TEST(MindDetectorTest, CapturesMatchesPrefixAndWindow) {
+  DetectedAnomaly anomaly;
+  anomaly.dst_prefix = IpPrefix(0x0A020000, 16);
+  anomaly.first_window = 300;
+  anomaly.last_window = 360;
+
+  DetectionOutcome outcome;
+  Tuple hit;
+  hit.point = {0x0A020000, 330, 2000};
+  outcome.tuples.push_back(hit);
+  EXPECT_TRUE(MindAnomalyDetector::Captures(outcome, anomaly));
+
+  outcome.tuples[0].point[1] = 500;  // outside window span
+  EXPECT_FALSE(MindAnomalyDetector::Captures(outcome, anomaly));
+  outcome.tuples[0].point[1] = 330;
+  outcome.tuples[0].point[0] = 0x0A030000;  // other prefix
+  EXPECT_FALSE(MindAnomalyDetector::Captures(outcome, anomaly));
+}
+
+}  // namespace
+}  // namespace mind

@@ -1,0 +1,289 @@
+// Cross-module integration tests: the full pipeline (generator → aggregation
+// → filters → distributed index → query) checked against offline evaluation,
+// multi-index isolation, trace round-tripping and the end-to-end anomaly
+// workflow.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "anomaly/mind_detector.h"
+#include "mind/mind_net.h"
+#include "traffic/aggregator.h"
+#include "traffic/flow_generator.h"
+#include "traffic/indices.h"
+#include "traffic/topology.h"
+#include "traffic/trace_io.h"
+
+namespace mind {
+namespace {
+
+QueryResult RunQuery(MindNet& net, size_t from, const std::string& index,
+                     const Rect& rect) {
+  std::optional<QueryResult> out;
+  auto qid = net.node(from).Query(index, rect,
+                                  [&](const QueryResult& r) { out = r; });
+  EXPECT_TRUE(qid.ok());
+  SimTime deadline = net.sim().now() + FromSeconds(120);
+  while (!out && net.sim().now() < deadline) net.sim().RunFor(FromMillis(200));
+  EXPECT_TRUE(out.has_value());
+  return out.value_or(QueryResult{});
+}
+
+// The distributed index must answer exactly like an offline scan of the same
+// filtered tuple stream — for all three paper indices at once.
+TEST(PipelineIntegrationTest, DistributedEqualsOfflineForAllThreeIndices) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 60;
+  gopts.seed = 11111;
+  FlowGenerator gen(topo, gopts);
+
+  MindNetOptions mopts;
+  mopts.sim.seed = 22222;
+  mopts.positions = topo.Positions();
+  MindNet net(topo.size(), mopts);
+  ASSERT_TRUE(net.Build().ok());
+  for (const IndexDef& def : {MakeIndex1(), MakeIndex2(), MakeIndex3()}) {
+    ASSERT_TRUE(net.CreateIndexEverywhere(
+                       def, std::make_shared<CutTree>(CutTree::Even(def.schema)))
+                    .ok());
+  }
+
+  // Generate + aggregate + filter offline, and insert the same tuples.
+  std::vector<Tuple> t1, t2, t3;
+  uint64_t seq = 0;
+  const double window = 30;
+  for (double t = 39600; t < 40500; t += window) {
+    Aggregator agg({window, 16, 300});
+    gen.Generate(0, t, t + window, [&](const FlowRecord& f) { agg.Add(f); });
+    SimTime when = net.sim().now() + FromMillis(10);
+    for (const auto& rec : agg.DrainAll()) {
+      if (auto tup = ToIndex1Tuple(rec, ++seq)) {
+        t1.push_back(*tup);
+        net.sim().events().ScheduleAt(when, [&net, tup] {
+          ASSERT_TRUE(
+              net.node(tup->origin).Insert("index1_fanout", *tup).ok());
+        });
+      }
+      if (auto tup = ToIndex2Tuple(rec, ++seq)) {
+        t2.push_back(*tup);
+        net.sim().events().ScheduleAt(when, [&net, tup] {
+          ASSERT_TRUE(
+              net.node(tup->origin).Insert("index2_octets", *tup).ok());
+        });
+      }
+      if (auto tup = ToIndex3Tuple(rec, ++seq)) {
+        t3.push_back(*tup);
+        net.sim().events().ScheduleAt(when, [&net, tup] {
+          ASSERT_TRUE(
+              net.node(tup->origin).Insert("index3_flowsize", *tup).ok());
+        });
+      }
+    }
+    net.sim().RunFor(FromSeconds(window));
+  }
+  net.sim().RunFor(FromSeconds(30));
+
+  ASSERT_GT(t2.size(), 20u);  // the workload must be non-trivial
+  EXPECT_EQ(net.TotalPrimaryTuples("index1_fanout"), t1.size());
+  EXPECT_EQ(net.TotalPrimaryTuples("index2_octets"), t2.size());
+  EXPECT_EQ(net.TotalPrimaryTuples("index3_flowsize"), t3.size());
+
+  struct Case {
+    const char* index;
+    const std::vector<Tuple>* offline;
+  };
+  Rng rng(5);
+  for (const Case& c : {Case{"index1_fanout", &t1}, Case{"index2_octets", &t2},
+                        Case{"index3_flowsize", &t3}}) {
+    const IndexDef* def = net.node(0).GetIndexDef(c.index);
+    for (int iter = 0; iter < 5; ++iter) {
+      Value a = rng.Uniform(0x100000000ull), b = rng.Uniform(0x100000000ull);
+      Rect q({{std::min(a, b), std::max(a, b)},
+              {39600, 40500},
+              {0, def->schema.attr(2).max}});
+      QueryResult r = RunQuery(net, rng.Uniform(net.size()), c.index, q);
+      EXPECT_TRUE(r.complete);
+      std::multiset<uint64_t> expected, got;
+      for (const auto& t : *c.offline) {
+        if (q.Contains(t.point)) expected.insert(t.seq);
+      }
+      for (const auto& t : r.tuples) got.insert(t.seq);
+      EXPECT_EQ(got, expected) << c.index << " query " << iter;
+    }
+  }
+}
+
+// Indices are independent: dropping one leaves the others fully queryable.
+TEST(PipelineIntegrationTest, DropIsolation) {
+  MindNetOptions mopts;
+  mopts.sim.seed = 333;
+  MindNet net(8, mopts);
+  ASSERT_TRUE(net.Build().ok());
+  IndexDef a, b;
+  a.name = "keep";
+  a.schema = Schema({{"x", 0, 999}});
+  b.name = "drop";
+  b.schema = Schema({{"x", 0, 999}});
+  ASSERT_TRUE(net.CreateIndexEverywhere(
+                     a, std::make_shared<CutTree>(CutTree::Even(a.schema)))
+                  .ok());
+  ASSERT_TRUE(net.CreateIndexEverywhere(
+                     b, std::make_shared<CutTree>(CutTree::Even(b.schema)))
+                  .ok());
+  for (uint64_t i = 0; i < 50; ++i) {
+    Tuple t;
+    t.point = {i * 17 % 1000};
+    t.seq = i;
+    t.origin = static_cast<int>(i % 8);
+    ASSERT_TRUE(net.node(i % 8).Insert("keep", t).ok());
+    ASSERT_TRUE(net.node(i % 8).Insert("drop", t).ok());
+  }
+  net.sim().RunFor(FromSeconds(20));
+  ASSERT_TRUE(net.node(2).DropIndex("drop").ok());
+  net.sim().RunFor(FromSeconds(10));
+  for (size_t i = 0; i < net.size(); ++i) {
+    EXPECT_FALSE(net.node(i).HasIndex("drop"));
+    EXPECT_TRUE(net.node(i).HasIndex("keep"));
+  }
+  QueryResult r = RunQuery(net, 1, "keep", Rect({{0, 999}}));
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.tuples.size(), 50u);
+  // Inserting into the dropped index now fails cleanly.
+  Tuple t;
+  t.point = {1};
+  EXPECT_TRUE(net.node(0).Insert("drop", t).IsNotFound());
+}
+
+// The full §5 anomaly workflow at test scale: inject, index, ground-truth,
+// query, capture.
+TEST(AnomalyIntegrationTest, EndToEndScanCapture) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 60;
+  gopts.seed = 444;
+  FlowGenerator gen(topo, gopts);
+
+  MindNetOptions mopts;
+  mopts.sim.seed = 445;
+  mopts.positions = topo.Positions();
+  MindNet net(topo.size(), mopts);
+  ASSERT_TRUE(net.Build().ok());
+  IndexDef def = MakeIndex1();
+  ASSERT_TRUE(net.CreateIndexEverywhere(
+                     def, std::make_shared<CutTree>(CutTree::Even(def.schema)))
+                  .ok());
+
+  AnomalyEvent scan;
+  scan.type = AnomalyType::kPortScan;
+  scan.start_sec = 36060;
+  scan.duration_sec = 90;
+  scan.src_prefix = 3;
+  scan.dst_prefix = 12;
+  scan.magnitude = 40000;
+  AnomalyInjector injector(&gen);
+
+  std::vector<AggregateRecord> all_aggregates;
+  uint64_t seq = 0;
+  for (double t = 36000; t < 36300; t += 30) {
+    Aggregator agg({30, 16, 300});
+    gen.Generate(0, t, t + 30, [&](const FlowRecord& f) { agg.Add(f); });
+    for (const auto& f : injector.Generate(scan, t, t + 30)) agg.Add(f);
+    SimTime when = net.sim().now() + FromMillis(10);
+    for (const auto& rec : agg.DrainAll()) {
+      all_aggregates.push_back(rec);
+      if (auto tup = ToIndex1Tuple(rec, ++seq)) {
+        net.sim().events().ScheduleAt(when, [&net, tup] {
+          (void)net.node(tup->origin).Insert("index1_fanout", *tup);
+        });
+      }
+    }
+    net.sim().RunFor(FromSeconds(30));
+  }
+  net.sim().RunFor(FromSeconds(30));
+
+  GroundTruthOptions gt;
+  gt.fanout = 1500;
+  auto anomalies = GroundTruthDetector(gt).Detect(all_aggregates);
+  bool found_scan = false;
+  MindAnomalyDetector detector(&net, "index1_fanout", "index1_fanout");
+  for (const auto& anomaly : anomalies) {
+    if (anomaly.type != AnomalyType::kPortScan) continue;
+    found_scan = true;
+    auto outcome = detector.QueryFanout({0, 5, 9}, anomaly.first_window - 60,
+                                        anomaly.last_window + 60, gt.fanout);
+    EXPECT_TRUE(outcome.all_complete);
+    EXPECT_TRUE(MindAnomalyDetector::Captures(outcome, anomaly));
+    EXPECT_GE(outcome.result_size, anomaly.record_count);
+  }
+  EXPECT_TRUE(found_scan) << "injected scan not in ground truth";
+}
+
+// ---------------------------------------------------------------- trace IO
+
+TEST(TraceIoTest, FlowsRoundTrip) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.seed = 777;
+  FlowGenerator gen(topo, gopts);
+  auto flows = gen.GenerateVec(0, 40000, 40060);
+  ASSERT_GT(flows.size(), 10u);
+
+  std::stringstream buf;
+  ASSERT_TRUE(WriteFlowsCsv(buf, flows).ok());
+  auto back = ReadFlowsCsv(buf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ((*back)[i].src_ip, flows[i].src_ip);
+    EXPECT_EQ((*back)[i].dst_ip, flows[i].dst_ip);
+    EXPECT_EQ((*back)[i].bytes, flows[i].bytes);
+    EXPECT_EQ((*back)[i].router, flows[i].router);
+    EXPECT_NEAR((*back)[i].time_sec, flows[i].time_sec, 1e-3);
+  }
+}
+
+TEST(TraceIoTest, AggregatesRoundTrip) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.seed = 778;
+  FlowGenerator gen(topo, gopts);
+  auto aggregates = AggregateAll(gen.GenerateVec(0, 40000, 40120));
+  ASSERT_GT(aggregates.size(), 5u);
+
+  std::stringstream buf;
+  ASSERT_TRUE(WriteAggregatesCsv(buf, aggregates).ok());
+  auto back = ReadAggregatesCsv(buf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), aggregates.size());
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    EXPECT_EQ((*back)[i].src_prefix, aggregates[i].src_prefix);
+    EXPECT_EQ((*back)[i].octets, aggregates[i].octets);
+    EXPECT_EQ((*back)[i].fanout, aggregates[i].fanout);
+    EXPECT_EQ((*back)[i].top_dst_port, aggregates[i].top_dst_port);
+  }
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream buf("not,a,header\n");
+    EXPECT_FALSE(ReadFlowsCsv(buf).ok());
+  }
+  {
+    std::stringstream buf;
+    buf << "src_ip,dst_ip,src_port,dst_port,bytes,packets,time_sec,router\n"
+        << "1.2.3.4,5.6.7.8,80\n";  // too few fields
+    EXPECT_FALSE(ReadFlowsCsv(buf).ok());
+  }
+  {
+    std::stringstream buf;
+    buf << "src_ip,dst_ip,src_port,dst_port,bytes,packets,time_sec,router\n"
+        << "1.2.3.4,5.6.7.8,99999,80,100,1,5.0,0\n";  // port out of range
+    EXPECT_FALSE(ReadFlowsCsv(buf).ok());
+  }
+}
+
+}  // namespace
+}  // namespace mind

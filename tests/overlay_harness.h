@@ -1,0 +1,104 @@
+// Test/bench helper: build an overlay of N nodes and assert its invariants.
+#ifndef MIND_TESTS_OVERLAY_HARNESS_H_
+#define MIND_TESTS_OVERLAY_HARNESS_H_
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "overlay/overlay_node.h"
+#include "sim/simulator.h"
+
+namespace mind {
+
+struct OverlayFleet {
+  std::unique_ptr<Simulator> sim;
+  std::vector<std::unique_ptr<OverlayNode>> nodes;
+
+  OverlayNode& operator[](size_t i) { return *nodes[i]; }
+  size_t size() const { return nodes.size(); }
+
+  size_t JoinedCount() const {
+    size_t n = 0;
+    for (const auto& node : nodes) {
+      if (node->joined()) ++n;
+    }
+    return n;
+  }
+
+  /// True iff the joined nodes' codes form a complete prefix-free cover of
+  /// the code space (sum of 2^-len == 1 and no code is a prefix of another).
+  bool CodesFormCompleteCover() const {
+    long double total = 0;
+    std::vector<BitCode> codes;
+    for (const auto& node : nodes) {
+      if (!node->alive() || !node->joined()) continue;
+      codes.push_back(node->code());
+      total += std::pow(2.0L, -static_cast<long double>(node->code().length()));
+    }
+    for (size_t i = 0; i < codes.size(); ++i) {
+      for (size_t j = 0; j < codes.size(); ++j) {
+        if (i != j && codes[i].IsPrefixOf(codes[j])) return false;
+      }
+    }
+    return std::fabs(static_cast<double>(total) - 1.0) < 1e-9;
+  }
+
+  int MaxCodeLength() const {
+    int mx = 0;
+    for (const auto& node : nodes) {
+      if (node->alive() && node->joined()) {
+        mx = std::max(mx, node->code().length());
+      }
+    }
+    return mx;
+  }
+
+  /// Index of the live joined node owning `target` (code is a prefix), or -1.
+  int OwnerOf(const BitCode& target) const {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const auto& node = nodes[i];
+      if (node->alive() && node->joined() &&
+          node->code().IsPrefixOf(target)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+/// Builds an N-node overlay. If `concurrent`, all nodes start joining at
+/// once (exercises the serialization protocol); otherwise joins are staggered
+/// by `stagger`. Runs the simulator until all nodes joined or `deadline`.
+inline OverlayFleet BuildOverlay(size_t n, OverlayOptions options,
+                                 bool concurrent = false,
+                                 uint64_t sim_seed = 0x5eed,
+                                 SimTime stagger = FromMillis(300),
+                                 SimTime deadline = FromSeconds(600)) {
+  OverlayFleet fleet;
+  SimulatorOptions sopts;
+  sopts.seed = sim_seed;
+  fleet.sim = std::make_unique<Simulator>(sopts);
+  for (size_t i = 0; i < n; ++i) {
+    options.seed = sim_seed + 1000 + i;
+    fleet.nodes.push_back(
+        std::make_unique<OverlayNode>(fleet.sim.get(), options));
+  }
+  fleet.nodes[0]->BecomeFirst();
+  for (size_t i = 1; i < n; ++i) {
+    if (concurrent) {
+      fleet.nodes[i]->Join(0);
+    } else {
+      OverlayNode* node = fleet.nodes[i].get();
+      fleet.sim->events().Schedule(stagger * i, [node] { node->Join(0); });
+    }
+  }
+  while (fleet.JoinedCount() < n && fleet.sim->now() < deadline) {
+    fleet.sim->RunFor(FromSeconds(1));
+  }
+  return fleet;
+}
+
+}  // namespace mind
+
+#endif  // MIND_TESTS_OVERLAY_HARNESS_H_

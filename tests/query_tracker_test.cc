@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "mind/query_tracker.h"
+
+namespace mind {
+namespace {
+
+Schema TwoDim() { return Schema({{"x", 0, 999}, {"y", 0, 999}}); }
+
+CutTreeRef Cuts() {
+  return std::make_shared<CutTree>(CutTree::Even(TwoDim()));
+}
+
+Tuple T(uint64_t seq, int origin = 0) {
+  Tuple t;
+  t.point = {1, 1};
+  t.origin = origin;
+  t.seq = seq;
+  return t;
+}
+
+TEST(QueryTrackerTest, SingleReplyCoveringRootCompletes) {
+  Rect q({{0, 999}, {0, 999}});
+  QueryTracker tracker(q, BitCode(), Cuts(), 16);
+  EXPECT_FALSE(tracker.IsComplete());
+  tracker.AddReply(3, BitCode(), {T(1)});
+  EXPECT_TRUE(tracker.IsComplete());
+  EXPECT_EQ(tracker.tuples().size(), 1u);
+  EXPECT_EQ(tracker.responders().count(3), 1u);
+}
+
+TEST(QueryTrackerTest, BothChildrenNeededWhenQueryStraddles) {
+  Rect q({{0, 999}, {0, 999}});
+  QueryTracker tracker(q, BitCode(), Cuts(), 16);
+  tracker.AddReply(1, BitCode::FromString("0"), {});
+  EXPECT_FALSE(tracker.IsComplete()) << "half the space is unanswered";
+  tracker.AddReply(2, BitCode::FromString("1"), {});
+  EXPECT_TRUE(tracker.IsComplete());
+}
+
+TEST(QueryTrackerTest, NonIntersectingBranchesAreVacuouslyCovered) {
+  // Query confined to the low-x half: only the "0" branch needs replies.
+  Rect q({{0, 100}, {0, 999}});
+  QueryTracker tracker(q, BitCode::FromString("0"), Cuts(), 16);
+  tracker.AddReply(1, BitCode::FromString("0"), {T(1)});
+  EXPECT_TRUE(tracker.IsComplete());
+}
+
+TEST(QueryTrackerTest, DeepSplitsAssembleCoverage) {
+  Rect q({{0, 999}, {0, 999}});
+  QueryTracker tracker(q, BitCode(), Cuts(), 16);
+  // Replies at mixed depths: 00, 01, 1 cover everything.
+  tracker.AddReply(1, BitCode::FromString("00"), {});
+  tracker.AddReply(2, BitCode::FromString("01"), {});
+  EXPECT_FALSE(tracker.IsComplete());
+  tracker.AddReply(3, BitCode::FromString("1"), {});
+  EXPECT_TRUE(tracker.IsComplete());
+}
+
+TEST(QueryTrackerTest, SupplementalRepliesNeverComplete) {
+  // Regression guard at the unit level: non-authoritative replies merge
+  // tuples but must not cover regions (see EXPERIMENTS.md findings).
+  Rect q({{0, 999}, {0, 999}});
+  QueryTracker tracker(q, BitCode(), Cuts(), 16);
+  tracker.AddReply(1, BitCode(), {T(1)}, /*authoritative=*/false);
+  EXPECT_FALSE(tracker.IsComplete());
+  EXPECT_EQ(tracker.tuples().size(), 1u);  // but the data is kept
+  tracker.AddReply(2, BitCode(), {}, /*authoritative=*/true);
+  EXPECT_TRUE(tracker.IsComplete());
+}
+
+TEST(QueryTrackerTest, DuplicateTuplesFromReplicasDeduplicated) {
+  Rect q({{0, 999}, {0, 999}});
+  QueryTracker tracker(q, BitCode(), Cuts(), 16);
+  tracker.AddReply(1, BitCode::FromString("0"), {T(7, 2), T(8, 2)});
+  tracker.AddReply(2, BitCode::FromString("1"), {T(7, 2)});  // replica copy
+  EXPECT_EQ(tracker.tuples().size(), 2u);
+  // Same seq from a different origin is a distinct tuple.
+  tracker.AddReply(3, BitCode::FromString("1"), {T(7, 5)});
+  EXPECT_EQ(tracker.tuples().size(), 3u);
+}
+
+TEST(QueryTrackerTest, PositiveRespondersTracked) {
+  Rect q({{0, 999}, {0, 999}});
+  QueryTracker tracker(q, BitCode(), Cuts(), 16);
+  tracker.AddReply(1, BitCode::FromString("0"), {});        // negative
+  tracker.AddReply(2, BitCode::FromString("1"), {T(1)});    // positive
+  EXPECT_EQ(tracker.responders().size(), 2u);
+  EXPECT_EQ(tracker.positive_responders().size(), 1u);
+  EXPECT_EQ(tracker.positive_responders().count(2), 1u);
+}
+
+TEST(QueryTrackerTest, ParentReplySubsumesChildGaps) {
+  Rect q({{0, 999}, {0, 999}});
+  QueryTracker tracker(q, BitCode(), Cuts(), 16);
+  tracker.AddReply(1, BitCode::FromString("00"), {});
+  // A later, shallower reply ("0") covers the sibling "01" too.
+  tracker.AddReply(2, BitCode::FromString("0"), {});
+  tracker.AddReply(3, BitCode::FromString("1"), {});
+  EXPECT_TRUE(tracker.IsComplete());
+}
+
+TEST(QueryTrackerTest, IncompleteWideQueryStaysIncomplete) {
+  // Missing one deep region keeps the tracker (and thus the query) open.
+  Rect q({{0, 999}, {0, 999}});
+  QueryTracker tracker(q, BitCode(), Cuts(), 8);
+  tracker.AddReply(1, BitCode::FromString("0"), {});
+  tracker.AddReply(2, BitCode::FromString("10"), {});
+  tracker.AddReply(3, BitCode::FromString("110"), {});
+  EXPECT_FALSE(tracker.IsComplete());  // "111" unanswered
+  tracker.AddReply(4, BitCode::FromString("111"), {});
+  EXPECT_TRUE(tracker.IsComplete());
+}
+
+}  // namespace
+}  // namespace mind

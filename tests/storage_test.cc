@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/time.h"
+#include "space/cut_tree.h"
+#include "storage/tuple_store.h"
+#include "storage/version_manager.h"
+#include "util/rng.h"
+
+namespace mind {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"x", 0, 9999}, {"y", 0, 9999}});
+}
+
+CutTreeRef EvenCuts() {
+  return std::make_shared<CutTree>(CutTree::Even(MakeSchema()));
+}
+
+Tuple MakeTuple(Value x, Value y, int origin = 0, uint64_t seq = 0) {
+  Tuple t;
+  t.point = {x, y};
+  t.extra = {x + y};
+  t.origin = origin;
+  t.seq = seq;
+  return t;
+}
+
+TEST(TupleTest, WireBytesScalesWithAttrs) {
+  Tuple t = MakeTuple(1, 2);
+  EXPECT_EQ(t.WireBytes(), 24 + 8 * 3);
+  Tuple empty;
+  EXPECT_EQ(empty.WireBytes(), 24u);
+}
+
+TEST(TupleStoreTest, InsertAndExactQuery) {
+  TupleStore store(EvenCuts(), 24);
+  store.Insert(MakeTuple(100, 200));
+  store.Insert(MakeTuple(5000, 5000));
+  EXPECT_EQ(store.size(), 2u);
+  auto r = store.Query(Rect({{0, 999}, {0, 999}}));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].point, (Point{100, 200}));
+}
+
+TEST(TupleStoreTest, EmptyStoreEmptyResult) {
+  TupleStore store(EvenCuts(), 24);
+  EXPECT_TRUE(store.Query(Rect({{0, 9999}, {0, 9999}})).empty());
+  EXPECT_EQ(store.Count(Rect({{0, 9999}, {0, 9999}})), 0u);
+}
+
+TEST(TupleStoreTest, InclusiveBoundaries) {
+  TupleStore store(EvenCuts(), 24);
+  store.Insert(MakeTuple(10, 10));
+  store.Insert(MakeTuple(20, 20));
+  EXPECT_EQ(store.Count(Rect({{10, 20}, {10, 20}})), 2u);
+  EXPECT_EQ(store.Count(Rect({{10, 10}, {10, 10}})), 1u);
+  EXPECT_EQ(store.Count(Rect({{11, 19}, {0, 9999}})), 0u);
+}
+
+TEST(TupleStoreTest, QueryMatchesBruteForce) {
+  Rng rng(31);
+  TupleStore store(EvenCuts(), 24);
+  std::vector<Tuple> all;
+  for (int i = 0; i < 5000; ++i) {
+    // Skewed data to stress narrow code regions.
+    Value x = rng.Bernoulli(0.7) ? rng.Uniform(100) : rng.Uniform(10000);
+    Value y = rng.Uniform(10000);
+    Tuple t = MakeTuple(x, y, 0, i);
+    all.push_back(t);
+    store.Insert(t);
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    Value x1 = rng.Uniform(10000), x2 = rng.Uniform(10000);
+    Value y1 = rng.Uniform(10000), y2 = rng.Uniform(10000);
+    Rect q({{std::min(x1, x2), std::max(x1, x2)},
+            {std::min(y1, y2), std::max(y1, y2)}});
+    size_t expected = 0;
+    for (const auto& t : all) {
+      if (q.Contains(t.point)) ++expected;
+    }
+    EXPECT_EQ(store.Count(q), expected) << q.ToString();
+  }
+}
+
+TEST(TupleStoreTest, BalancedCutsSameResults) {
+  // Query results must not depend on the embedding.
+  Rng rng(37);
+  Schema s = MakeSchema();
+  Histogram h(s, 16);
+  std::vector<Tuple> all;
+  for (int i = 0; i < 3000; ++i) {
+    Value x = rng.Uniform(200);  // heavy skew
+    Value y = rng.Uniform(10000);
+    all.push_back(MakeTuple(x, y, 0, i));
+    h.Add(all.back().point);
+  }
+  auto balanced = CutTree::Balanced(s, h, 8);
+  ASSERT_TRUE(balanced.ok());
+  TupleStore even_store(EvenCuts(), 24);
+  TupleStore bal_store(std::make_shared<CutTree>(std::move(balanced).value()), 24);
+  for (const auto& t : all) {
+    even_store.Insert(t);
+    bal_store.Insert(t);
+  }
+  for (int iter = 0; iter < 30; ++iter) {
+    Value x1 = rng.Uniform(250), x2 = rng.Uniform(250);
+    Rect q({{std::min(x1, x2), std::max(x1, x2)}, {0, 9999}});
+    EXPECT_EQ(even_store.Count(q), bal_store.Count(q));
+  }
+}
+
+TEST(TupleStoreTest, InterleavedInsertAndQuery) {
+  TupleStore store(EvenCuts(), 24);
+  Rect all({{0, 9999}, {0, 9999}});
+  for (int i = 0; i < 100; ++i) {
+    store.Insert(MakeTuple(i * 97 % 10000, i * 31 % 10000, 0, i));
+    EXPECT_EQ(store.Count(all), static_cast<size_t>(i + 1));
+  }
+}
+
+TEST(TupleStoreTest, ApproxBytesGrows) {
+  TupleStore store(EvenCuts(), 24);
+  EXPECT_EQ(store.approx_bytes(), 0u);
+  store.Insert(MakeTuple(1, 1));
+  uint64_t b1 = store.approx_bytes();
+  store.Insert(MakeTuple(2, 2));
+  EXPECT_GT(store.approx_bytes(), b1);
+}
+
+TEST(TupleStoreTest, BuildHistogramCountsAll) {
+  TupleStore store(EvenCuts(), 24);
+  for (int i = 0; i < 100; ++i) store.Insert(MakeTuple(i, i));
+  Histogram h = store.BuildHistogram(8);
+  EXPECT_DOUBLE_EQ(h.total_mass(), 100.0);
+  EXPECT_EQ(h.schema(), MakeSchema());
+}
+
+// ---------------------------------------------------------------- Versions
+
+TEST(IndexVersionsTest, AddAndLookupByTime) {
+  IndexVersions v(24);
+  EXPECT_EQ(v.StoreForTime(0), nullptr);
+  EXPECT_FALSE(v.LatestVersion().has_value());
+  ASSERT_TRUE(v.AddVersion(1, EvenCuts(), 0).ok());
+  ASSERT_TRUE(v.AddVersion(2, EvenCuts(), kUsPerDay).ok());
+  EXPECT_EQ(v.LatestVersion().value(), 2u);
+  EXPECT_EQ(v.StoreForTime(100), v.Store(1));
+  EXPECT_EQ(v.StoreForTime(kUsPerDay), v.Store(2));
+  EXPECT_EQ(v.StoreForTime(2 * kUsPerDay), v.Store(2));
+  EXPECT_NE(v.Store(1), v.Store(2));
+  EXPECT_EQ(v.Store(99), nullptr);
+}
+
+TEST(IndexVersionsTest, RejectsBadOrder) {
+  IndexVersions v(24);
+  ASSERT_TRUE(v.AddVersion(2, EvenCuts(), kUsPerDay).ok());
+  EXPECT_TRUE(v.AddVersion(2, EvenCuts(), 2 * kUsPerDay).IsInvalidArgument());
+  EXPECT_TRUE(v.AddVersion(1, EvenCuts(), 2 * kUsPerDay).IsInvalidArgument());
+  EXPECT_TRUE(v.AddVersion(3, EvenCuts(), 0).IsInvalidArgument());
+  EXPECT_TRUE(v.AddVersion(3, nullptr, 2 * kUsPerDay).IsInvalidArgument());
+}
+
+TEST(IndexVersionsTest, VersionsOverlapping) {
+  IndexVersions v(24);
+  ASSERT_TRUE(v.AddVersion(1, EvenCuts(), 0).ok());
+  ASSERT_TRUE(v.AddVersion(2, EvenCuts(), kUsPerDay).ok());
+  ASSERT_TRUE(v.AddVersion(3, EvenCuts(), 2 * kUsPerDay).ok());
+  // Entirely within day 1.
+  EXPECT_EQ(v.VersionsOverlapping(100, 200), (std::vector<VersionId>{1}));
+  // Spanning days 1-2.
+  EXPECT_EQ(v.VersionsOverlapping(kUsPerDay - 10, kUsPerDay + 10),
+            (std::vector<VersionId>{1, 2}));
+  // All three.
+  EXPECT_EQ(v.VersionsOverlapping(0, 3 * kUsPerDay),
+            (std::vector<VersionId>{1, 2, 3}));
+  // Open-ended tail.
+  EXPECT_EQ(v.VersionsOverlapping(10 * kUsPerDay, 11 * kUsPerDay),
+            (std::vector<VersionId>{3}));
+}
+
+TEST(IndexVersionsTest, StoresAreIsolatedPerVersion) {
+  IndexVersions v(24);
+  ASSERT_TRUE(v.AddVersion(1, EvenCuts(), 0).ok());
+  ASSERT_TRUE(v.AddVersion(2, EvenCuts(), kUsPerDay).ok());
+  v.Store(1)->Insert(MakeTuple(1, 1));
+  v.Store(2)->Insert(MakeTuple(2, 2));
+  v.Store(2)->Insert(MakeTuple(3, 3));
+  EXPECT_EQ(v.Store(1)->size(), 1u);
+  EXPECT_EQ(v.Store(2)->size(), 2u);
+  EXPECT_EQ(v.TotalTuples(), 3u);
+  EXPECT_GT(v.TotalBytes(), 0u);
+}
+
+TEST(IndexVersionsTest, CutsAccessor) {
+  IndexVersions v(24);
+  auto cuts = EvenCuts();
+  ASSERT_TRUE(v.AddVersion(1, cuts, 0).ok());
+  EXPECT_EQ(v.Cuts(1), cuts);
+  EXPECT_EQ(v.Cuts(2), nullptr);
+}
+
+}  // namespace
+}  // namespace mind

@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "space/histogram.h"
+#include "space/mismatch.h"
+#include "traffic/aggregator.h"
+#include "traffic/anomaly_injector.h"
+#include "traffic/flow_generator.h"
+#include "traffic/indices.h"
+#include "traffic/topology.h"
+
+namespace mind {
+namespace {
+
+// ---------------------------------------------------------------- Topology
+
+TEST(TopologyTest, SizesMatchPaper) {
+  EXPECT_EQ(Topology::Abilene().size(), 11u);
+  EXPECT_EQ(Topology::Geant().size(), 23u);
+  EXPECT_EQ(Topology::AbileneGeant().size(), 34u);
+}
+
+TEST(TopologyTest, FindRouterAndPositions) {
+  Topology t = Topology::Abilene();
+  int chin = t.FindRouter("CHIN");
+  ASSERT_GE(chin, 0);
+  EXPECT_EQ(t.router(chin).city, "Chicago");
+  EXPECT_EQ(t.FindRouter("NOPE"), -1);
+  EXPECT_EQ(t.Positions().size(), 11u);
+}
+
+TEST(TopologyTest, GeographyIsSane) {
+  // LOSA-NYCM about 3900 km; Abilene nodes all in North America.
+  Topology t = Topology::Abilene();
+  GeoPoint losa = t.router(t.FindRouter("LOSA")).position;
+  GeoPoint nycm = t.router(t.FindRouter("NYCM")).position;
+  EXPECT_NEAR(GreatCircleKm(losa, nycm), 3940, 150);
+  for (const auto& r : t.routers()) {
+    EXPECT_LT(r.position.lon_deg, -60);  // west of the Atlantic
+  }
+  for (const auto& r : Topology::Geant().routers()) {
+    EXPECT_GT(r.position.lon_deg, -12);  // Europe/Middle East
+  }
+}
+
+TEST(TopologyTest, SamplingRates) {
+  EXPECT_DOUBLE_EQ(Topology::SamplingRate(Backbone::kAbilene), 0.01);
+  EXPECT_DOUBLE_EQ(Topology::SamplingRate(Backbone::kGeant), 0.001);
+}
+
+// ---------------------------------------------------------------- Generator
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : topo_(Topology::AbileneGeant()) {
+    opts_.peak_flows_per_router_sec = 30;
+    opts_.seed = 42;
+    gen_ = std::make_unique<FlowGenerator>(topo_, opts_);
+  }
+  Topology topo_;
+  FlowGeneratorOptions opts_;
+  std::unique_ptr<FlowGenerator> gen_;
+};
+
+TEST_F(GeneratorTest, Deterministic) {
+  FlowGenerator g2(topo_, opts_);
+  auto a = gen_->GenerateVec(0, 3600, 3660);
+  auto b = g2.GenerateVec(0, 3600, 3660);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src_ip, b[i].src_ip);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].router, b[i].router);
+  }
+}
+
+TEST_F(GeneratorTest, RecordsWithinWindowAndValidRouters) {
+  auto recs = gen_->GenerateVec(2, 7200, 7500);
+  ASSERT_GT(recs.size(), 50u);
+  for (const auto& f : recs) {
+    EXPECT_GE(f.time_sec, 2 * 86400.0 + 7200);
+    EXPECT_LT(f.time_sec, 2 * 86400.0 + 7500);
+    EXPECT_GE(f.router, 0);
+    EXPECT_LT(f.router, static_cast<int>(topo_.size()));
+    EXPECT_GE(f.bytes, 40u);
+    EXPECT_GE(f.packets, 1u);
+  }
+}
+
+TEST_F(GeneratorTest, AbileneSeesMoreRecordsThanGeant) {
+  // 1/100 vs 1/1000 sampling: Abilene routers report ~10x more records
+  // (paper §4.2: "more flow record tuples were injected from Abilene nodes").
+  auto recs = gen_->GenerateVec(0, 43200, 43800);
+  size_t abilene = 0, geant = 0;
+  for (const auto& f : recs) {
+    if (topo_.router(f.router).backbone == Backbone::kAbilene) {
+      ++abilene;
+    } else {
+      ++geant;
+    }
+  }
+  // 11 Abilene vs 23 GÉANT routers; despite fewer routers Abilene dominates.
+  EXPECT_GT(abilene, 2 * geant);
+}
+
+TEST_F(GeneratorTest, DiurnalRateVariation) {
+  auto day = gen_->GenerateVec(0, 13 * 3600, 13 * 3600 + 600);
+  auto night = gen_->GenerateVec(0, 2 * 3600, 2 * 3600 + 600);
+  EXPECT_GT(day.size(), night.size());
+}
+
+TEST_F(GeneratorTest, FlowSizesHeavyTailed) {
+  auto recs = gen_->GenerateVec(0, 50000, 50600);
+  ASSERT_GT(recs.size(), 100u);
+  std::vector<uint64_t> bytes;
+  for (const auto& f : recs) bytes.push_back(f.bytes);
+  std::sort(bytes.begin(), bytes.end());
+  uint64_t median = bytes[bytes.size() / 2];
+  uint64_t p99 = bytes[bytes.size() * 99 / 100];
+  EXPECT_GT(p99, 20 * median) << "tail not heavy";
+}
+
+TEST_F(GeneratorTest, DayDriftBoundedRankChanges) {
+  // Most prefixes keep their popularity rank across one day.
+  size_t n = gen_->prefix_count();
+  size_t same = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (gen_->RankOnDay(0, i) == gen_->RankOnDay(1, i)) ++same;
+  }
+  EXPECT_GT(static_cast<double>(same) / n, 0.75);
+  // But across 10 days there is visible drift.
+  size_t same10 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (gen_->RankOnDay(0, i) == gen_->RankOnDay(10, i)) ++same10;
+  }
+  EXPECT_LT(same10, same);
+}
+
+TEST_F(GeneratorTest, PrefixHomingConsistent) {
+  for (size_t i = 0; i < gen_->prefix_count(); ++i) {
+    int home = gen_->HomeRouter(i);
+    EXPECT_GE(home, 0);
+    EXPECT_LT(home, static_cast<int>(topo_.size()));
+  }
+  // Flows from a prefix are observed at its home router.
+  auto recs = gen_->GenerateVec(0, 30000, 30120);
+  size_t matched = 0;
+  for (const auto& f : recs) {
+    // find src prefix index
+    for (size_t i = 0; i < gen_->prefix_count(); ++i) {
+      if (gen_->prefix(i).Contains(f.src_ip) &&
+          gen_->HomeRouter(i) == f.router) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(matched, recs.size() / 3);  // src-side observations
+}
+
+// ---------------------------------------------------------------- Aggregator
+
+TEST(AggregatorTest, GroupsByWindowAndPrefixPair) {
+  Aggregator agg({30.0, 16, 300});
+  FlowRecord f;
+  f.src_ip = ParseIp("10.1.2.3").value();
+  f.dst_ip = ParseIp("10.2.9.9").value();
+  f.bytes = 1000;
+  f.router = 0;
+  f.dst_port = 80;
+  f.time_sec = 5;
+  agg.Add(f);
+  f.src_ip = ParseIp("10.1.200.1").value();  // same /16
+  f.bytes = 500;
+  f.time_sec = 20;
+  agg.Add(f);
+  f.time_sec = 40;  // next window
+  agg.Add(f);
+  auto recs = agg.DrainAll();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].octets, 1500u);
+  EXPECT_EQ(recs[0].flows, 2u);
+  EXPECT_EQ(recs[0].window_start, 0u);
+  EXPECT_EQ(recs[1].window_start, 30u);
+  EXPECT_EQ(recs[0].src_prefix.ToString(), "10.1.0.0/16");
+}
+
+TEST(AggregatorTest, FanoutCountsShortFlows) {
+  Aggregator agg({30.0, 16, 300});
+  FlowRecord f;
+  f.src_ip = ParseIp("10.1.0.1").value();
+  f.dst_ip = ParseIp("10.2.0.1").value();
+  f.router = 0;
+  for (int i = 0; i < 10; ++i) {
+    f.bytes = 40;  // short
+    f.dst_ip = ParseIp("10.2.0.1").value() + i;
+    f.time_sec = i;
+    agg.Add(f);
+  }
+  f.bytes = 100000;  // long
+  f.time_sec = 15;
+  agg.Add(f);
+  auto recs = agg.DrainAll();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].fanout, 10u);
+  EXPECT_EQ(recs[0].flows, 11u);
+  EXPECT_EQ(recs[0].distinct_dsts, 10u);
+}
+
+TEST(AggregatorTest, DrainCompletedLeavesOpenWindows) {
+  Aggregator agg({30.0, 16, 300});
+  FlowRecord f;
+  f.src_ip = 0x0A010001;
+  f.dst_ip = 0x0A020001;
+  f.router = 0;
+  f.bytes = 100;
+  f.time_sec = 10;
+  agg.Add(f);
+  f.time_sec = 70;
+  agg.Add(f);
+  auto done = agg.DrainCompleted(60);
+  EXPECT_EQ(done.size(), 1u);
+  EXPECT_EQ(agg.buffered_windows(), 1u);
+}
+
+TEST(AggregatorTest, TopPortIsMode) {
+  Aggregator agg({30.0, 16, 300});
+  FlowRecord f;
+  f.src_ip = 0x0A010001;
+  f.dst_ip = 0x0A020001;
+  f.router = 0;
+  f.bytes = 100;
+  for (int i = 0; i < 3; ++i) {
+    f.dst_port = 443;
+    f.time_sec = i;
+    agg.Add(f);
+  }
+  f.dst_port = 80;
+  f.time_sec = 4;
+  agg.Add(f);
+  auto recs = agg.DrainAll();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].top_dst_port, 443);
+}
+
+// The Figure 1 property: aggregation + filtering reduces record volume by
+// orders of magnitude.
+TEST(AggregatorTest, AggregationReducesVolume) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 120;
+  gopts.seed = 7;
+  FlowGenerator gen(topo, gopts);
+  auto raw = gen.GenerateVec(0, 43200, 44100);  // 15 min midday
+  auto aggregated = AggregateAll(raw, {30.0, 16, 300});
+  EXPECT_LT(aggregated.size(), raw.size());
+  size_t filtered = 0;
+  uint64_t seq = 0;
+  for (const auto& rec : aggregated) {
+    if (ToIndex2Tuple(rec, seq++).has_value()) ++filtered;
+  }
+  // Filtering removes the vast majority of aggregates.
+  EXPECT_LT(filtered, aggregated.size() / 5);
+}
+
+// ---------------------------------------------------------------- Indices
+
+TEST(IndicesTest, DefinitionsValidate) {
+  EXPECT_TRUE(MakeIndex1().Validate().ok());
+  EXPECT_TRUE(MakeIndex2().Validate().ok());
+  EXPECT_TRUE(MakeIndex3().Validate().ok());
+  EXPECT_EQ(MakeIndex1().schema.dims(), 3);
+  EXPECT_EQ(MakeIndex1().time_attr, 1);
+  EXPECT_EQ(MakeIndex3().carried.size(), 3u);
+}
+
+AggregateRecord SampleRecord() {
+  AggregateRecord rec;
+  rec.src_prefix = IpPrefix(ParseIp("10.1.0.0").value(), 16);
+  rec.dst_prefix = IpPrefix(ParseIp("10.2.0.0").value(), 16);
+  rec.window_start = 300;
+  rec.octets = 100 * 1024;
+  rec.fanout = 20;
+  rec.distinct_dsts = 5;
+  rec.flows = 25;
+  rec.avg_flow_size = 4096;
+  rec.top_dst_port = 3306;
+  rec.router = 4;
+  return rec;
+}
+
+TEST(IndicesTest, FiltersApplyThresholds) {
+  AggregateRecord rec = SampleRecord();
+  EXPECT_TRUE(ToIndex1Tuple(rec, 1).has_value());   // fanout 20 >= 16
+  EXPECT_TRUE(ToIndex2Tuple(rec, 1).has_value());   // 100KB >= 80KB
+  EXPECT_TRUE(ToIndex3Tuple(rec, 1).has_value());   // 4KB >= 1.5KB
+  rec.fanout = 15;
+  rec.octets = 70 * 1024;
+  rec.avg_flow_size = 1000;
+  EXPECT_FALSE(ToIndex1Tuple(rec, 1).has_value());
+  EXPECT_FALSE(ToIndex2Tuple(rec, 1).has_value());
+  EXPECT_FALSE(ToIndex3Tuple(rec, 1).has_value());
+}
+
+TEST(IndicesTest, TuplesMatchSchemas) {
+  AggregateRecord rec = SampleRecord();
+  auto t1 = ToIndex1Tuple(rec, 9).value();
+  EXPECT_EQ(t1.point.size(), 3u);
+  EXPECT_EQ(t1.point[0], rec.dst_prefix.First());
+  EXPECT_EQ(t1.point[1], rec.window_start);
+  EXPECT_EQ(t1.point[2], rec.fanout);
+  EXPECT_EQ(t1.extra.size(), 2u);
+  EXPECT_EQ(t1.origin, 4);
+  EXPECT_EQ(t1.seq, 9u);
+  EXPECT_TRUE(MakeIndex1().schema.Contains(t1.point));
+
+  auto t3 = ToIndex3Tuple(rec, 9).value();
+  EXPECT_EQ(t3.extra[1], 3306u);
+  EXPECT_TRUE(MakeIndex3().schema.Contains(t3.point));
+}
+
+TEST(IndicesTest, ClampsToDomainCaps) {
+  AggregateRecord rec = SampleRecord();
+  rec.fanout = 999999;
+  rec.octets = 50ull * 1024 * 1024 * 1024;
+  auto t1 = ToIndex1Tuple(rec, 1).value();
+  EXPECT_EQ(t1.point[2], PaperIndexOptions{}.index1_max_fanout);
+  auto t2 = ToIndex2Tuple(rec, 1).value();
+  EXPECT_EQ(t2.point[2], PaperIndexOptions{}.index2_max_octets);
+}
+
+// ---------------------------------------------------------------- Skew/drift
+
+// Figure 2/3 preconditions: aggregated traffic is strongly skewed, and
+// day-to-day distributions are far more similar than hour-to-hour ones.
+TEST(TrafficStatsTest, IndexedDataIsSkewed) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 120;
+  gopts.seed = 13;
+  FlowGenerator gen(topo, gopts);
+  auto raw = gen.GenerateVec(0, 40000, 41800);
+  auto aggregated = AggregateAll(raw, {30.0, 16, 300});
+  ASSERT_GT(aggregated.size(), 200u);
+
+  IndexDef def = MakeIndex2();
+  Histogram h(def.schema, 4);  // 64 cells, like the paper's 64-bin histogram
+  PaperIndexOptions no_filter;
+  no_filter.index2_min_octets = 0;
+  uint64_t seq = 0;
+  for (const auto& rec : aggregated) {
+    auto t = ToIndex2Tuple(rec, seq++, no_filter);
+    if (t) h.Add(t->point);
+  }
+  // Max bin should hold an order of magnitude more than the mean bin.
+  double max_mass = 0;
+  for (const auto& [p, m] : h.WeightedCellCenters()) {
+    max_mass = std::max(max_mass, m);
+  }
+  double mean = h.total_mass() / static_cast<double>(h.num_cells());
+  EXPECT_GT(max_mass, 8 * mean);
+}
+
+TEST(TrafficStatsTest, DayToDaySimilarHourToHourNot) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 60;
+  gopts.seed = 17;
+  FlowGenerator gen(topo, gopts);
+
+  IndexDef def = MakeIndex2();
+  PaperIndexOptions no_filter;
+  no_filter.index2_min_octets = 0;
+  // Histogram over (dst_prefix, time-of-day, octets).
+  auto histogram_of = [&](int day, double t0, double t1) {
+    Histogram h(def.schema, 8);
+    auto raw = gen.GenerateVec(day, t0, t1);
+    uint64_t seq = 0;
+    for (const auto& rec : AggregateAll(raw, {30.0, 16, 300})) {
+      auto t = ToIndex2Tuple(rec, seq++, no_filter);
+      if (t) {
+        t->point[1] %= 86400;  // align timestamps across days (time of day)
+        h.Add(t->point);
+      }
+    }
+    return h;
+  };
+
+  // Same hour on consecutive days vs different hours on the same day.
+  Histogram d0 = histogram_of(0, 36000, 37800);
+  Histogram d1 = histogram_of(1, 36000, 37800);
+  Histogram other_hour = histogram_of(0, 64800, 66600);
+  double day_mismatch = MismatchFraction(d0, d1).value();
+  double hour_mismatch = MismatchFraction(d0, other_hour).value();
+  EXPECT_LT(day_mismatch, 0.6 * hour_mismatch);
+  EXPECT_LT(day_mismatch, 0.35);
+  EXPECT_GT(hour_mismatch, 0.3);  // hot-set mixtures make hours diverge
+}
+
+// ---------------------------------------------------------------- Anomalies
+
+TEST(AnomalyInjectorTest, AlphaFlowProducesLargeAggregates) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.seed = 19;
+  FlowGenerator gen(topo, gopts);
+  AnomalyInjector inj(&gen);
+  AnomalyEvent ev;
+  ev.type = AnomalyType::kAlphaFlow;
+  ev.start_sec = 1000;
+  ev.duration_sec = 120;
+  ev.src_prefix = 3;
+  ev.dst_prefix = 10;
+  ev.magnitude = 4e9;  // 4 GB raw
+  auto recs = inj.Generate(ev, 900, 1300);
+  ASSERT_FALSE(recs.empty());
+  auto aggregated = AggregateAll(recs, {30.0, 16, 300});
+  uint64_t max_octets = 0;
+  for (const auto& rec : aggregated) max_octets = std::max(max_octets, rec.octets);
+  // 4 GB over 120 s at 1/100 sampling -> ~10 MB per 30 s window.
+  EXPECT_GT(max_octets, 4'000'000u);
+}
+
+TEST(AnomalyInjectorTest, ScanAndDosDriveFanout) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  gopts.seed = 23;
+  FlowGenerator gen(topo, gopts);
+  AnomalyInjector inj(&gen);
+
+  AnomalyEvent scan;
+  scan.type = AnomalyType::kPortScan;
+  scan.start_sec = 0;
+  scan.duration_sec = 300;
+  scan.src_prefix = 1;
+  scan.dst_prefix = 2;
+  scan.magnitude = 20000;  // probes/sec raw
+  auto scan_aggr = AggregateAll(inj.Generate(scan, 0, 300), {30.0, 16, 300});
+  uint32_t max_fanout = 0, max_dsts = 0;
+  for (const auto& rec : scan_aggr) {
+    max_fanout = std::max(max_fanout, rec.fanout);
+    max_dsts = std::max(max_dsts, rec.distinct_dsts);
+  }
+  EXPECT_GT(max_fanout, 1500u);
+  EXPECT_GT(max_dsts, 16u);  // distinguishes scan from DoS
+
+  AnomalyEvent dos;
+  dos.type = AnomalyType::kDos;
+  dos.start_sec = 0;
+  dos.duration_sec = 300;
+  dos.src_prefix = 5;
+  dos.dst_prefix = 6;
+  dos.magnitude = 20000;
+  auto dos_aggr = AggregateAll(inj.Generate(dos, 0, 300), {30.0, 16, 300});
+  uint32_t dos_fanout = 0, dos_dsts = 0;
+  for (const auto& rec : dos_aggr) {
+    dos_fanout = std::max(dos_fanout, rec.fanout);
+    dos_dsts = std::max(dos_dsts, rec.distinct_dsts);
+  }
+  EXPECT_GT(dos_fanout, 1500u);
+  EXPECT_LE(dos_dsts, 1u);  // single victim
+}
+
+TEST(AnomalyInjectorTest, EmptyOutsideEventWindow) {
+  Topology topo = Topology::Abilene();
+  FlowGeneratorOptions gopts;
+  FlowGenerator gen(topo, gopts);
+  AnomalyInjector inj(&gen);
+  AnomalyEvent ev;
+  ev.type = AnomalyType::kDos;
+  ev.start_sec = 1000;
+  ev.duration_sec = 60;
+  ev.magnitude = 10000;
+  EXPECT_TRUE(inj.Generate(ev, 0, 900).empty());
+  EXPECT_TRUE(inj.Generate(ev, 1100, 2000).empty());
+}
+
+}  // namespace
+}  // namespace mind
