@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_join"
+  "../bench/bench_abl_join.pdb"
+  "CMakeFiles/bench_abl_join.dir/bench_abl_join.cc.o"
+  "CMakeFiles/bench_abl_join.dir/bench_abl_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

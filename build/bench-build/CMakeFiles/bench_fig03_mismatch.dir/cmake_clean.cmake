@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_mismatch"
+  "../bench/bench_fig03_mismatch.pdb"
+  "CMakeFiles/bench_fig03_mismatch.dir/bench_fig03_mismatch.cc.o"
+  "CMakeFiles/bench_fig03_mismatch.dir/bench_fig03_mismatch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

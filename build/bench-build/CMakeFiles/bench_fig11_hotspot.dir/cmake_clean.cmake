@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_hotspot"
+  "../bench/bench_fig11_hotspot.pdb"
+  "CMakeFiles/bench_fig11_hotspot.dir/bench_fig11_hotspot.cc.o"
+  "CMakeFiles/bench_fig11_hotspot.dir/bench_fig11_hotspot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

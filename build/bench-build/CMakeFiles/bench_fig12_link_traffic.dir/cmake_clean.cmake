@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_link_traffic"
+  "../bench/bench_fig12_link_traffic.pdb"
+  "CMakeFiles/bench_fig12_link_traffic.dir/bench_fig12_link_traffic.cc.o"
+  "CMakeFiles/bench_fig12_link_traffic.dir/bench_fig12_link_traffic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_link_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_storage_balance"
+  "../bench/bench_fig13_storage_balance.pdb"
+  "CMakeFiles/bench_fig13_storage_balance.dir/bench_fig13_storage_balance.cc.o"
+  "CMakeFiles/bench_fig13_storage_balance.dir/bench_fig13_storage_balance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_storage_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_scale_insert"
+  "../bench/bench_fig14_scale_insert.pdb"
+  "CMakeFiles/bench_fig14_scale_insert.dir/bench_fig14_scale_insert.cc.o"
+  "CMakeFiles/bench_fig14_scale_insert.dir/bench_fig14_scale_insert.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_scale_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

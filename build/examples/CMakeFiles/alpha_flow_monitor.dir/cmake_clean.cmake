@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_flow_monitor.dir/alpha_flow_monitor.cpp.o"
+  "CMakeFiles/alpha_flow_monitor.dir/alpha_flow_monitor.cpp.o.d"
+  "alpha_flow_monitor"
+  "alpha_flow_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_flow_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

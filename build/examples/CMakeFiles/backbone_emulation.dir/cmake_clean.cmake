@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_emulation.dir/backbone_emulation.cpp.o"
+  "CMakeFiles/backbone_emulation.dir/backbone_emulation.cpp.o.d"
+  "backbone_emulation"
+  "backbone_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_anomaly.dir/anomaly/ground_truth.cc.o"
+  "CMakeFiles/mind_anomaly.dir/anomaly/ground_truth.cc.o.d"
+  "CMakeFiles/mind_anomaly.dir/anomaly/mind_detector.cc.o"
+  "CMakeFiles/mind_anomaly.dir/anomaly/mind_detector.cc.o.d"
+  "libmind_anomaly.a"
+  "libmind_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

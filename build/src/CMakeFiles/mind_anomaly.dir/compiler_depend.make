@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mind_anomaly.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_core.dir/mind/index_def.cc.o"
+  "CMakeFiles/mind_core.dir/mind/index_def.cc.o.d"
+  "CMakeFiles/mind_core.dir/mind/mind_net.cc.o"
+  "CMakeFiles/mind_core.dir/mind/mind_net.cc.o.d"
+  "CMakeFiles/mind_core.dir/mind/mind_node.cc.o"
+  "CMakeFiles/mind_core.dir/mind/mind_node.cc.o.d"
+  "CMakeFiles/mind_core.dir/mind/query_tracker.cc.o"
+  "CMakeFiles/mind_core.dir/mind/query_tracker.cc.o.d"
+  "libmind_core.a"
+  "libmind_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

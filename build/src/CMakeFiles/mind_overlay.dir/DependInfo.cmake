@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/join.cc" "src/CMakeFiles/mind_overlay.dir/overlay/join.cc.o" "gcc" "src/CMakeFiles/mind_overlay.dir/overlay/join.cc.o.d"
+  "/root/repo/src/overlay/overlay_node.cc" "src/CMakeFiles/mind_overlay.dir/overlay/overlay_node.cc.o" "gcc" "src/CMakeFiles/mind_overlay.dir/overlay/overlay_node.cc.o.d"
+  "/root/repo/src/overlay/recovery.cc" "src/CMakeFiles/mind_overlay.dir/overlay/recovery.cc.o" "gcc" "src/CMakeFiles/mind_overlay.dir/overlay/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mind_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_overlay.dir/overlay/join.cc.o"
+  "CMakeFiles/mind_overlay.dir/overlay/join.cc.o.d"
+  "CMakeFiles/mind_overlay.dir/overlay/overlay_node.cc.o"
+  "CMakeFiles/mind_overlay.dir/overlay/overlay_node.cc.o.d"
+  "CMakeFiles/mind_overlay.dir/overlay/recovery.cc.o"
+  "CMakeFiles/mind_overlay.dir/overlay/recovery.cc.o.d"
+  "libmind_overlay.a"
+  "libmind_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

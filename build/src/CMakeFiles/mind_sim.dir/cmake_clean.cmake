@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/mind_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/mind_sim.dir/sim/failure_injector.cc.o"
+  "CMakeFiles/mind_sim.dir/sim/failure_injector.cc.o.d"
+  "CMakeFiles/mind_sim.dir/sim/network.cc.o"
+  "CMakeFiles/mind_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/mind_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/mind_sim.dir/sim/simulator.cc.o.d"
+  "libmind_sim.a"
+  "libmind_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/space/cut_tree.cc" "src/CMakeFiles/mind_space.dir/space/cut_tree.cc.o" "gcc" "src/CMakeFiles/mind_space.dir/space/cut_tree.cc.o.d"
+  "/root/repo/src/space/histogram.cc" "src/CMakeFiles/mind_space.dir/space/histogram.cc.o" "gcc" "src/CMakeFiles/mind_space.dir/space/histogram.cc.o.d"
+  "/root/repo/src/space/mismatch.cc" "src/CMakeFiles/mind_space.dir/space/mismatch.cc.o" "gcc" "src/CMakeFiles/mind_space.dir/space/mismatch.cc.o.d"
+  "/root/repo/src/space/rect.cc" "src/CMakeFiles/mind_space.dir/space/rect.cc.o" "gcc" "src/CMakeFiles/mind_space.dir/space/rect.cc.o.d"
+  "/root/repo/src/space/schema.cc" "src/CMakeFiles/mind_space.dir/space/schema.cc.o" "gcc" "src/CMakeFiles/mind_space.dir/space/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mind_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

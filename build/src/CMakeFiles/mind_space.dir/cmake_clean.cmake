@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_space.dir/space/cut_tree.cc.o"
+  "CMakeFiles/mind_space.dir/space/cut_tree.cc.o.d"
+  "CMakeFiles/mind_space.dir/space/histogram.cc.o"
+  "CMakeFiles/mind_space.dir/space/histogram.cc.o.d"
+  "CMakeFiles/mind_space.dir/space/mismatch.cc.o"
+  "CMakeFiles/mind_space.dir/space/mismatch.cc.o.d"
+  "CMakeFiles/mind_space.dir/space/rect.cc.o"
+  "CMakeFiles/mind_space.dir/space/rect.cc.o.d"
+  "CMakeFiles/mind_space.dir/space/schema.cc.o"
+  "CMakeFiles/mind_space.dir/space/schema.cc.o.d"
+  "libmind_space.a"
+  "libmind_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/tuple_store.cc" "src/CMakeFiles/mind_storage.dir/storage/tuple_store.cc.o" "gcc" "src/CMakeFiles/mind_storage.dir/storage/tuple_store.cc.o.d"
+  "/root/repo/src/storage/version_manager.cc" "src/CMakeFiles/mind_storage.dir/storage/version_manager.cc.o" "gcc" "src/CMakeFiles/mind_storage.dir/storage/version_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mind_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_storage.dir/storage/tuple_store.cc.o"
+  "CMakeFiles/mind_storage.dir/storage/tuple_store.cc.o.d"
+  "CMakeFiles/mind_storage.dir/storage/version_manager.cc.o"
+  "CMakeFiles/mind_storage.dir/storage/version_manager.cc.o.d"
+  "libmind_storage.a"
+  "libmind_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

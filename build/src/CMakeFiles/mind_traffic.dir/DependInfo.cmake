@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/aggregator.cc" "src/CMakeFiles/mind_traffic.dir/traffic/aggregator.cc.o" "gcc" "src/CMakeFiles/mind_traffic.dir/traffic/aggregator.cc.o.d"
+  "/root/repo/src/traffic/anomaly_injector.cc" "src/CMakeFiles/mind_traffic.dir/traffic/anomaly_injector.cc.o" "gcc" "src/CMakeFiles/mind_traffic.dir/traffic/anomaly_injector.cc.o.d"
+  "/root/repo/src/traffic/flow_generator.cc" "src/CMakeFiles/mind_traffic.dir/traffic/flow_generator.cc.o" "gcc" "src/CMakeFiles/mind_traffic.dir/traffic/flow_generator.cc.o.d"
+  "/root/repo/src/traffic/indices.cc" "src/CMakeFiles/mind_traffic.dir/traffic/indices.cc.o" "gcc" "src/CMakeFiles/mind_traffic.dir/traffic/indices.cc.o.d"
+  "/root/repo/src/traffic/topology.cc" "src/CMakeFiles/mind_traffic.dir/traffic/topology.cc.o" "gcc" "src/CMakeFiles/mind_traffic.dir/traffic/topology.cc.o.d"
+  "/root/repo/src/traffic/trace_io.cc" "src/CMakeFiles/mind_traffic.dir/traffic/trace_io.cc.o" "gcc" "src/CMakeFiles/mind_traffic.dir/traffic/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

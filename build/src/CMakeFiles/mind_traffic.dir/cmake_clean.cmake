@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_traffic.dir/traffic/aggregator.cc.o"
+  "CMakeFiles/mind_traffic.dir/traffic/aggregator.cc.o.d"
+  "CMakeFiles/mind_traffic.dir/traffic/anomaly_injector.cc.o"
+  "CMakeFiles/mind_traffic.dir/traffic/anomaly_injector.cc.o.d"
+  "CMakeFiles/mind_traffic.dir/traffic/flow_generator.cc.o"
+  "CMakeFiles/mind_traffic.dir/traffic/flow_generator.cc.o.d"
+  "CMakeFiles/mind_traffic.dir/traffic/indices.cc.o"
+  "CMakeFiles/mind_traffic.dir/traffic/indices.cc.o.d"
+  "CMakeFiles/mind_traffic.dir/traffic/topology.cc.o"
+  "CMakeFiles/mind_traffic.dir/traffic/topology.cc.o.d"
+  "CMakeFiles/mind_traffic.dir/traffic/trace_io.cc.o"
+  "CMakeFiles/mind_traffic.dir/traffic/trace_io.cc.o.d"
+  "libmind_traffic.a"
+  "libmind_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmind_traffic.a"
+)

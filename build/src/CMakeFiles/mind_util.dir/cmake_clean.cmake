@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_util.dir/util/bitcode.cc.o"
+  "CMakeFiles/mind_util.dir/util/bitcode.cc.o.d"
+  "CMakeFiles/mind_util.dir/util/ip.cc.o"
+  "CMakeFiles/mind_util.dir/util/ip.cc.o.d"
+  "CMakeFiles/mind_util.dir/util/logging.cc.o"
+  "CMakeFiles/mind_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/mind_util.dir/util/rng.cc.o"
+  "CMakeFiles/mind_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/mind_util.dir/util/status.cc.o"
+  "CMakeFiles/mind_util.dir/util/status.cc.o.d"
+  "libmind_util.a"
+  "libmind_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mind_test.cc" "tests/CMakeFiles/mind_test.dir/mind_test.cc.o" "gcc" "tests/CMakeFiles/mind_test.dir/mind_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mind_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mind_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

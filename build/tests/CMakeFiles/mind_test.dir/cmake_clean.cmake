@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mind_test.dir/mind_test.cc.o"
+  "CMakeFiles/mind_test.dir/mind_test.cc.o.d"
+  "mind_test"
+  "mind_test.pdb"
+  "mind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

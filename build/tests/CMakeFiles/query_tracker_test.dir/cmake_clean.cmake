@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tracker_test.dir/query_tracker_test.cc.o"
+  "CMakeFiles/query_tracker_test.dir/query_tracker_test.cc.o.d"
+  "query_tracker_test"
+  "query_tracker_test.pdb"
+  "query_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
