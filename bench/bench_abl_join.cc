@@ -33,9 +33,11 @@ JoinRun Run(size_t n, bool concurrent, uint64_t seed) {
   r.complete_cover = net.CodesFormCompleteCover();
   for (size_t i = 0; i < n; ++i) {
     r.max_code = std::max(r.max_code, net.node(i).overlay().code().length());
-    r.attempts += net.node(i).overlay().stats().join_attempts;
-    r.preemptions += net.node(i).overlay().stats().join_preemptions;
   }
+  // Join counters are aggregated across the run's registry (one per sim).
+  r.attempts = net.sim().metrics().counter("overlay.join.attempts").value();
+  r.preemptions =
+      net.sim().metrics().counter("overlay.join.preemptions").value();
   (void)st;
   return r;
 }

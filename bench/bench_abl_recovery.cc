@@ -78,10 +78,8 @@ RecoveryRun Run(bool ring_enabled, uint64_t seed) {
     ++r.sent;
   }
   sim.RunFor(FromSeconds(240));
-  for (auto& n : nodes) {
-    r.dead_ends += n->stats().dead_ends;
-    r.ring_detours += n->stats().ring_found;
-  }
+  r.dead_ends = sim.metrics().counter("overlay.route.dead_ends").value();
+  r.ring_detours = sim.metrics().counter("overlay.ring.found").value();
   return r;
 }
 

@@ -37,8 +37,17 @@ int main() {
 
   Rng rng(10);
   const char* names[] = {"index1_fanout", "index2_octets", "index3_flowsize"};
-  std::vector<double> latency[3];
-  size_t incomplete = 0;
+  const char* keys[] = {"index1", "index2", "index3"};
+  // Bench-level registry: per-index + combined latency histograms. The table
+  // and BENCH_fig10_query_latency.json read the same instruments.
+  telemetry::MetricsRegistry bench_metrics;
+  telemetry::SimHistogram* latency_ms[3];
+  for (int i = 0; i < 3; ++i) {
+    latency_ms[i] = &bench_metrics.histogram(
+        std::string("bench.fig10.") + keys[i] + ".query_latency_ms");
+  }
+  auto& all_ms = bench_metrics.histogram("bench.fig10.all.query_latency_ms");
+  auto& incomplete_ctr = bench_metrics.counter("bench.fig10.incomplete");
   for (int iter = 0; iter < 150; ++iter) {
     int which = iter % 3;
     const IndexDef* def = net.node(0).GetIndexDef(names[which]);
@@ -47,20 +56,36 @@ int main() {
     auto result = RunQueryBlocking(net, rng.Uniform(net.size()), names[which], q);
     if (!result) continue;
     if (!result->complete) {
-      ++incomplete;
+      incomplete_ctr.Inc();
       continue;
     }
-    latency[which].push_back(ToSeconds(result->latency));
+    double ms = ToSeconds(result->latency) * 1e3;
+    latency_ms[which]->Record(ms);
+    all_ms.Record(ms);
   }
 
   std::printf("=== Figure 10: query latency, 34-node deployment ===\n\n");
-  PrintLatencyRow("Index-1 (fanout)", latency[0]);
-  PrintLatencyRow("Index-2 (octets)", latency[1]);
-  PrintLatencyRow("Index-3 (flowsize)", latency[2]);
-  std::vector<double> all;
-  for (auto& v : latency) all.insert(all.end(), v.begin(), v.end());
-  PrintLatencyRow("all queries", all);
-  std::printf("incomplete (timed out): %zu\n", incomplete);
+  PrintLatencyRowHist("Index-1 (fanout)", *latency_ms[0]);
+  PrintLatencyRowHist("Index-2 (octets)", *latency_ms[1]);
+  PrintLatencyRowHist("Index-3 (flowsize)", *latency_ms[2]);
+  PrintLatencyRowHist("all queries", all_ms);
+  std::printf("incomplete (timed out): %llu\n",
+              (unsigned long long)incomplete_ctr.value());
   std::printf("\n(paper: median ~0.5 s, skewed tail with high p90/mean)\n");
+
+  auto& sm = net.sim().metrics();
+  bench_metrics.counter("mind.query.count")
+      .Inc(sm.counter("mind.query.count").value());
+  bench_metrics.counter("mind.query.replies")
+      .Inc(sm.counter("mind.query.replies").value());
+  bench_metrics.counter("sim.net.messages")
+      .Inc(sm.counter("sim.net.messages").value());
+  telemetry::RunMeta meta;
+  meta.bench = "fig10_query_latency";
+  meta.seed = mopts.sim.seed;
+  meta.topology = "abilene_geant";
+  meta.nodes = static_cast<int>(topo.size());
+  meta.extra["queries"] = "150";
+  ExportBench(bench_metrics, meta);
   return 0;
 }

@@ -126,8 +126,13 @@ int main() {
   for (const char* label : {"m=0", "m=1", "full"}) std::printf("  %8s", label);
   std::printf("\n");
 
+  // Bench-level registry: one success-percentage gauge per (kill fraction,
+  // replication level) cell plus storage-cost gauges; the printed table and
+  // BENCH_fig16_robustness.json read the same gauges.
+  telemetry::MetricsRegistry bench_metrics;
   const double kill_fractions[] = {0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50};
   const int reps[] = {0, 1, -1};
+  const char* rep_keys[] = {"m0", "m1", "full"};
   double storage[3] = {0, 0, 0};
   for (double kf : kill_fractions) {
     std::printf("%7.0f%%", kf * 100);
@@ -144,14 +149,33 @@ int main() {
         sum += r.success_fraction;
         storage[ri] = r.storage_tuples;
       }
-      std::printf("  %7.1f%%", 100 * sum / kSeeds);
+      double pct = 100 * sum / kSeeds;
+      char name[64];
+      std::snprintf(name, sizeof(name), "bench.fig16.success_pct.f%02.0f.%s",
+                    kf * 100, rep_keys[ri]);
+      bench_metrics.gauge(name).Set(pct);
+      std::printf("  %7.1f%%", pct);
     }
     std::printf("\n");
+  }
+  for (int ri = 0; ri < 3; ++ri) {
+    bench_metrics.gauge(std::string("bench.fig16.storage_tuples.") + rep_keys[ri])
+        .Set(storage[ri]);
   }
   std::printf("\nstorage cost (tuple copies incl. replicas): m=0: %.0f  m=1: %.0f  "
               "full: %.0f\n",
               storage[0], storage[1], storage[2]);
   std::printf("(paper: linear decay without replication; flat to 15%% with one "
               "replica; flat past 50%% with full replication)\n");
+
+  telemetry::RunMeta meta;
+  meta.bench = "fig16_robustness";
+  meta.seed = 0x16160;
+  meta.topology = "local_cluster";
+  meta.nodes = 102;
+  meta.extra["tuples"] = std::to_string(points.size());
+  meta.extra["queries_per_point"] = "60";
+  meta.extra["seeds_per_point"] = "3";
+  ExportBench(bench_metrics, meta);
   return 0;
 }

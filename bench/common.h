@@ -15,6 +15,8 @@
 
 #include "anomaly/ground_truth.h"
 #include "mind/mind_net.h"
+#include "telemetry/export.h"
+#include "telemetry/stats.h"
 #include "traffic/aggregator.h"
 #include "traffic/anomaly_injector.h"
 #include "traffic/flow_generator.h"
@@ -26,27 +28,38 @@ namespace bench {
 
 // ------------------------------------------------------------ statistics
 
-inline double Percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  double idx = p / 100.0 * static_cast<double>(v.size() - 1);
-  size_t lo = static_cast<size_t>(idx);
-  size_t hi = std::min(lo + 1, v.size() - 1);
-  double frac = idx - static_cast<double>(lo);
-  return v[lo] * (1 - frac) + v[hi] * frac;
-}
-
-inline double Mean(const std::vector<double>& v) {
-  if (v.empty()) return 0;
-  double s = 0;
-  for (double x : v) s += x;
-  return s / static_cast<double>(v.size());
-}
+// The single definition lives in telemetry/stats.h so benches, the registry
+// histograms and the exporters all agree.
+using telemetry::Mean;
+using telemetry::Percentile;
 
 inline void PrintLatencyRow(const char* label, const std::vector<double>& sec) {
   std::printf("%-28s n=%6zu  median=%7.3fs  mean=%7.3fs  p90=%7.3fs  p99=%7.3fs\n",
               label, sec.size(), Percentile(sec, 50), Mean(sec),
               Percentile(sec, 90), Percentile(sec, 99));
+}
+
+/// Same table row printed from a registry histogram recorded in milliseconds
+/// (values shown in seconds). Because the BENCH_*.json exporter snapshots the
+/// very same histogram, the printed median/p90/p99 equal the JSON ones.
+inline void PrintLatencyRowHist(const char* label,
+                                const telemetry::SimHistogram& h_ms) {
+  std::printf("%-28s n=%6llu  median=%7.3fs  mean=%7.3fs  p90=%7.3fs  p99=%7.3fs\n",
+              label, static_cast<unsigned long long>(h_ms.count()),
+              h_ms.Percentile(50) / 1e3, h_ms.Mean() / 1e3,
+              h_ms.Percentile(90) / 1e3, h_ms.Percentile(99) / 1e3);
+}
+
+/// Writes the registry snapshot to BENCH_<meta.bench>.json (plus metadata).
+inline void ExportBench(const telemetry::MetricsRegistry& registry,
+                        const telemetry::RunMeta& meta) {
+  std::string path = telemetry::JsonExporter::DefaultPath(meta);
+  Status st = telemetry::JsonExporter::WriteFile(registry, meta, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench export failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf("[export] wrote %s\n", path.c_str());
 }
 
 // ------------------------------------------------------------ deployment

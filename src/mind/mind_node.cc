@@ -14,8 +14,23 @@ MindNode::MindNode(Simulator* sim, OverlayOptions overlay_options,
       events_(&sim->events()),
       options_(options),
       rng_(options.seed),
-      overlay_(sim, overlay_options, position) {
+      overlay_(sim, overlay_options, position),
+      tracer_(&sim->tracer()) {
   rng_ = Rng(options.seed).Fork(static_cast<uint64_t>(overlay_.id()) + 7919);
+  telemetry::MetricsRegistry& m = sim->metrics();
+  tm_.inserts = &m.counter("mind.insert.count");
+  tm_.queries = &m.counter("mind.query.count");
+  tm_.query_timeouts = &m.counter("mind.query.timeouts");
+  tm_.replicas_sent = &m.counter("mind.replicate.sent");
+  tm_.insert_latency_ms = &m.histogram("mind.insert.latency_ms");
+  tm_.insert_hops = &m.histogram("mind.insert.hops");
+  tm_.dac_insert_wait_ms = &m.histogram("mind.dac.insert_wait_ms");
+  tm_.dac_query_wait_ms = &m.histogram("mind.dac.query_wait_ms");
+  tm_.query_latency_ms = &m.histogram("mind.query.latency_ms");
+  tm_.subquery_len = &m.histogram("mind.query.subquery_len");
+  tm_.replicate_fanout = &m.histogram("mind.replicate.fanout");
+  tm_.scan_rows_examined = &m.histogram("storage.scan.rows_examined");
+  tm_.scan_rows_returned = &m.histogram("storage.scan.rows_returned");
   overlay_.set_on_deliver(
       [this](NodeId origin, const MessagePtr& inner, int hops) {
         OnDelivered(origin, inner, hops);
@@ -125,27 +140,45 @@ Status MindNode::Insert(const std::string& index, Tuple tuple) {
   m->version = version;
   m->tuple = std::move(tuple);
   m->sent_at = events_->now();
+  tm_.inserts->Inc();
+  // Insert trace ids set the top bit so they never collide with query ids
+  // (which use the same (node << 32 | seq) layout).
+  m->trace_id = (uint64_t{1} << 63) |
+                (static_cast<uint64_t>(static_cast<uint32_t>(id())) << 32) |
+                (++insert_seq_);
+  m->root_span = tracer_->StartSpan(m->trace_id, "insert", 0, id());
+  m->route_span =
+      tracer_->StartSpan(m->trace_id, "insert.route", m->root_span, id());
   overlay_.Route(code, m);
   return Status::OK();
 }
 
 void MindNode::OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops) {
+  tracer_->EndSpan(m->route_span);
   IndexState* st = FindIndex(m->index);
   if (st == nullptr) return;  // lagging index creation: drop
   TupleStore* store = st->primary.Store(m->version);
   if (store == nullptr) return;
 
   // The storage thread (the prototype's DAC) serializes commits.
+  SimTime now = events_->now();
+  SimTime dac_wait = dac_busy_until_ > now ? dac_busy_until_ - now : 0;
+  tm_.dac_insert_wait_ms->Record(ToSeconds(dac_wait) * 1e3);
+  uint64_t dac_span =
+      tracer_->StartSpan(m->trace_id, "insert.dac", m->root_span, id());
   SimTime commit_at =
       std::max(events_->now(), dac_busy_until_) + options_.insert_proc_time;
   dac_busy_until_ = commit_at;
   std::string index = m->index;
-  events_->ScheduleAt(commit_at, [this, m, hops, commit_at] {
+  events_->ScheduleAt(commit_at, [this, m, hops, commit_at, dac_span] {
+    tracer_->EndSpan(dac_span);
     IndexState* st2 = FindIndex(m->index);
     if (st2 == nullptr) return;
     TupleStore* store2 = st2->primary.Store(m->version);
     if (store2 == nullptr) return;
     store2->Insert(m->tuple);
+    tm_.insert_latency_ms->Record(ToSeconds(commit_at - m->sent_at) * 1e3);
+    tm_.insert_hops->Record(static_cast<double>(hops));
     if (on_stored_) {
       StoredInfo info;
       info.index = m->index;
@@ -158,14 +191,24 @@ void MindNode::OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops) {
     }
     // Replicate to prefix neighbors (§3.8).
     if (options_.replication != 0) {
+      uint64_t rep_span =
+          tracer_->StartSpan(m->trace_id, "insert.replicate", m->root_span,
+                             id());
       auto rep = std::make_shared<ReplicateMsg>();
       rep->index = m->index;
       rep->version = m->version;
       rep->tuple = m->tuple;
+      size_t fanout = 0;
       for (NodeId target : overlay_.ReplicationTargets(options_.replication)) {
         overlay_.SendDirect(target, rep);
+        ++fanout;
       }
+      tm_.replicas_sent->Inc(fanout);
+      tm_.replicate_fanout->Record(static_cast<double>(fanout));
+      tracer_->Note(rep_span, "fanout", std::to_string(fanout));
+      tracer_->EndSpan(rep_span);
     }
+    tracer_->EndSpan(m->root_span);
   });
 }
 
@@ -195,6 +238,8 @@ Result<uint64_t> MindNode::Query(const std::string& index, const Rect& rect,
   pq.callback = std::move(callback);
   pq.started = events_->now();
   pq.visited.insert(id());
+  tm_.queries->Inc();
+  pq.root_span = tracer_->StartSpan(query_id, "query", 0, id());
 
   if (versions.empty()) {
     // Nothing to ask: complete immediately (async for API consistency).
@@ -207,8 +252,9 @@ Result<uint64_t> MindNode::Query(const std::string& index, const Rect& rect,
     CutTreeRef cuts = st->primary.Cuts(v);
     int root_len = std::min(options_.insert_code_len, options_.max_split_len);
     BitCode root = cuts->MinimalContainingCode(rect, root_len);
-    pq.trackers.emplace(
-        v, QueryTracker(rect, root, cuts, options_.max_split_len));
+    pq.trackers.emplace(v, QueryTracker(rect, root, cuts,
+                                        options_.max_split_len,
+                                        &sim_->metrics()));
   }
   auto [it, inserted] = queries_.emplace(query_id, std::move(pq));
   MIND_CHECK(inserted);
@@ -226,6 +272,7 @@ Result<uint64_t> MindNode::Query(const std::string& index, const Rect& rect,
     m->code = tracker.root();
     m->originator = id();
     m->sent_at = events_->now();
+    m->root_span = it->second.root_span;
     overlay_.Route(tracker.root(), m);
   }
   return query_id;
@@ -264,6 +311,9 @@ void MindNode::HandleQueryCode(const std::shared_ptr<QueryMsg>& m,
     if (st == nullptr) return;
     CutTreeRef cuts = st->primary.Cuts(m->version);
     if (cuts == nullptr) return;
+    uint64_t split_span =
+        tracer_->StartSpan(m->query_id, "query.split", m->root_span, id());
+    tracer_->Note(split_span, "code", code.ToString());
     for (const BitCode& child : cuts->IntersectingChildren(m->rect, code)) {
       int cpl = my.CommonPrefixLen(child);
       if (cpl == std::min(my.length(), child.length())) {
@@ -274,6 +324,7 @@ void MindNode::HandleQueryCode(const std::shared_ptr<QueryMsg>& m,
         overlay_.Route(child, sub);
       }
     }
+    tracer_->EndSpan(split_span);
     return;
   }
   // Misrouted during an overlay transient: try again.
@@ -286,9 +337,18 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
   CutTreeRef cuts = st->primary.Cuts(m.version);
   if (cuts == nullptr) return;
 
+  uint64_t resolve_span =
+      tracer_->StartSpan(m.query_id, "query.resolve", m.root_span, id());
+  tracer_->Note(resolve_span, "code", code.ToString());
+  tm_.subquery_len->Record(static_cast<double>(code.length()));
+
   std::vector<Tuple> results;
   TupleStore* primary = st->primary.Store(m.version);
   TupleStore* replicas = st->replicas.Store(m.version);
+  uint64_t examined0 = (primary ? primary->scan_rows_examined() : 0) +
+                       (replicas ? replicas->scan_rows_examined() : 0);
+  uint64_t matched0 = (primary ? primary->scan_rows_matched() : 0) +
+                      (replicas ? replicas->scan_rows_matched() : 0);
   auto region = cuts->RectForCode(code);
   std::optional<Rect> scan_rect;
   if (region.has_value()) scan_rect = region->Intersect(m.rect);
@@ -302,6 +362,12 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
       for (auto& t : replicas->Query(*scan_rect)) results.push_back(std::move(t));
     }
   }
+  uint64_t examined1 = (primary ? primary->scan_rows_examined() : 0) +
+                       (replicas ? replicas->scan_rows_examined() : 0);
+  uint64_t matched1 = (primary ? primary->scan_rows_matched() : 0) +
+                      (replicas ? replicas->scan_rows_matched() : 0);
+  tm_.scan_rows_examined->Record(static_cast<double>(examined1 - examined0));
+  tm_.scan_rows_returned->Record(static_cast<double>(matched1 - matched0));
 
   // Forward pointer (§3.4): versions we acquired via index sync (we joined
   // after their creation) may have pre-join data at the node we split from;
@@ -315,6 +381,9 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
   }
 
   size_t n = results.size();
+  SimTime now = events_->now();
+  SimTime dac_wait = dac_busy_until_ > now ? dac_busy_until_ - now : 0;
+  tm_.dac_query_wait_ms->Record(ToSeconds(dac_wait) * 1e3);
   SimTime respond_at = std::max(events_->now(), dac_busy_until_) +
                        options_.query_proc_base +
                        options_.query_proc_per_tuple * n;
@@ -333,16 +402,25 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
   reply->resolver = id();
   reply->supplemental = m.resolve_only;
   NodeId originator = m.originator;
-  events_->ScheduleAt(respond_at, [this, reply, originator] {
-    if (originator == id()) {
-      OnQueryReply(*reply);
-    } else {
-      overlay_.SendDirect(originator, reply);
-    }
-  });
+  uint64_t query_id = m.query_id;
+  uint64_t root_span = m.root_span;
+  events_->ScheduleAt(
+      respond_at, [this, reply, originator, resolve_span, query_id, root_span] {
+        tracer_->Note(resolve_span, "tuples",
+                      std::to_string(reply->tuples.size()));
+        tracer_->EndSpan(resolve_span);
+        reply->reply_span =
+            tracer_->StartSpan(query_id, "query.reply", root_span, id());
+        if (originator == id()) {
+          OnQueryReply(*reply);
+        } else {
+          overlay_.SendDirect(originator, reply);
+        }
+      });
 }
 
 void MindNode::OnQueryReply(const QueryReplyMsg& m) {
+  tracer_->EndSpan(m.reply_span);
   auto it = queries_.find(m.query_id);
   if (it == queries_.end()) {
     if (getenv("MIND_QUERY_DEBUG")) {
@@ -375,6 +453,10 @@ void MindNode::FinalizeQuery(uint64_t query_id, bool complete) {
   result.query_id = query_id;
   result.complete = complete;
   result.latency = events_->now() - pq.started;
+  tm_.query_latency_ms->Record(ToSeconds(result.latency) * 1e3);
+  if (!complete) tm_.query_timeouts->Inc();
+  tracer_->Note(pq.root_span, "outcome", complete ? "complete" : "timeout");
+  tracer_->EndSpan(pq.root_span);
   std::unordered_set<uint64_t> seen;
   std::unordered_set<NodeId> responders, positive;
   for (auto& [v, tracker] : pq.trackers) {

@@ -180,6 +180,7 @@ class MindNode {
     std::map<VersionId, QueryTracker> trackers;
     std::unordered_set<NodeId> visited;  // filled via on_query_visit wiring
     EventId timeout_event = 0;
+    uint64_t root_span = 0;  // originator's "query" trace span
   };
 
   struct PendingCollection {
@@ -220,6 +221,7 @@ class MindNode {
   std::map<std::string, IndexState> indices_;
   std::unordered_map<uint64_t, PendingQuery> queries_;
   uint64_t query_seq_ = 0;
+  uint64_t insert_seq_ = 0;  // local insert counter, forms insert trace ids
 
   // local storage-thread model (the DAC queue)
   SimTime dac_busy_until_ = 0;
@@ -234,6 +236,26 @@ class MindNode {
 
   StoredFn on_stored_;
   QueryVisitFn on_query_visit_;
+
+  // Registry instruments (`mind.*`, `storage.scan.*`), aggregated across all
+  // nodes of one Simulator. Cached at construction; never null.
+  struct Instruments {
+    telemetry::Counter* inserts;
+    telemetry::Counter* queries;
+    telemetry::Counter* query_timeouts;
+    telemetry::Counter* replicas_sent;
+    telemetry::SimHistogram* insert_latency_ms;
+    telemetry::SimHistogram* insert_hops;
+    telemetry::SimHistogram* dac_insert_wait_ms;
+    telemetry::SimHistogram* dac_query_wait_ms;
+    telemetry::SimHistogram* query_latency_ms;
+    telemetry::SimHistogram* subquery_len;
+    telemetry::SimHistogram* replicate_fanout;
+    telemetry::SimHistogram* scan_rows_examined;
+    telemetry::SimHistogram* scan_rows_returned;
+  };
+  Instruments tm_;
+  telemetry::Tracer* tracer_;
 };
 
 }  // namespace mind

@@ -15,23 +15,31 @@ constexpr int kCoverBudget = 20000;
 }  // namespace
 
 QueryTracker::QueryTracker(Rect rect, BitCode root, CutTreeRef cuts,
-                           int max_split_len)
+                           int max_split_len,
+                           telemetry::MetricsRegistry* metrics)
     : rect_(std::move(rect)),
       root_(root),
       cuts_(std::move(cuts)),
       max_split_len_(max_split_len) {
   MIND_CHECK(cuts_ != nullptr);
+  if (metrics != nullptr) {
+    replies_counter_ = &metrics->counter("mind.query.replies");
+    dup_tuples_counter_ = &metrics->counter("mind.query.duplicate_tuples");
+  }
 }
 
 void QueryTracker::AddReply(NodeId resolver, const BitCode& code,
                             std::vector<Tuple> tuples, bool authoritative) {
   ++replies_;
+  if (replies_counter_ != nullptr) replies_counter_->Inc();
   responders_.insert(resolver);
   if (!tuples.empty()) positive_responders_.insert(resolver);
   if (authoritative) covered_.push_back(code);
   for (auto& t : tuples) {
     if (seen_tuples_.insert(TupleKey(t)).second) {
       tuples_.push_back(std::move(t));
+    } else if (dup_tuples_counter_ != nullptr) {
+      dup_tuples_counter_->Inc();
     }
   }
 }

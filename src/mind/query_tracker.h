@@ -13,6 +13,7 @@
 #include "space/cut_tree.h"
 #include "space/rect.h"
 #include "storage/tuple.h"
+#include "telemetry/metrics.h"
 #include "util/bitcode.h"
 
 namespace mind {
@@ -21,8 +22,10 @@ class QueryTracker {
  public:
   /// `root` is the minimal containing code the query was routed to; `cuts`
   /// the embedding of the queried version; `max_split_len` bounds how deep
-  /// the resolvers may have split.
-  QueryTracker(Rect rect, BitCode root, CutTreeRef cuts, int max_split_len);
+  /// the resolvers may have split. `metrics`, when non-null, receives
+  /// per-reply counters (`mind.query.replies`, `mind.query.duplicate_tuples`).
+  QueryTracker(Rect rect, BitCode root, CutTreeRef cuts, int max_split_len,
+               telemetry::MetricsRegistry* metrics = nullptr);
 
   /// Records a reply covering `code`; tuples are merged with (origin, seq)
   /// de-duplication (replicas may answer the same region). Supplemental
@@ -58,6 +61,8 @@ class QueryTracker {
   std::unordered_set<uint64_t> seen_tuples_;  // (origin, seq) packed
   std::vector<Tuple> tuples_;
   size_t replies_ = 0;
+  telemetry::Counter* replies_counter_ = nullptr;
+  telemetry::Counter* dup_tuples_counter_ = nullptr;
 };
 
 }  // namespace mind

@@ -36,7 +36,7 @@ void OverlayNode::ScheduleJoinRetry() {
 
 void OverlayNode::StartJoinAttempt() {
   if (!alive_ || joined_) return;
-  ++stats_.join_attempts;
+  tm_.join_attempts->Inc();
   join_state_ = JoinState::kWaitCandidate;
 
   // Route a JoinFind to a uniformly random point of the code space through
@@ -163,7 +163,7 @@ void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
   // (a) Against our own pending join (we are a parent too).
   if (pending_join_.has_value()) {
     if (m.parent_depth < code_.length()) {
-      ++stats_.join_preemptions;
+      tm_.join_preemptions->Inc();
       AbortPendingJoin(/*notify_joiner=*/true);
       // fall through to accept the shallower join
     } else {
@@ -182,7 +182,7 @@ void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
       SendRaw(it->second.parent, r);
       if (it->second.expiry_event) events_->Cancel(it->second.expiry_event);
       it = staged_adds_.erase(it);
-      ++stats_.join_preemptions;
+      tm_.join_preemptions->Inc();
     } else if (it->second.parent_depth < m.parent_depth ||
                it->second.parent != m.parent) {
       // An equally-or-more shallow staged join exists: reject the newcomer.

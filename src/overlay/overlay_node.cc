@@ -15,6 +15,19 @@ OverlayNode::OverlayNode(Simulator* sim, OverlayOptions options,
       rng_(options.seed) {
   id_ = position ? net_->AddHost(this, *position) : net_->AddHost(this);
   rng_ = Rng(options.seed).Fork(static_cast<uint64_t>(id_) + 1);
+  telemetry::MetricsRegistry& m = sim->metrics();
+  tm_.delivered = &m.counter("overlay.route.delivered");
+  tm_.forwarded = &m.counter("overlay.route.forwarded");
+  tm_.dropped = &m.counter("overlay.route.dropped");
+  tm_.dead_ends = &m.counter("overlay.route.dead_ends");
+  tm_.ring_searches = &m.counter("overlay.ring.searches");
+  tm_.ring_found = &m.counter("overlay.ring.found");
+  tm_.join_attempts = &m.counter("overlay.join.attempts");
+  tm_.join_rejects = &m.counter("overlay.join.rejects");
+  tm_.join_preemptions = &m.counter("overlay.join.preemptions");
+  tm_.takeovers = &m.counter("overlay.recovery.takeovers");
+  tm_.peers_declared_dead = &m.counter("overlay.recovery.peers_declared_dead");
+  tm_.heartbeats_sent = &m.counter("overlay.heartbeat.sent");
 }
 
 void OverlayNode::BecomeFirst() {
@@ -174,11 +187,11 @@ void OverlayNode::Route(const BitCode& target, MessagePtr inner) {
 
 void OverlayNode::ProcessEnvelope(std::shared_ptr<RouteEnvelope> env) {
   if (!alive_ || !joined_) {
-    ++stats_.envelopes_dropped;
+    tm_.dropped->Inc();
     return;
   }
   if (OwnsTarget(env->target)) {
-    ++stats_.envelopes_delivered;
+    tm_.delivered->Inc();
     // Routed overlay-control payloads (JoinFind) are handled internally;
     // everything else goes up to the application.
     if (auto* om = dynamic_cast<OverlayMsg*>(env->inner.get())) {
@@ -195,17 +208,17 @@ void OverlayNode::ProcessEnvelope(std::shared_ptr<RouteEnvelope> env) {
     return;
   }
   if (env->hops >= env->max_hops) {
-    ++stats_.envelopes_dropped;
+    tm_.dropped->Inc();
     return;
   }
   NodeId next = BestNextHop(env->target);
   if (next == kInvalidNode) {
-    ++stats_.dead_ends;
+    tm_.dead_ends->Inc();
     StartRingSearch(std::move(env));
     return;
   }
   env->hops++;
-  ++stats_.envelopes_forwarded;
+  tm_.forwarded->Inc();
   if (on_forward_) on_forward_(env->inner);
   SendRaw(next, std::move(env));
 }
@@ -281,7 +294,7 @@ void OverlayNode::HandleMessage(NodeId from, const MessagePtr& msg) {
     case OverlayMsgKind::kJoinReject: {
       if (join_state_ == JoinState::kWaitCommit ||
           join_state_ == JoinState::kWaitCandidate) {
-        ++stats_.join_rejects;
+        tm_.join_rejects->Inc();
         // Heal the stale peer table that proposed this candidate, or the
         // same dead-end proposal would recur indefinitely.
         const auto& rej = static_cast<const JoinRejectMsg&>(*om);
@@ -346,7 +359,7 @@ void OverlayNode::HandleMessage(NodeId from, const MessagePtr& msg) {
         if (code_.length() > 0 && old == code_.Sibling() &&
             old != cu.new_code && !old.IsPrefixOf(cu.new_code) &&
             !cu.new_code.IsPrefixOf(code_)) {
-          ++stats_.takeovers;
+          tm_.takeovers->Inc();
           SetCode(code_.Parent());
           AnnounceCode();
           if (on_takeover_) on_takeover_(old);

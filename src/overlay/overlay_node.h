@@ -61,21 +61,6 @@ struct OverlayOptions {
   uint64_t seed = 0x07e7;
 };
 
-/// Counters exposed to benches and tests.
-struct OverlayStats {
-  uint64_t envelopes_delivered = 0;
-  uint64_t envelopes_forwarded = 0;
-  uint64_t envelopes_dropped = 0;
-  uint64_t dead_ends = 0;
-  uint64_t ring_searches = 0;
-  uint64_t ring_found = 0;
-  uint64_t join_attempts = 0;
-  uint64_t join_rejects = 0;
-  uint64_t join_preemptions = 0;
-  uint64_t takeovers = 0;
-  uint64_t peers_declared_dead = 0;
-};
-
 class OverlayNode : public Host {
  public:
   /// Registers the node with the simulator's network (optionally at a
@@ -87,7 +72,6 @@ class OverlayNode : public Host {
   const BitCode& code() const { return code_; }
   bool joined() const { return joined_; }
   bool alive() const { return alive_; }
-  const OverlayStats& stats() const { return stats_; }
   const std::unordered_map<NodeId, BitCode>& peers() const { return peers_; }
 
   /// Bootstraps a 1-node overlay (empty code).
@@ -318,7 +302,23 @@ class OverlayNode : public Host {
   std::function<void(BitCode)> on_takeover_;
   std::function<void(const MessagePtr&)> on_forward_;
 
-  OverlayStats stats_;
+  // Registry instruments (`overlay.*`), aggregated across all nodes sharing
+  // one Simulator. Cached once at construction; never null.
+  struct Instruments {
+    telemetry::Counter* delivered;
+    telemetry::Counter* forwarded;
+    telemetry::Counter* dropped;
+    telemetry::Counter* dead_ends;
+    telemetry::Counter* ring_searches;
+    telemetry::Counter* ring_found;
+    telemetry::Counter* join_attempts;
+    telemetry::Counter* join_rejects;
+    telemetry::Counter* join_preemptions;
+    telemetry::Counter* takeovers;
+    telemetry::Counter* peers_declared_dead;
+    telemetry::Counter* heartbeats_sent;
+  };
+  Instruments tm_;
 };
 
 }  // namespace mind

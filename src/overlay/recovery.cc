@@ -32,6 +32,7 @@ void OverlayNode::OnHeartbeatTimer() {
     auto hb = std::make_shared<HeartbeatMsg>();
     hb->code = code_;
     SendRaw(peer, hb);
+    tm_.heartbeats_sent->Inc();
   }
   heartbeat_timer_ = events_->Schedule(options_.heartbeat_interval,
                                        [this] { OnHeartbeatTimer(); });
@@ -51,7 +52,7 @@ void OverlayNode::DeclarePeerDead(NodeId peer) {
   BitCode peer_code = it->second;
   peers_.erase(it);
   last_seen_.erase(peer);
-  ++stats_.peers_declared_dead;
+  tm_.peers_declared_dead->Inc();
 
   auto rit = retry_.find(peer);
   if (rit != retry_.end()) {
@@ -66,7 +67,7 @@ void OverlayNode::DeclarePeerDead(NodeId peer) {
   // a live peer covers.
   if (code_.length() > 0 && peer_code == code_.Sibling() &&
       !RegionCoveredByPeer(peer_code)) {
-    ++stats_.takeovers;
+    tm_.takeovers->Inc();
     BitCode absorbed = peer_code;
     SetCode(code_.Parent());
     AnnounceCode();
@@ -197,7 +198,7 @@ void OverlayNode::TryAbsorbRegion(const BitCode& p) {
   if (RegionCoveredByPeer(p)) return;
   if (code_.length() == len) {
     if (code_ == p.Sibling()) {
-      ++stats_.takeovers;
+      tm_.takeovers->Inc();
       SetCode(code_.Parent());
       AnnounceCode();
       if (on_takeover_) on_takeover_(p);
@@ -208,7 +209,7 @@ void OverlayNode::TryAbsorbRegion(const BitCode& p) {
   for (int i = len; i < code_.length(); ++i) {
     if (code_.bit(i) != 0) return;
   }
-  ++stats_.takeovers;
+  tm_.takeovers->Inc();
   SetCode(p);
   AnnounceCode();
   if (on_takeover_) on_takeover_(p);
@@ -303,10 +304,10 @@ void OverlayNode::GiveUpOnPeerQueue(NodeId to) {
 
 void OverlayNode::StartRingSearch(std::shared_ptr<RouteEnvelope> env) {
   if (peers_.empty()) {
-    ++stats_.envelopes_dropped;
+    tm_.dropped->Inc();
     return;
   }
-  ++stats_.ring_searches;
+  tm_.ring_searches->Inc();
   uint64_t search_id =
       (static_cast<uint64_t>(static_cast<uint32_t>(id_)) << 32) | (++ring_seq_);
   RingSearch rs;
@@ -321,7 +322,7 @@ void OverlayNode::ContinueRingSearch(uint64_t search_id) {
   if (it == ring_searches_.end()) return;
   RingSearch& rs = it->second;
   if (rs.ttl > options_.ring_max_ttl) {
-    ++stats_.envelopes_dropped;
+    tm_.dropped->Inc();
     ring_searches_.erase(it);
     return;
   }
@@ -373,7 +374,7 @@ void OverlayNode::OnRingFind(NodeId from,
 void OverlayNode::OnRingFound(NodeId from, const RingFoundMsg& m) {
   auto it = ring_searches_.find(m.search_id);
   if (it == ring_searches_.end()) return;  // already resolved
-  ++stats_.ring_found;
+  tm_.ring_found->Inc();
   std::shared_ptr<RouteEnvelope> env = std::move(it->second.env);
   if (it->second.timeout_event) events_->Cancel(it->second.timeout_event);
   ring_searches_.erase(it);

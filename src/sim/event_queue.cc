@@ -50,6 +50,7 @@ size_t EventQueue::Run(size_t limit) {
     ev.fn();
     ++fired;
   }
+  if (run_counter_ != nullptr) run_counter_->Inc(fired);
   return fired;
 }
 
@@ -64,6 +65,7 @@ size_t EventQueue::RunUntil(SimTime t) {
     ++fired;
   }
   if (t > now_) now_ = t;
+  if (run_counter_ != nullptr) run_counter_->Inc(fired);
   return fired;
 }
 
@@ -72,6 +74,7 @@ bool EventQueue::Step() {
   if (!PopNext(&ev)) return false;
   now_ = ev.time;
   ev.fn();
+  if (run_counter_ != nullptr) run_counter_->Inc();
   return true;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "telemetry/metrics.h"
 
 namespace mind {
 
@@ -53,6 +54,9 @@ class EventQueue {
   bool empty() const { return live_.empty(); }
   size_t pending() const { return live_.size(); }
 
+  /// Optional counter bumped once per fired event (`sim.events.processed`).
+  void set_run_counter(telemetry::Counter* c) { run_counter_ = c; }
+
  private:
   struct Event {
     SimTime time;
@@ -74,6 +78,7 @@ class EventQueue {
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  telemetry::Counter* run_counter_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<EventId> live_;
 };

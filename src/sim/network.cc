@@ -33,8 +33,20 @@ SimTime PropagationDelayUs(const GeoPoint& a, const GeoPoint& b) {
   return FromMillis(ms);
 }
 
-Network::Network(EventQueue* events, NetworkOptions options)
-    : events_(events), options_(options), rng_(options.seed) {}
+Network::Network(EventQueue* events, NetworkOptions options,
+                 telemetry::Telemetry* telemetry)
+    : events_(events), options_(options), rng_(options.seed) {
+  if (telemetry != nullptr) {
+    telemetry::MetricsRegistry& m = telemetry->metrics();
+    msgs_counter_ = &m.counter("sim.net.messages");
+    bytes_counter_ = &m.counter("sim.net.bytes");
+    loopback_counter_ = &m.counter("sim.net.loopback");
+    send_fail_counter_ = &m.counter("sim.net.send_failures");
+    inflight_fail_counter_ = &m.counter("sim.net.inflight_failures");
+    queue_wait_ms_ = &m.histogram("sim.net.queue_wait_ms");
+    delivery_delay_ms_ = &m.histogram("sim.net.delivery_delay_ms");
+  }
+}
 
 NodeId Network::AddHost(Host* host) {
   MIND_CHECK(host != nullptr);
@@ -76,6 +88,7 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   if (!hosts_[from].up) return;  // a dead node cannot send
 
   if (from == to) {
+    if (loopback_counter_ != nullptr) loopback_counter_->Inc();
     events_->Schedule(options_.loopback_delay, [this, from, to, msg]() {
       if (hosts_[to].up) hosts_[to].host->HandleMessage(from, msg);
     });
@@ -87,6 +100,7 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
 
   bool link_down = link.down_until > now || links_[DirKey(to, from)].down_until > now;
   if (link_down || !hosts_[to].up) {
+    if (send_fail_counter_ != nullptr) send_fail_counter_->Inc();
     events_->Schedule(options_.send_fail_detect, [this, from, to, msg]() {
       if (hosts_[from].up) hosts_[from].host->HandleSendFailure(to, msg);
     });
@@ -95,6 +109,7 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
 
   double tx_sec =
       static_cast<double>(msg->SizeBytes()) / options_.bandwidth_bytes_per_sec;
+  SimTime queue_wait = link.busy_until > now ? link.busy_until - now : 0;
   SimTime depart = std::max(now, link.busy_until) + FromSeconds(tx_sec);
   link.busy_until = depart;
   SimTime arrival = depart + Latency(from, to) + JitterUs();
@@ -105,11 +120,18 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   SimTime delay = arrival - now;
   link.stats.messages++;
   link.stats.bytes += msg->SizeBytes();
+  if (msgs_counter_ != nullptr) {
+    msgs_counter_->Inc();
+    bytes_counter_->Inc(msg->SizeBytes());
+    queue_wait_ms_->Record(ToSeconds(queue_wait) * 1e3);
+    delivery_delay_ms_->Record(ToSeconds(delay) * 1e3);
+  }
 
   events_->Schedule(delay, [this, from, to, msg, delay]() {
     if (!hosts_[to].up) {
       // Destination died while the message was in flight: sender learns of
       // the failure (its TCP connection resets).
+      if (inflight_fail_counter_ != nullptr) inflight_fail_counter_->Inc();
       if (hosts_[from].up) hosts_[from].host->HandleSendFailure(to, msg);
       return;
     }

@@ -16,6 +16,7 @@
 #include "sim/event_queue.h"
 #include "sim/message.h"
 #include "sim/time.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace mind {
@@ -58,7 +59,11 @@ struct NetworkOptions {
 /// sender gets Host::HandleSendFailure after a detection delay.
 class Network {
  public:
-  Network(EventQueue* events, NetworkOptions options);
+  /// `telemetry` is optional; when set, the fabric records per-send metrics
+  /// (`sim.net.*`: message/byte counters, queue-wait and delivery-delay
+  /// histograms) into its registry.
+  Network(EventQueue* events, NetworkOptions options,
+          telemetry::Telemetry* telemetry = nullptr);
 
   /// Registers a host without coordinates.
   NodeId AddHost(Host* host);
@@ -125,6 +130,14 @@ class Network {
   EventQueue* events_;
   NetworkOptions options_;
   Rng rng_;
+  // Cached instruments (nullptr when constructed without telemetry).
+  telemetry::Counter* msgs_counter_ = nullptr;
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Counter* loopback_counter_ = nullptr;
+  telemetry::Counter* send_fail_counter_ = nullptr;
+  telemetry::Counter* inflight_fail_counter_ = nullptr;
+  telemetry::SimHistogram* queue_wait_ms_ = nullptr;
+  telemetry::SimHistogram* delivery_delay_ms_ = nullptr;
   std::vector<HostState> hosts_;
   std::unordered_map<uint64_t, LinkState> links_;
   std::unordered_map<uint64_t, SimTime> latency_override_;

@@ -1,13 +1,20 @@
 #include "sim/simulator.h"
 
+#include "util/logging.h"
+
 namespace mind {
 
-Simulator::Simulator(SimulatorOptions options) : rng_(options.seed) {
+Simulator::Simulator(SimulatorOptions options)
+    : telemetry_([this]() { return events_.now(); }), rng_(options.seed) {
   options.network.seed = rng_.Fork(1).Next();
   options.failures.seed = rng_.Fork(2).Next();
-  network_ = std::make_unique<Network>(&events_, options.network);
+  network_ = std::make_unique<Network>(&events_, options.network, &telemetry_);
   failures_ = std::make_unique<FailureInjector>(&events_, network_.get(),
                                                 options.failures);
+  events_.set_run_counter(&metrics().counter("sim.events.processed"));
+  SetLogClock(this, [this]() { return events_.now(); });
 }
+
+Simulator::~Simulator() { ClearLogClock(this); }
 
 }  // namespace mind

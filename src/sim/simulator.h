@@ -8,6 +8,7 @@
 #include "sim/event_queue.h"
 #include "sim/failure_injector.h"
 #include "sim/network.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace mind {
@@ -25,11 +26,16 @@ struct SimulatorOptions {
 class Simulator {
  public:
   explicit Simulator(SimulatorOptions options = {});
+  ~Simulator();
 
   EventQueue& events() { return events_; }
   Network& network() { return *network_; }
   FailureInjector& failures() { return *failures_; }
   Rng& rng() { return rng_; }
+
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  telemetry::MetricsRegistry& metrics() { return telemetry_.metrics(); }
+  telemetry::Tracer& tracer() { return telemetry_.tracer(); }
 
   SimTime now() const { return events_.now(); }
 
@@ -44,6 +50,9 @@ class Simulator {
 
  private:
   EventQueue events_;
+  // Telemetry outlives network_/failures_ (declared first) so instruments
+  // cached by components stay valid through their destruction.
+  telemetry::Telemetry telemetry_;
   Rng rng_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<FailureInjector> failures_;

@@ -51,7 +51,11 @@ void TupleStore::Scan(const Rect& rect, Fn&& fn) const {
   if (!cover.ok()) {
     // Pathologically wide query: fall back to a full scan.
     for (const Row& r : rows_) {
-      if (rect.Contains(r.tuple.point)) fn(r.tuple);
+      ++scan_rows_examined_;
+      if (rect.Contains(r.tuple.point)) {
+        ++scan_rows_matched_;
+        fn(r.tuple);
+      }
     }
     return;
   }
@@ -62,7 +66,11 @@ void TupleStore::Scan(const Rect& rect, Fn&& fn) const {
         rows_.begin(), rows_.end(), lo,
         [](const Row& r, uint64_t k) { return r.key < k; });
     for (auto it = first; it != rows_.end() && it->key <= hi; ++it) {
-      if (rect.Contains(it->tuple.point)) fn(it->tuple);
+      ++scan_rows_examined_;
+      if (rect.Contains(it->tuple.point)) {
+        ++scan_rows_matched_;
+        fn(it->tuple);
+      }
     }
   }
 }

@@ -46,6 +46,12 @@ class TupleStore {
 
   const CutTreeRef& cuts() const { return cuts_; }
 
+  /// Cumulative scan-efficiency counters (rows visited vs. rows matched over
+  /// every Query/Count so far). Callers snapshot before/after a query and
+  /// record the deltas (`storage.scan.*` histograms).
+  uint64_t scan_rows_examined() const { return scan_rows_examined_; }
+  uint64_t scan_rows_matched() const { return scan_rows_matched_; }
+
  private:
   struct Row {
     uint64_t key;  // left-aligned code bits
@@ -61,6 +67,8 @@ class TupleStore {
   int code_len_;
   mutable std::vector<Row> rows_;
   mutable bool sorted_ = true;
+  mutable uint64_t scan_rows_examined_ = 0;
+  mutable uint64_t scan_rows_matched_ = 0;
   uint64_t approx_bytes_ = 0;
 };
 

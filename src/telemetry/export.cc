@@ -1,0 +1,131 @@
+#include "telemetry/export.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace mind {
+namespace telemetry {
+
+namespace {
+
+JsonValue HistogramJson(const SimHistogram& h) {
+  JsonValue v = JsonValue::Object();
+  v.Set("count", JsonValue::Number(static_cast<double>(h.count())));
+  v.Set("sum", JsonValue::Number(h.sum()));
+  v.Set("min", JsonValue::Number(h.min()));
+  v.Set("max", JsonValue::Number(h.max()));
+  v.Set("mean", JsonValue::Number(h.Mean()));
+  v.Set("p50", JsonValue::Number(h.Percentile(50)));
+  v.Set("p90", JsonValue::Number(h.Percentile(90)));
+  v.Set("p99", JsonValue::Number(h.Percentile(99)));
+  return v;
+}
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+std::string FormatDouble(double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonExporter::Export(const MetricsRegistry& registry,
+                                 const RunMeta& meta) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Number(1));
+  doc.Set("bench", JsonValue::Str(meta.bench));
+
+  JsonValue m = JsonValue::Object();
+  m.Set("seed", JsonValue::Number(static_cast<double>(meta.seed)));
+  m.Set("topology", JsonValue::Str(meta.topology));
+  m.Set("nodes", JsonValue::Number(meta.nodes));
+  for (const auto& [k, v] : meta.extra) m.Set(k, JsonValue::Str(v));
+  doc.Set("meta", std::move(m));
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, c] : registry.counters()) {
+    counters.Set(name, JsonValue::Number(static_cast<double>(c->value())));
+  }
+  doc.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, g] : registry.gauges()) {
+    gauges.Set(name, JsonValue::Number(g->value()));
+  }
+  doc.Set("gauges", std::move(gauges));
+
+  JsonValue hists = JsonValue::Object();
+  for (const auto& [name, h] : registry.histograms()) {
+    hists.Set(name, HistogramJson(*h));
+  }
+  doc.Set("histograms", std::move(hists));
+
+  return doc.ToString() + "\n";
+}
+
+Status JsonExporter::WriteFile(const MetricsRegistry& registry,
+                               const RunMeta& meta, const std::string& path) {
+  return WriteStringToFile(Export(registry, meta), path);
+}
+
+std::string JsonExporter::DefaultPath(const RunMeta& meta) {
+  return "BENCH_" + meta.bench + ".json";
+}
+
+std::string CsvExporter::Export(const MetricsRegistry& registry,
+                                const RunMeta& meta) {
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  out << "meta," << meta.bench << ",seed," << meta.seed << "\n";
+  out << "meta," << meta.bench << ",topology," << meta.topology << "\n";
+  out << "meta," << meta.bench << ",nodes," << meta.nodes << "\n";
+  for (const auto& [k, v] : meta.extra) {
+    out << "meta," << meta.bench << "," << k << "," << v << "\n";
+  }
+  for (const auto& [name, c] : registry.counters()) {
+    out << "counter," << name << ",value," << c->value() << "\n";
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    out << "gauge," << name << ",value," << FormatDouble(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    out << "histogram," << name << ",count," << h->count() << "\n";
+    out << "histogram," << name << ",sum," << FormatDouble(h->sum()) << "\n";
+    out << "histogram," << name << ",min," << FormatDouble(h->min()) << "\n";
+    out << "histogram," << name << ",max," << FormatDouble(h->max()) << "\n";
+    out << "histogram," << name << ",mean," << FormatDouble(h->Mean()) << "\n";
+    out << "histogram," << name << ",p50," << FormatDouble(h->Percentile(50))
+        << "\n";
+    out << "histogram," << name << ",p90," << FormatDouble(h->Percentile(90))
+        << "\n";
+    out << "histogram," << name << ",p99," << FormatDouble(h->Percentile(99))
+        << "\n";
+  }
+  return out.str();
+}
+
+Status CsvExporter::WriteFile(const MetricsRegistry& registry,
+                              const RunMeta& meta, const std::string& path) {
+  return WriteStringToFile(Export(registry, meta), path);
+}
+
+}  // namespace telemetry
+}  // namespace mind

@@ -1,0 +1,69 @@
+// Snapshot exporters: serialize a MetricsRegistry plus run metadata into
+// machine-readable files next to the human-readable bench tables.
+//
+// JSON schema (schema_version 1), stable across runs so downstream plots can
+// diff BENCH_*.json files between commits:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "meta": {"seed": ..., "topology": "...", "nodes": ..., ...extra},
+//     "counters": {"overlay.join.attempts": 42, ...},
+//     "gauges": {"bench.fig16.success_pct.f10": 98.5, ...},
+//     "histograms": {
+//       "mind.query.latency_ms": {"count":..., "sum":..., "min":...,
+//         "max":..., "mean":..., "p50":..., "p90":..., "p99":...},
+//       ...
+//     }
+//   }
+//
+// CSV is a flat `kind,name,field,value` table of the same snapshot for
+// spreadsheet import.
+#ifndef MIND_TELEMETRY_EXPORT_H_
+#define MIND_TELEMETRY_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "util/status.h"
+
+namespace mind {
+namespace telemetry {
+
+/// Run metadata stamped into every export so a BENCH_*.json file is
+/// self-describing (which bench, which seed, which deployment shape).
+struct RunMeta {
+  std::string bench;      // e.g. "fig07_insert_latency"
+  uint64_t seed = 0;
+  std::string topology;   // e.g. "transit_stub", "flat"
+  int nodes = 0;
+  std::map<std::string, std::string> extra;  // free-form key/values
+};
+
+class JsonExporter {
+ public:
+  /// Serializes the registry snapshot + metadata to a JSON document.
+  static std::string Export(const MetricsRegistry& registry,
+                            const RunMeta& meta);
+  /// Export + write to `path`.
+  static Status WriteFile(const MetricsRegistry& registry, const RunMeta& meta,
+                          const std::string& path);
+  /// Canonical output filename: "BENCH_<meta.bench>.json".
+  static std::string DefaultPath(const RunMeta& meta);
+};
+
+class CsvExporter {
+ public:
+  /// Flat `kind,name,field,value` rows (header included).
+  static std::string Export(const MetricsRegistry& registry,
+                            const RunMeta& meta);
+  static Status WriteFile(const MetricsRegistry& registry, const RunMeta& meta,
+                          const std::string& path);
+};
+
+}  // namespace telemetry
+}  // namespace mind
+
+#endif  // MIND_TELEMETRY_EXPORT_H_

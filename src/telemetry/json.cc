@@ -1,0 +1,314 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mind {
+namespace telemetry {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::GetPath(const std::string& dotted) const {
+  const JsonValue* cur = this;
+  size_t pos = 0;
+  while (cur != nullptr && pos <= dotted.size()) {
+    size_t dot = dotted.find('.', pos);
+    std::string key = dotted.substr(pos, dot == std::string::npos
+                                             ? std::string::npos
+                                             : dot - pos);
+    cur = cur->Get(key);
+    if (dot == std::string::npos) return cur;
+    pos = dot + 1;
+  }
+  return cur;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  if (type_ != Type::kObject) return;
+  object_[std::move(key)] = std::move(v);
+}
+
+void JsonValue::Push(JsonValue v) {
+  if (type_ != Type::kArray) return;
+  array_.push_back(std::move(v));
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonValue::ToString() const {
+  std::ostringstream out;
+  switch (type_) {
+    case Type::kNull:
+      out << "null";
+      break;
+    case Type::kBool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Type::kNumber: {
+      char buf[40];
+      if (std::isfinite(number_) && number_ == std::floor(number_) &&
+          std::fabs(number_) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", number_);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      out << buf;
+      break;
+    }
+    case Type::kString:
+      out << JsonQuote(string_);
+      break;
+    case Type::kArray: {
+      out << "[";
+      bool first = true;
+      for (const auto& v : array_) {
+        if (!first) out << ",";
+        first = false;
+        out << v.ToString();
+      }
+      out << "]";
+      break;
+    }
+    case Type::kObject: {
+      out << "{";
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out << ",";
+        first = false;
+        out << JsonQuote(k) << ":" << v.ToString();
+      }
+      out << "}";
+      break;
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    MIND_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      MIND_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::Str(std::move(s));
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue::Null();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue::Bool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue::Bool(false);
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected value");
+    std::string num(text_.substr(start, pos_ - start));
+    char* endp = nullptr;
+    double d = std::strtod(num.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') return Err("bad number '" + num + "'");
+    return JsonValue::Number(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Err("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Err("bad \\u escape");
+          }
+          if (code > 0x7f) return Err("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Err("bad escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Err("expected '['");
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      MIND_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      arr.Push(std::move(v));
+      SkipWs();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Err("expected '{'");
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      MIND_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      MIND_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      obj.Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace telemetry
+}  // namespace mind

@@ -1,0 +1,77 @@
+// Minimal JSON document model and recursive-descent parser, sufficient for
+// the BENCH_*.json exporter schema: null/bool/number/string/array/object,
+// UTF-8 passthrough, \uXXXX unescaped to a literal code point byte-wise only
+// for ASCII. Used by tests to round-trip exporter output and by tooling that
+// reads bench snapshots; not a general-purpose JSON library.
+#ifndef MIND_TELEMETRY_JSON_H_
+#define MIND_TELEMETRY_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mind {
+namespace telemetry {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  /// Parses a complete document (trailing garbage is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return array_; }
+  const std::map<std::string, JsonValue>& fields() const { return object_; }
+
+  /// Object member lookup; nullptr if absent or not an object.
+  const JsonValue* Get(const std::string& key) const;
+  /// Dotted-path lookup over nested objects ("meta.seed").
+  const JsonValue* GetPath(const std::string& dotted) const;
+
+  // Builders (no-ops on wrong type, checked by callers/tests).
+  void Set(std::string key, JsonValue v);
+  void Push(JsonValue v);
+
+  /// Serializes back to compact JSON (object keys in sorted order; numbers
+  /// via %.17g so doubles round-trip exactly).
+  std::string ToString() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+std::string JsonQuote(std::string_view s);
+
+}  // namespace telemetry
+}  // namespace mind
+
+#endif  // MIND_TELEMETRY_JSON_H_

@@ -1,0 +1,112 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mind {
+namespace telemetry {
+
+SimHistogram::SimHistogram(const bool* enabled, const HistogramOptions& opts)
+    : enabled_(enabled) {
+  MIND_CHECK_GT(opts.min_bound, 0.0);
+  MIND_CHECK_GT(opts.growth, 1.0);
+  MIND_CHECK_GT(opts.buckets, 0);
+  bounds_.reserve(static_cast<size_t>(opts.buckets));
+  double b = opts.min_bound;
+  for (int i = 0; i < opts.buckets; ++i) {
+    bounds_.push_back(b);
+    b *= opts.growth;
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void SimHistogram::Record(double v) {
+#ifdef MIND_TELEMETRY_DISABLED
+  (void)v;
+#else
+  if (!*enabled_) return;
+  if (v < 0) v = 0;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+#endif
+}
+
+double SimHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  // Extend the bounds with the observed max as the overflow bucket's edge so
+  // the shared interpolation helper covers all counts_.size() buckets.
+  std::vector<double> bounds = bounds_;
+  bounds.push_back(std::max(max_, bounds_.back()));
+  double v = PercentileFromBuckets(counts_, bounds, p);
+  return std::clamp(v, min_, max_);
+}
+
+void SimHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+SimHistogram& MetricsRegistry::histogram(const std::string& name,
+                                         HistogramOptions opts) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<SimHistogram>(
+                                new SimHistogram(&enabled_, opts)))
+             .first;
+  }
+  return *it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const SimHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace telemetry
+}  // namespace mind

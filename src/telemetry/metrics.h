@@ -1,0 +1,170 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms,
+// cheap enough to stay always-on in the simulator hot path.
+//
+// Naming convention (see DESIGN.md "Telemetry"): `layer.component.metric`,
+// e.g. `sim.net.bytes`, `overlay.join.attempts`, `mind.dac.insert_wait_ms`.
+// A unit suffix (`_ms`, `_bytes`) documents what a histogram records.
+//
+// Instruments are owned by the registry and returned by stable reference, so
+// hot paths resolve a name once and cache the pointer. Recording respects the
+// registry-wide enabled flag (one predictable branch); compiling with
+// MIND_TELEMETRY_DISABLED turns every recording call into a no-op.
+#ifndef MIND_TELEMETRY_METRICS_H_
+#define MIND_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/stats.h"
+
+namespace mind {
+namespace telemetry {
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+#ifndef MIND_TELEMETRY_DISABLED
+    if (*enabled_) value_ += delta;
+#else
+    (void)delta;
+#endif
+  }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  uint64_t value_ = 0;
+  const bool* enabled_;
+};
+
+/// Last-write-wins numeric level (queue depths, fractions, sizes).
+class Gauge {
+ public:
+  void Set(double v) {
+#ifndef MIND_TELEMETRY_DISABLED
+    if (*enabled_) value_ = v;
+#else
+    (void)v;
+#endif
+  }
+  void Add(double delta) {
+#ifndef MIND_TELEMETRY_DISABLED
+    if (*enabled_) value_ += delta;
+#else
+    (void)delta;
+#endif
+  }
+  double value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  double value_ = 0;
+  const bool* enabled_;
+};
+
+/// Bucket layout of a SimHistogram: geometric bounds
+/// min_bound * growth^i for i in [0, buckets). Values above the last bound
+/// land in an overflow bucket whose upper edge is the observed maximum.
+struct HistogramOptions {
+  double min_bound = 1e-3;
+  double growth = 1.07;
+  int buckets = 360;  // covers ~10 decades above min_bound
+};
+
+/// Fixed-bucket histogram for sim-time (or any nonnegative) samples, with
+/// percentile extraction by in-bucket interpolation. Recording is O(log B)
+/// with no allocation; the worst-case percentile error is one bucket's
+/// relative width (~growth - 1).
+class SimHistogram {
+ public:
+  void Record(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double Mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+  /// p in [0, 100]; interpolated inside the covering bucket and clamped to
+  /// the observed [min, max].
+  double Percentile(double p) const;
+
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  SimHistogram(const bool* enabled, const HistogramOptions& opts);
+
+  std::vector<double> bounds_;   // upper edges, size B
+  std::vector<uint64_t> counts_; // size B + 1 (last = overflow)
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  const bool* enabled_;
+};
+
+/// Owner of all named instruments of one run (usually one per Simulator;
+/// benches may also hold a standalone registry for run-level aggregates).
+/// Instrument references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  SimHistogram& histogram(const std::string& name, HistogramOptions opts = {});
+
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const SimHistogram* FindHistogram(const std::string& name) const;
+
+  /// Runtime kill switch: while false, every recording call is a no-op.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Deterministic (name-sorted) iteration for exporters.
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<SimHistogram>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// Zeroes every instrument (names and references survive).
+  void Reset();
+
+ private:
+#ifdef MIND_TELEMETRY_DISABLED
+  bool enabled_ = false;
+#else
+  bool enabled_ = true;
+#endif
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<SimHistogram>> histograms_;
+};
+
+}  // namespace telemetry
+}  // namespace mind
+
+#endif  // MIND_TELEMETRY_METRICS_H_

@@ -1,0 +1,64 @@
+// Shared statistics helpers. Single home for percentile/mean extraction so
+// the bench tables, the registry histograms and the exporters all agree on
+// one definition (linear interpolation between order statistics).
+#ifndef MIND_TELEMETRY_STATS_H_
+#define MIND_TELEMETRY_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mind {
+namespace telemetry {
+
+/// Exact percentile of a sample (p in [0, 100]), linearly interpolated
+/// between the two nearest order statistics. Copies and sorts.
+inline double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Percentile from bucketed counts (the fixed-bucket histogram path).
+/// `counts[i]` holds the number of samples in (bounds[i-1], bounds[i]];
+/// bucket 0 covers (-inf, bounds[0]]. The result interpolates linearly
+/// inside the bucket that contains the requested rank.
+inline double PercentileFromBuckets(const std::vector<uint64_t>& counts,
+                                    const std::vector<double>& bounds,
+                                    double p) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  double rank = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    uint64_t next = seen + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      double lo = (i == 0) ? 0.0 : bounds[i - 1];
+      double hi = bounds[std::min(i, bounds.size() - 1)];
+      double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
+    }
+    seen = next;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+}  // namespace telemetry
+}  // namespace mind
+
+#endif  // MIND_TELEMETRY_STATS_H_

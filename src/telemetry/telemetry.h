@@ -1,0 +1,40 @@
+// Umbrella facade: one Telemetry object per Simulator bundles the metrics
+// registry and the tracer behind a single enable switch. See DESIGN.md
+// "Telemetry" for the metric naming convention and span taxonomy.
+#ifndef MIND_TELEMETRY_TELEMETRY_H_
+#define MIND_TELEMETRY_TELEMETRY_H_
+
+#include <functional>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace mind {
+namespace telemetry {
+
+class Telemetry {
+ public:
+  explicit Telemetry(std::function<SimTime()> clock)
+      : tracer_(std::move(clock)) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  bool enabled() const { return metrics_.enabled(); }
+  void set_enabled(bool enabled) {
+    metrics_.set_enabled(enabled);
+    tracer_.set_enabled(enabled);
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace telemetry
+}  // namespace mind
+
+#endif  // MIND_TELEMETRY_TELEMETRY_H_

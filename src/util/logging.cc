@@ -9,6 +9,10 @@ namespace mind {
 namespace {
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
 
+// Sim clock for log prefixes. Single-threaded like the simulator itself.
+const void* g_clock_owner = nullptr;
+std::function<uint64_t()> g_clock;
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -29,6 +33,17 @@ LogLevel GetLogThreshold() {
   return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
 }
 
+void SetLogClock(const void* owner, std::function<uint64_t()> micros) {
+  g_clock_owner = owner;
+  g_clock = std::move(micros);
+}
+
+void ClearLogClock(const void* owner) {
+  if (g_clock_owner != owner) return;
+  g_clock_owner = nullptr;
+  g_clock = nullptr;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -40,7 +55,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "]";
+    if (g_clock) {
+      char t[32];
+      std::snprintf(t, sizeof(t), " t=%.6fs",
+                    static_cast<double>(g_clock()) / 1e6);
+      stream_ << t;
+    }
+    stream_ << " ";
   }
 }
 

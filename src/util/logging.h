@@ -6,6 +6,7 @@
 #define MIND_UTIL_LOGGING_H_
 
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -39,6 +40,15 @@ class LogMessage {
 /// tests and benchmarks stay quiet).
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
+
+/// Registers a virtual-time source (microseconds) so log lines carry the sim
+/// clock ("t=1.250s") and share one timeline with the telemetry subsystem.
+/// `owner` identifies the registrant (usually the Simulator): a later
+/// SetLogClock replaces the clock, and ClearLogClock only unregisters when
+/// the owner still matches — so a new Simulator that registers before an old
+/// one is destroyed keeps its clock.
+void SetLogClock(const void* owner, std::function<uint64_t()> micros);
+void ClearLogClock(const void* owner);
 
 #define MIND_LOG(level)                                                  \
   ::mind::internal::LogMessage(::mind::LogLevel::k##level, __FILE__, __LINE__)

@@ -221,6 +221,118 @@ TEST(AnomalyIntegrationTest, EndToEndScanCapture) {
   EXPECT_TRUE(found_scan) << "injected scan not in ground truth";
 }
 
+// --------------------------------------------------------------- telemetry
+
+namespace {
+
+struct TelemetryRunOutcome {
+  std::multiset<uint64_t> tuple_seqs;
+  bool complete = false;
+  SimTime latency = 0;
+  SimTime end_time = 0;
+  uint64_t query_id = 0;
+};
+
+// One fixed insert+query scenario, with run-time telemetry on or off.
+TelemetryRunOutcome RunTelemetryScenario(bool telemetry_on) {
+  MindNetOptions mopts;
+  mopts.sim.seed = 90210;
+  MindNet net(12, mopts);
+  net.sim().telemetry().set_enabled(telemetry_on);
+  EXPECT_TRUE(net.Build().ok());
+  IndexDef def;
+  def.name = "idx";
+  def.schema = Schema({{"x", 0, 9999}, {"y", 0, 9999}});
+  EXPECT_TRUE(net.CreateIndexEverywhere(
+                     def, std::make_shared<CutTree>(CutTree::Even(def.schema)))
+                  .ok());
+  for (uint64_t i = 0; i < 300; ++i) {
+    Tuple t;
+    t.point = {i * 37 % 10000, i * 101 % 10000};
+    t.seq = i;
+    t.origin = static_cast<int>(i % 12);
+    EXPECT_TRUE(net.node(i % 12).Insert("idx", t).ok());
+    if (i % 50 == 0) net.sim().RunFor(FromSeconds(1));
+  }
+  net.sim().RunFor(FromSeconds(20));
+  QueryResult r = RunQuery(net, 3, "idx", Rect({{1000, 8000}, {0, 9999}}));
+  TelemetryRunOutcome out;
+  for (const auto& t : r.tuples) out.tuple_seqs.insert(t.seq);
+  out.complete = r.complete;
+  out.latency = r.latency;
+  out.end_time = net.sim().now();
+  out.query_id = r.query_id;
+  return out;
+}
+
+}  // namespace
+
+// Telemetry must be a pure observer: running the identical scenario with the
+// registry+tracer enabled and disabled yields the same tuples, the same
+// completion status and the same sim-clock timings (no RNG draws, no events).
+TEST(TelemetryIntegrationTest, RecordingDoesNotPerturbResults) {
+  TelemetryRunOutcome on = RunTelemetryScenario(true);
+  TelemetryRunOutcome off = RunTelemetryScenario(false);
+  EXPECT_FALSE(on.tuple_seqs.empty());
+  EXPECT_EQ(on.tuple_seqs, off.tuple_seqs);
+  EXPECT_EQ(on.complete, off.complete);
+  EXPECT_EQ(on.latency, off.latency);
+  EXPECT_EQ(on.end_time, off.end_time);
+}
+
+#ifndef MIND_TELEMETRY_DISABLED
+// With telemetry on, the instrumented paths populate the registry and the
+// flight recorder end to end.
+TEST(TelemetryIntegrationTest, InstrumentsAndTracesPopulate) {
+  MindNetOptions mopts;
+  mopts.sim.seed = 90211;
+  MindNet net(12, mopts);
+  ASSERT_TRUE(net.Build().ok());
+  IndexDef def;
+  def.name = "idx";
+  def.schema = Schema({{"x", 0, 9999}});
+  ASSERT_TRUE(net.CreateIndexEverywhere(
+                     def, std::make_shared<CutTree>(CutTree::Even(def.schema)))
+                  .ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    Tuple t;
+    t.point = {i * 97 % 10000};
+    t.seq = i;
+    t.origin = static_cast<int>(i % 12);
+    ASSERT_TRUE(net.node(i % 12).Insert("idx", t).ok());
+  }
+  net.sim().RunFor(FromSeconds(20));
+  QueryResult r = RunQuery(net, 5, "idx", Rect({{0, 9999}}));
+  ASSERT_TRUE(r.complete);
+
+  auto& m = net.sim().metrics();
+  EXPECT_EQ(m.counter("mind.insert.count").value(), 100u);
+  EXPECT_GE(m.counter("mind.query.count").value(), 1u);
+  EXPECT_GT(m.counter("sim.events.processed").value(), 0u);
+  EXPECT_GT(m.counter("sim.net.messages").value(), 0u);
+  EXPECT_GT(m.counter("overlay.join.attempts").value(), 0u);
+  EXPECT_EQ(m.FindHistogram("mind.insert.latency_ms")->count(), 100u);
+  EXPECT_GT(m.FindHistogram("mind.query.latency_ms")->count(), 0u);
+  EXPECT_GT(m.FindHistogram("storage.scan.rows_returned")->count(), 0u);
+
+  // The query's span tree is in the flight recorder: a root "query" span with
+  // resolve/reply descendants.
+  const auto* spans = net.sim().tracer().GetTrace(r.query_id);
+  ASSERT_NE(spans, nullptr);
+  auto tree = net.sim().tracer().Tree(r.query_id);
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree[0].span->name, "query");
+  EXPECT_TRUE(tree[0].span->closed);
+  bool saw_resolve = false, saw_reply = false;
+  for (const auto& s : *spans) {
+    if (s.name == "query.resolve") saw_resolve = true;
+    if (s.name == "query.reply") saw_reply = true;
+  }
+  EXPECT_TRUE(saw_resolve);
+  EXPECT_TRUE(saw_reply);
+}
+#endif  // MIND_TELEMETRY_DISABLED
+
 // ---------------------------------------------------------------- trace IO
 
 TEST(TraceIoTest, FlowsRoundTrip) {
