@@ -4,7 +4,9 @@
 // the system benches.
 #include <benchmark/benchmark.h>
 
+#include "mind/mind_net.h"
 #include "overlay/overlay_node.h"
+#include "sim/event_queue.h"
 #include "space/cut_tree.h"
 #include "space/histogram.h"
 #include "space/mismatch.h"
@@ -127,6 +129,119 @@ void BM_TupleStoreQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TupleStoreQuery)->Arg(10000)->Arg(100000);
+
+// ------------------------------------------------------------ event queue
+//
+// The per-event engine cost. The capture is sized like the insert-commit
+// lambda in MindNode::OnInsertArrived (~48 bytes), which is what the hot
+// path actually schedules.
+
+struct EventPayload {
+  uint64_t a, b, c;
+  uint32_t d, e;
+};  // 32 bytes; + captured pointer = 40-byte closure
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  EventQueue q;
+  uint64_t sink = 0;
+  EventPayload p{1, 2, 3, 4, 5};
+  SimTime t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.ScheduleAt(++t, [&sink, p] { sink += p.a + p.e; });
+    }
+    q.Run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+// Timer churn: most timers (heartbeats, retransmits) are cancelled before
+// they fire, so Cancel and dead-entry disposal are on the hot path too.
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  EventQueue q;
+  uint64_t sink = 0;
+  EventPayload p{1, 2, 3, 4, 5};
+  std::vector<EventId> ids(64);
+  SimTime t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      ids[i] = q.ScheduleAt(t + 1000 + i, [&sink, p] { sink += p.a; });
+    }
+    for (int i = 0; i < 48; ++i) q.Cancel(ids[i]);  // 75% never fire
+    q.Run();
+    t = q.now();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+// ------------------------------------------------------------ insert path
+//
+// End-to-end per-tuple cost of insert_record on a small overlay: routing
+// hops, network model, DAC wait, commit and replication — wall-clock per
+// committed tuple, everything in virtual time.
+
+std::unique_ptr<MindNet> MicroNet(size_t n, uint64_t seed) {
+  MindNetOptions opts;
+  opts.sim.seed = seed;
+  opts.overlay.heartbeat_interval = 0;  // no periodic traffic in the loop
+  auto net = std::make_unique<MindNet>(n, opts);
+  if (!net->Build().ok()) std::abort();
+  IndexDef def;
+  def.name = "micro";
+  def.schema = Schema3();
+  def.time_attr = 1;
+  Status st = net->CreateIndexEverywhere(
+      def, std::make_shared<CutTree>(CutTree::Even(def.schema)), 1, 0);
+  if (!st.ok()) std::abort();
+  net->sim().RunFor(FromSeconds(5));
+  return net;
+}
+
+void BM_InsertPathSingle(benchmark::State& state) {
+  auto net = MicroNet(32, 0x1c0b);
+  auto pts = RandomPoints(4096, 12);
+  uint64_t seq = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 16; ++k) {
+      Tuple t;
+      t.point = pts[i & 4095];
+      t.seq = ++seq;
+      (void)net->node(i++ & 31).Insert("micro", t);
+    }
+    net->sim().RunFor(FromSeconds(2));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_InsertPathSingle);
+
+// Same tuple stream as BM_InsertPathSingle, but shipped as one 16-tuple
+// train per iteration (InsertBatch): routing, DAC commits and replication
+// amortize across the batch.
+void BM_InsertPathBatch(benchmark::State& state) {
+  auto net = MicroNet(32, 0x1c0b);
+  auto pts = RandomPoints(4096, 12);
+  uint64_t seq = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    std::vector<Tuple> batch;
+    batch.reserve(16);
+    for (int k = 0; k < 16; ++k) {
+      Tuple t;
+      t.point = pts[i++ & 4095];
+      t.seq = ++seq;
+      batch.push_back(std::move(t));
+    }
+    (void)net->node(i & 31).InsertBatch("micro", std::move(batch));
+    net->sim().RunFor(FromSeconds(2));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_InsertPathBatch);
 
 void BM_Mismatch(benchmark::State& state) {
   Schema s = Schema3();

@@ -25,6 +25,7 @@ enum class MindMsgKind {
   kDropIndex,
   kInstallCuts,
   kInsert,
+  kInsertBatch,
   kReplicate,
   kQuery,
   kQueryReply,
@@ -36,6 +37,7 @@ enum class MindMsgKind {
 
 struct MindMsg : Message {
   virtual MindMsgKind kind() const = 0;
+  bool IsMind() const final { return true; }
 };
 
 /// Broadcast: instantiate an index (with its first version) on every node.
@@ -72,6 +74,10 @@ struct InsertMsg : MindMsg {
   std::string index;
   VersionId version = 0;
   Tuple tuple;
+  /// The tuple's data-space code at insert precision, computed once at the
+  /// origin; the storer and its replicas key the tuple by it instead of
+  /// re-descending the cut tree.
+  BitCode code;
   SimTime sent_at = 0;
   /// Telemetry handles (0 when tracing is off). The sim is single-process, so
   /// span ids travel with the message and are closed wherever it lands.
@@ -88,9 +94,38 @@ struct ReplicateMsg : MindMsg {
   std::string index;
   VersionId version = 0;
   Tuple tuple;
+  /// Origin-computed code (see InsertMsg::code).
+  BitCode code;
   MindMsgKind kind() const override { return MindMsgKind::kReplicate; }
   const char* TypeName() const override { return "Replicate"; }
   size_t SizeBytes() const override { return 32 + tuple.WireBytes(); }
+};
+
+/// Routed toward the common code prefix of a group of tuples, then split
+/// like a query (§3.6 applied to writes): a node owning the whole prefix
+/// commits every tuple; a node whose region is longer regroups the tuples by
+/// child prefix and forwards the sub-batches. One message train amortizes
+/// routing and per-message overhead across the batch.
+struct InsertBatchMsg : MindMsg {
+  std::string index;
+  VersionId version = 0;
+  /// Common prefix of every entry's code; the routing target.
+  BitCode code;
+  /// Parallel arrays: tuples[i]'s insert-precision code is codes[i], and
+  /// code.IsPrefixOf(codes[i]) holds for all i.
+  std::vector<Tuple> tuples;
+  std::vector<BitCode> codes;
+  SimTime sent_at = 0;
+  uint64_t trace_id = 0;
+  uint64_t root_span = 0;
+  uint64_t route_span = 0;
+  MindMsgKind kind() const override { return MindMsgKind::kInsertBatch; }
+  const char* TypeName() const override { return "InsertBatch"; }
+  size_t SizeBytes() const override {
+    size_t n = 48;
+    for (const auto& t : tuples) n += t.WireBytes() + 8;
+    return n;
+  }
 };
 
 /// Routed toward `code`; split into sub-queries at the first abutting node.

@@ -139,6 +139,7 @@ Status MindNode::Insert(const std::string& index, Tuple tuple) {
   m->index = index;
   m->version = version;
   m->tuple = std::move(tuple);
+  m->code = code;
   m->sent_at = events_->now();
   tm_.inserts->Inc();
   // Insert trace ids set the top bit so they never collide with query ids
@@ -169,35 +170,40 @@ void MindNode::OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops) {
   SimTime commit_at =
       std::max(events_->now(), dac_busy_until_) + options_.insert_proc_time;
   dac_busy_until_ = commit_at;
-  std::string index = m->index;
   events_->ScheduleAt(commit_at, [this, m, hops, commit_at, dac_span] {
     tracer_->EndSpan(dac_span);
     IndexState* st2 = FindIndex(m->index);
     if (st2 == nullptr) return;
     TupleStore* store2 = st2->primary.Store(m->version);
     if (store2 == nullptr) return;
-    store2->Insert(m->tuple);
+    NodeId origin = m->tuple.origin;
+    // Build the replica copy before the store consumes the tuple.
+    std::shared_ptr<ReplicateMsg> rep;
+    if (options_.replication != 0) {
+      rep = std::make_shared<ReplicateMsg>();
+      rep->index = m->index;
+      rep->version = m->version;
+      rep->tuple = m->tuple;
+      rep->code = m->code;
+    }
+    store2->InsertCoded(std::move(m->tuple), m->code);
     tm_.insert_latency_ms->Record(ToSeconds(commit_at - m->sent_at) * 1e3);
     tm_.insert_hops->Record(static_cast<double>(hops));
     if (on_stored_) {
       StoredInfo info;
       info.index = m->index;
       info.version = m->version;
-      info.origin = m->tuple.origin;
+      info.origin = origin;
       info.storer = id();
       info.latency = commit_at - m->sent_at;
       info.hops = hops;
       on_stored_(info);
     }
     // Replicate to prefix neighbors (§3.8).
-    if (options_.replication != 0) {
+    if (rep != nullptr) {
       uint64_t rep_span =
           tracer_->StartSpan(m->trace_id, "insert.replicate", m->root_span,
                              id());
-      auto rep = std::make_shared<ReplicateMsg>();
-      rep->index = m->index;
-      rep->version = m->version;
-      rep->tuple = m->tuple;
       size_t fanout = 0;
       for (NodeId target : overlay_.ReplicationTargets(options_.replication)) {
         overlay_.SendDirect(target, rep);
@@ -206,6 +212,182 @@ void MindNode::OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops) {
       tm_.replicas_sent->Inc(fanout);
       tm_.replicate_fanout->Record(static_cast<double>(fanout));
       tracer_->Note(rep_span, "fanout", std::to_string(fanout));
+      tracer_->EndSpan(rep_span);
+    }
+    tracer_->EndSpan(m->root_span);
+  });
+}
+
+Status MindNode::InsertBatch(const std::string& index,
+                             std::vector<Tuple> tuples) {
+  if (tuples.empty()) return Status::OK();
+  IndexState* st = FindIndex(index);
+  if (st == nullptr) return Status::NotFound("index " + index);
+  for (const Tuple& t : tuples) {
+    if (static_cast<int>(t.point.size()) != st->def.schema.dims()) {
+      return Status::InvalidArgument("tuple arity mismatch for " + index);
+    }
+  }
+  // Destination version is chosen per tuple (by timestamp, as in Insert);
+  // one train departs per distinct version.
+  std::map<VersionId, std::vector<Tuple>> by_version;
+  for (Tuple& t : tuples) {
+    SimTime ts = st->def.time_attr >= 0
+                     ? static_cast<SimTime>(t.point[st->def.time_attr])
+                     : events_->now();
+    auto versions = st->primary.VersionsOverlapping(ts, ts);
+    if (versions.empty()) {
+      return Status::OutOfRange("no index version covers tuple timestamp");
+    }
+    by_version[versions.back()].push_back(std::move(t));
+  }
+  for (auto& [version, group] : by_version) {
+    CutTreeRef cuts = st->primary.Cuts(version);
+    auto m = std::make_shared<InsertBatchMsg>();
+    m->index = index;
+    m->version = version;
+    m->tuples = std::move(group);
+    m->codes.reserve(m->tuples.size());
+    for (const Tuple& t : m->tuples) {
+      m->codes.push_back(cuts->CodeForPoint(t.point, options_.insert_code_len));
+    }
+    // The train is addressed to the deepest region containing every tuple;
+    // it rides as one message until that prefix splits across nodes.
+    BitCode common = m->codes.front();
+    for (size_t i = 1; i < m->codes.size(); ++i) {
+      common = common.Prefix(common.CommonPrefixLen(m->codes[i]));
+    }
+    m->code = common;
+    m->sent_at = events_->now();
+    tm_.inserts->Inc(m->tuples.size());
+    m->trace_id = (uint64_t{1} << 63) |
+                  (static_cast<uint64_t>(static_cast<uint32_t>(id())) << 32) |
+                  (++insert_seq_);
+    m->root_span = tracer_->StartSpan(m->trace_id, "insert.batch", 0, id());
+    m->route_span = tracer_->StartSpan(m->trace_id, "insert.batch.route",
+                                       m->root_span, id());
+    overlay_.Route(common, m);
+  }
+  return Status::OK();
+}
+
+void MindNode::OnInsertBatchArrived(const std::shared_ptr<InsertBatchMsg>& m,
+                                    int hops) {
+  const BitCode& my = overlay_.code();
+  if (my.IsPrefixOf(m->code)) {
+    // Every tuple of the train lands in our region: commit as one batch.
+    tracer_->EndSpan(m->route_span);
+    CommitBatch(m, hops);
+    return;
+  }
+  if (m->code.IsPrefixOf(my)) {
+    // The train spans several nodes: split by the next code bit and send each
+    // sub-train on (mirrors HandleQueryCode).
+    const int at = m->code.length();
+    auto sub0 = std::make_shared<InsertBatchMsg>();
+    auto sub1 = std::make_shared<InsertBatchMsg>();
+    for (InsertBatchMsg* sub : {sub0.get(), sub1.get()}) {
+      sub->index = m->index;
+      sub->version = m->version;
+      sub->sent_at = m->sent_at;
+      sub->trace_id = m->trace_id;
+      sub->root_span = m->root_span;
+      sub->route_span = m->route_span;
+    }
+    for (size_t i = 0; i < m->tuples.size(); ++i) {
+      InsertBatchMsg* sub = m->codes[i].bit(at) ? sub1.get() : sub0.get();
+      sub->tuples.push_back(std::move(m->tuples[i]));
+      sub->codes.push_back(m->codes[i]);
+    }
+    for (const auto& sub : {sub0, sub1}) {
+      if (sub->tuples.empty()) continue;
+      // Re-tighten the prefix: this half's tuples may share more bits, which
+      // shortens the remaining route.
+      BitCode common = sub->codes.front();
+      for (size_t i = 1; i < sub->codes.size(); ++i) {
+        common = common.Prefix(common.CommonPrefixLen(sub->codes[i]));
+      }
+      sub->code = common;
+      int cpl = my.CommonPrefixLen(common);
+      if (cpl == std::min(my.length(), common.length())) {
+        OnInsertBatchArrived(sub, hops);  // still (partly) ours
+      } else {
+        overlay_.Route(common, sub);
+      }
+    }
+    return;
+  }
+  // Misrouted during an overlay transient: try again.
+  overlay_.Route(m->code, m);
+}
+
+void MindNode::CommitBatch(const std::shared_ptr<InsertBatchMsg>& m,
+                           int hops) {
+  IndexState* st = FindIndex(m->index);
+  if (st == nullptr) return;  // lagging index creation: drop
+  if (st->primary.Store(m->version) == nullptr) return;
+
+  const SimTime now = events_->now();
+  SimTime dac_wait = dac_busy_until_ > now ? dac_busy_until_ - now : 0;
+  tm_.dac_insert_wait_ms->Record(ToSeconds(dac_wait) * 1e3);
+  uint64_t dac_span =
+      tracer_->StartSpan(m->trace_id, "insert.dac", m->root_span, id());
+  // DAC amortization: the first tuple pays the full commit cost, the rest of
+  // the batch rides the same storage-thread pass.
+  SimTime commit_at =
+      std::max(now, dac_busy_until_) + options_.insert_proc_time +
+      options_.batch_item_proc_time * static_cast<SimTime>(m->tuples.size() - 1);
+  dac_busy_until_ = commit_at;
+  events_->ScheduleAt(commit_at, [this, m, hops, commit_at, dac_span] {
+    tracer_->EndSpan(dac_span);
+    IndexState* st2 = FindIndex(m->index);
+    if (st2 == nullptr) return;
+    TupleStore* store2 = st2->primary.Store(m->version);
+    if (store2 == nullptr) return;
+    std::vector<NodeId> rep_targets;
+    if (options_.replication != 0) {
+      rep_targets = overlay_.ReplicationTargets(options_.replication);
+    }
+    uint64_t rep_span = 0;
+    if (options_.replication != 0) {
+      rep_span = tracer_->StartSpan(m->trace_id, "insert.replicate",
+                                    m->root_span, id());
+    }
+    size_t fanout_total = 0;
+    for (size_t i = 0; i < m->tuples.size(); ++i) {
+      NodeId origin = m->tuples[i].origin;
+      std::shared_ptr<ReplicateMsg> rep;
+      if (options_.replication != 0) {
+        rep = std::make_shared<ReplicateMsg>();
+        rep->index = m->index;
+        rep->version = m->version;
+        rep->tuple = m->tuples[i];
+        rep->code = m->codes[i];
+      }
+      store2->InsertCoded(std::move(m->tuples[i]), m->codes[i]);
+      tm_.insert_latency_ms->Record(ToSeconds(commit_at - m->sent_at) * 1e3);
+      tm_.insert_hops->Record(static_cast<double>(hops));
+      if (on_stored_) {
+        StoredInfo info;
+        info.index = m->index;
+        info.version = m->version;
+        info.origin = origin;
+        info.storer = id();
+        info.latency = commit_at - m->sent_at;
+        info.hops = hops;
+        on_stored_(info);
+      }
+      if (rep != nullptr) {
+        for (NodeId target : rep_targets) {
+          overlay_.SendDirect(target, rep);
+          ++fanout_total;
+        }
+        tm_.replicate_fanout->Record(static_cast<double>(rep_targets.size()));
+      }
+    }
+    if (options_.replication != 0) {
+      tm_.replicas_sent->Inc(fanout_total);
+      tracer_->Note(rep_span, "fanout", std::to_string(fanout_total));
       tracer_->EndSpan(rep_span);
     }
     tracer_->EndSpan(m->root_span);
@@ -588,11 +770,15 @@ void MindNode::Revive(NodeId bootstrap) { overlay_.Revive(bootstrap); }
 
 void MindNode::OnDelivered(NodeId origin, const MessagePtr& inner, int hops) {
   (void)origin;
-  auto* mm = dynamic_cast<MindMsg*>(inner.get());
+  auto* mm = inner != nullptr && inner->IsMind() ? static_cast<MindMsg*>(inner.get()) : nullptr;
   if (mm == nullptr) return;
   switch (mm->kind()) {
     case MindMsgKind::kInsert:
       OnInsertArrived(std::static_pointer_cast<InsertMsg>(inner), hops);
+      break;
+    case MindMsgKind::kInsertBatch:
+      OnInsertBatchArrived(std::static_pointer_cast<InsertBatchMsg>(inner),
+                           hops);
       break;
     case MindMsgKind::kQuery:
       OnQueryArrived(std::static_pointer_cast<QueryMsg>(inner));
@@ -604,7 +790,7 @@ void MindNode::OnDelivered(NodeId origin, const MessagePtr& inner, int hops) {
 
 void MindNode::OnBroadcastMsg(NodeId origin, const MessagePtr& inner) {
   (void)origin;
-  auto* mm = dynamic_cast<MindMsg*>(inner.get());
+  auto* mm = inner != nullptr && inner->IsMind() ? static_cast<MindMsg*>(inner.get()) : nullptr;
   if (mm == nullptr) return;
   switch (mm->kind()) {
     case MindMsgKind::kCreateIndex:
@@ -625,7 +811,7 @@ void MindNode::OnBroadcastMsg(NodeId origin, const MessagePtr& inner) {
 }
 
 void MindNode::OnDirect(NodeId from, const MessagePtr& msg) {
-  auto* mm = dynamic_cast<MindMsg*>(msg.get());
+  auto* mm = msg->IsMind() ? static_cast<MindMsg*>(msg.get()) : nullptr;
   if (mm == nullptr) return;
   switch (mm->kind()) {
     case MindMsgKind::kReplicate: {
@@ -633,7 +819,7 @@ void MindNode::OnDirect(NodeId from, const MessagePtr& msg) {
       IndexState* st = FindIndex(r.index);
       if (st == nullptr) break;
       TupleStore* store = st->replicas.Store(r.version);
-      if (store != nullptr) store->Insert(r.tuple);
+      if (store != nullptr) store->InsertCoded(r.tuple, r.code);
       break;
     }
     case MindMsgKind::kQueryReply:
@@ -691,7 +877,7 @@ void MindNode::OnDirect(NodeId from, const MessagePtr& msg) {
 }
 
 void MindNode::OnForward(const MessagePtr& inner) {
-  auto* mm = dynamic_cast<MindMsg*>(inner.get());
+  auto* mm = inner != nullptr && inner->IsMind() ? static_cast<MindMsg*>(inner.get()) : nullptr;
   if (mm != nullptr && mm->kind() == MindMsgKind::kQuery) {
     NoteQueryVisit(static_cast<const QueryMsg&>(*mm).query_id);
   }

@@ -44,6 +44,10 @@ struct MindOptions {
   /// queues FIFO behind the node's single storage thread (this is what makes
   /// hotspot nodes produce the paper's long latency tails).
   SimTime insert_proc_time = 300;        // 0.3 ms per tuple
+  /// Storage-thread cost of each tuple after the first in a committed batch
+  /// (InsertBatch): the batch shares one commit pass, so later tuples are
+  /// cheaper than insert_proc_time.
+  SimTime batch_item_proc_time = 100;    // 0.1 ms per extra batched tuple
   SimTime query_proc_base = 2000;        // 2 ms per sub-query
   SimTime query_proc_per_tuple = 5;      // + 5 us per returned tuple
   uint64_t seed = 0x31337;
@@ -97,6 +101,13 @@ class MindNode {
   /// is chosen by the tuple's timestamp attribute (or the latest version if
   /// the index is not time-versioned).
   Status Insert(const std::string& index, Tuple tuple);
+
+  /// Inserts a batch of records from this node as one message train: tuples
+  /// ride together while their data-space codes share a prefix, and the train
+  /// splits at region boundaries (mirroring query splitting, §3.6). Final
+  /// placement is identical to calling Insert per tuple; only the message
+  /// count and the DAC commit schedule differ (see batch_item_proc_time).
+  Status InsertBatch(const std::string& index, std::vector<Tuple> tuples);
 
   using QueryCallback = std::function<void(const QueryResult&)>;
 
@@ -199,6 +210,10 @@ class MindNode {
   void ApplyCreateIndex(const CreateIndexMsg& m);
   void ApplyInstallCuts(const InstallCutsMsg& m);
   void OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops);
+  // Split-or-commit step for a batch (owns / spans / misrouted), recursing on
+  // sub-trains that stay local.
+  void OnInsertBatchArrived(const std::shared_ptr<InsertBatchMsg>& m, int hops);
+  void CommitBatch(const std::shared_ptr<InsertBatchMsg>& m, int hops);
   void OnQueryArrived(const std::shared_ptr<QueryMsg>& m);
   void HandleQueryCode(const std::shared_ptr<QueryMsg>& m, const BitCode& code);
   void ResolveAndReply(const QueryMsg& m, const BitCode& code);

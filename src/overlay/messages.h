@@ -40,6 +40,7 @@ enum class OverlayMsgKind {
 
 struct OverlayMsg : Message {
   virtual OverlayMsgKind kind() const = 0;
+  bool IsOverlay() const final { return true; }
 };
 
 /// Greedy-routing envelope: carried hop by hop toward the node whose vertex

@@ -39,10 +39,15 @@ void OverlayNode::OnHeartbeatTimer() {
 }
 
 void OverlayNode::NotePeerAlive(NodeId peer, const BitCode* code_hint) {
-  last_seen_[peer] = events_->now();
+  // last_seen_ is only ever read by OnHeartbeatTimer; skip the per-message
+  // map write when failure detection is off.
+  if (options_.heartbeat_interval > 0) last_seen_[peer] = events_->now();
   if (code_hint != nullptr) {
     auto it = peers_.find(peer);
-    if (it != peers_.end()) it->second = *code_hint;
+    if (it != peers_.end() && it->second != *code_hint) {
+      it->second = *code_hint;
+      InvalidateRouteCache();
+    }
   }
 }
 
@@ -51,6 +56,7 @@ void OverlayNode::DeclarePeerDead(NodeId peer) {
   if (it == peers_.end()) return;
   BitCode peer_code = it->second;
   peers_.erase(it);
+  InvalidateRouteCache();
   last_seen_.erase(peer);
   tm_.peers_declared_dead->Inc();
 
@@ -289,9 +295,10 @@ void OverlayNode::GiveUpOnPeerQueue(NodeId to) {
 
   // Avoid this peer for routing decisions for a while.
   avoid_until_[to] = events_->now() + 8 * options_.reconnect_backoff;
+  InvalidateRouteCache();
 
   for (auto& m : q) {
-    auto* om = dynamic_cast<OverlayMsg*>(m.get());
+    auto* om = m->IsOverlay() ? static_cast<OverlayMsg*>(m.get()) : nullptr;
     if (om != nullptr && om->kind() == OverlayMsgKind::kRouteEnvelope) {
       // Re-route around the failed link.
       ProcessEnvelope(std::static_pointer_cast<RouteEnvelope>(m));
@@ -380,6 +387,7 @@ void OverlayNode::OnRingFound(NodeId from, const RingFoundMsg& m) {
   ring_searches_.erase(it);
   // Adopt the discovered node as a routing peer and resume forwarding there.
   peers_[from] = m.code;
+  InvalidateRouteCache();
   env->hops++;
   SendRaw(from, std::move(env));
 }

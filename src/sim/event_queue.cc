@@ -1,42 +1,125 @@
 #include "sim/event_queue.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace mind {
 
 EventId EventQueue::ScheduleAt(SimTime t, EventFn fn) {
   MIND_CHECK_GE(t, now_) << "cannot schedule in the past";
-  EventId id = next_id_++;
-  heap_.push(Event{t, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  uint32_t slot;
+  if (free_head_ != kNone) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.time = t;
+  s.seq = ++next_seq_;
+  s.live = true;
+  s.fn = std::move(fn);
+  heap_.push_back(slot);
+  SiftUp(heap_.size() - 1);
+  ++live_count_;
+  return MakeId(s.gen, slot);
 }
 
-bool EventQueue::PopNext(Event* out) {
+uint32_t EventQueue::DecodeLive(EventId id) const {
+  uint32_t low = static_cast<uint32_t>(id);
+  if (low == 0) return kNone;
+  uint32_t slot = low - 1;
+  if (slot >= slots_.size()) return kNone;
+  if (slots_[slot].gen != static_cast<uint32_t>(id >> 32)) return kNone;
+  return slot;
+}
+
+void EventQueue::Cancel(EventId id) {
+  uint32_t slot = DecodeLive(id);
+  if (slot == kNone || !slots_[slot].live) return;
+  slots_[slot].live = false;
+  slots_[slot].fn = EventFn();
+  --live_count_;
+  ++dead_in_heap_;
+  if (dead_in_heap_ > heap_.size() / 2) Compact();
+}
+
+void EventQueue::SiftUp(size_t i) {
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t left = 2 * i + 1;
+    if (left >= n) break;
+    size_t best = left;
+    size_t right = left + 1;
+    if (right < n && Before(heap_[right], heap_[left])) best = right;
+    if (!Before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventQueue::HeapPopRoot() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+void EventQueue::Release(uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::Compact() {
+  size_t w = 0;
+  for (uint32_t slot : heap_) {
+    if (slots_[slot].live) {
+      heap_[w++] = slot;
+    } else {
+      Release(slot);
+    }
+  }
+  heap_.resize(w);
+  dead_in_heap_ = 0;
+  for (size_t i = w / 2; i-- > 0;) SiftDown(i);
+}
+
+uint32_t EventQueue::PopNextSlot() {
   while (!heap_.empty()) {
-    // top() is const&; the closure is moved out right before pop(), which is
-    // safe because the heap ordering does not involve fn.
-    Event& top = const_cast<Event&>(heap_.top());
-    if (!live_.count(top.id)) {  // cancelled
-      heap_.pop();
+    uint32_t slot = heap_[0];
+    HeapPopRoot();
+    if (!slots_[slot].live) {
+      --dead_in_heap_;
+      Release(slot);
       continue;
     }
-    live_.erase(top.id);
-    *out = Event{top.time, top.id, std::move(top.fn)};
-    heap_.pop();
-    return true;
+    return slot;
   }
-  return false;
+  return kNone;
 }
 
 bool EventQueue::PeekTime(SimTime* t) {
   while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (!live_.count(top.id)) {
-      heap_.pop();
+    uint32_t slot = heap_[0];
+    if (!slots_[slot].live) {
+      HeapPopRoot();
+      --dead_in_heap_;
+      Release(slot);
       continue;
     }
-    *t = top.time;
+    *t = slots_[slot].time;
     return true;
   }
   return false;
@@ -44,10 +127,17 @@ bool EventQueue::PeekTime(SimTime* t) {
 
 size_t EventQueue::Run(size_t limit) {
   size_t fired = 0;
-  Event ev;
-  while (fired < limit && PopNext(&ev)) {
-    now_ = ev.time;
-    ev.fn();
+  while (fired < limit) {
+    uint32_t slot = PopNextSlot();
+    if (slot == kNone) break;
+    now_ = slots_[slot].time;
+    EventFn fn = std::move(slots_[slot].fn);
+    slots_[slot].live = false;
+    --live_count_;
+    // Release before invoking: the closure may schedule, reusing this slot
+    // under a fresh generation (and possibly reallocating slots_).
+    Release(slot);
+    fn();
     ++fired;
   }
   if (run_counter_ != nullptr) run_counter_->Inc(fired);
@@ -58,10 +148,14 @@ size_t EventQueue::RunUntil(SimTime t) {
   size_t fired = 0;
   SimTime next;
   while (PeekTime(&next) && next <= t) {
-    Event ev;
-    if (!PopNext(&ev)) break;
-    now_ = ev.time;
-    ev.fn();
+    uint32_t slot = PopNextSlot();
+    if (slot == kNone) break;
+    now_ = slots_[slot].time;
+    EventFn fn = std::move(slots_[slot].fn);
+    slots_[slot].live = false;
+    --live_count_;
+    Release(slot);
+    fn();
     ++fired;
   }
   if (t > now_) now_ = t;
@@ -70,10 +164,14 @@ size_t EventQueue::RunUntil(SimTime t) {
 }
 
 bool EventQueue::Step() {
-  Event ev;
-  if (!PopNext(&ev)) return false;
-  now_ = ev.time;
-  ev.fn();
+  uint32_t slot = PopNextSlot();
+  if (slot == kNone) return false;
+  now_ = slots_[slot].time;
+  EventFn fn = std::move(slots_[slot].fn);
+  slots_[slot].live = false;
+  --live_count_;
+  Release(slot);
+  fn();
   if (run_counter_ != nullptr) run_counter_->Inc();
   return true;
 }

@@ -1,21 +1,31 @@
 // The discrete-event core: a virtual clock plus a priority queue of
 // timestamped callbacks. Deterministic: ties are broken by insertion order.
+//
+// Internals are built for the hot path (one Schedule + one fire per network
+// message, millions per run):
+//  * closures are EventFn (64-byte inline buffer) — no per-event malloc;
+//  * events live in a slot array with a free list; the heap orders slot
+//    indices, so heap moves shuffle 4-byte ints, never closures;
+//  * Cancel is lazy: the slot is marked dead (its closure destroyed
+//    immediately) and skipped at pop, with no tombstone hash set;
+//  * when dead entries exceed half the heap, the heap is compacted in one
+//    O(n) pass, so a cancel-heavy workload (timers) cannot grow memory.
 #ifndef MIND_SIM_EVENT_QUEUE_H_
 #define MIND_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/time.h"
 #include "telemetry/metrics.h"
 
 namespace mind {
 
+/// Opaque handle: generation in the high 32 bits, slot+1 in the low 32, so a
+/// valid id is never 0 (callers use 0 as "no event"). Slot reuse bumps the
+/// generation, which makes a stale Cancel on a reused slot a no-op.
 using EventId = uint64_t;
-using EventFn = std::function<void()>;
 
 /// \brief Virtual clock + event queue.
 ///
@@ -38,8 +48,10 @@ class EventQueue {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event; no-op if already fired or cancelled.
-  void Cancel(EventId id) { live_.erase(id); }
+  /// Cancels a pending event; no-op if already fired or cancelled. The
+  /// closure is destroyed immediately (releasing captured resources); the
+  /// heap entry is reclaimed lazily.
+  void Cancel(EventId id);
 
   /// Runs events until the queue is empty or `limit` events have fired.
   /// Returns the number of events fired.
@@ -51,36 +63,62 @@ class EventQueue {
   /// Fires the single next event, if any. Returns true if one fired.
   bool Step();
 
-  bool empty() const { return live_.empty(); }
-  size_t pending() const { return live_.size(); }
+  bool empty() const { return live_count_ == 0; }
+  size_t pending() const { return live_count_; }
+
+  /// Introspection for the memory-regression tests: physical sizes of the
+  /// slot array and the heap (live + not-yet-reclaimed dead entries).
+  size_t slot_count() const { return slots_.size(); }
+  size_t heap_size() const { return heap_.size(); }
 
   /// Optional counter bumped once per fired event (`sim.events.processed`).
   void set_run_counter(telemetry::Counter* c) { run_counter_ = c; }
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;  // also the tie-breaker: lower id fires first at equal time
+  struct Slot {
+    SimTime time = 0;
+    uint64_t seq = 0;       // global insertion order; the tie-breaker
+    uint32_t gen = 0;       // bumped on release; validates EventIds
+    uint32_t next_free = kNone;
+    bool live = false;
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
-  };
+  static constexpr uint32_t kNone = UINT32_MAX;
 
-  // Pops the next live (non-cancelled) event; returns false if none.
-  bool PopNext(Event* out);
-  // Timestamp of the next live event; false if none (mutates heap to drop
-  // cancelled prefixes).
+  static EventId MakeId(uint32_t gen, uint32_t slot) {
+    return (static_cast<uint64_t>(gen) << 32) | (slot + 1);
+  }
+  // Slot index of a handle, or kNone if the handle is stale/invalid.
+  uint32_t DecodeLive(EventId id) const;
+
+  bool Before(uint32_t a, uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.time != sb.time) return sa.time < sb.time;
+    return sa.seq < sb.seq;
+  }
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  // Removes heap_[0] (caller owns the slot afterwards).
+  void HeapPopRoot();
+  // Returns a slot to the free list and invalidates outstanding ids.
+  void Release(uint32_t slot);
+  // Drops every dead entry from the heap in one pass and re-heapifies.
+  void Compact();
+
+  // Pops the next live event's slot; returns kNone if the queue is drained.
+  uint32_t PopNextSlot();
+  // Timestamp of the next live event; false if none (drops dead prefixes).
   bool PeekTime(SimTime* t);
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+  size_t dead_in_heap_ = 0;
+  uint32_t free_head_ = kNone;
   telemetry::Counter* run_counter_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<EventId> live_;
+  std::vector<uint32_t> heap_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace mind

@@ -19,6 +19,11 @@ struct Message {
   virtual ~Message() = default;
   virtual size_t SizeBytes() const { return 64; }
   virtual const char* TypeName() const = 0;
+  /// Cheap layer discriminators for the per-message dispatch paths (one
+  /// virtual call instead of a dynamic_cast): overridden by OverlayMsg and
+  /// MindMsg respectively. Callers static_cast after checking.
+  virtual bool IsOverlay() const { return false; }
+  virtual bool IsMind() const { return false; }
 };
 
 using MessagePtr = std::shared_ptr<Message>;

@@ -67,8 +67,10 @@ void Network::SetLatency(NodeId a, NodeId b, SimTime one_way) {
 }
 
 SimTime Network::Latency(NodeId a, NodeId b) const {
-  auto it = latency_override_.find(DirKey(a, b));
-  if (it != latency_override_.end()) return it->second;
+  if (!latency_override_.empty()) {
+    auto it = latency_override_.find(DirKey(a, b));
+    if (it != latency_override_.end()) return it->second;
+  }
   const HostState& ha = hosts_[a];
   const HostState& hb = hosts_[b];
   if (ha.has_position && hb.has_position) {
@@ -98,7 +100,11 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   SimTime now = events_->now();
   LinkState& link = links_[DirKey(from, to)];
 
-  bool link_down = link.down_until > now || links_[DirKey(to, from)].down_until > now;
+  // find(): operator[] on the reverse key would materialize a LinkState for
+  // every (to, from) pair that never sends.
+  auto rev = links_.find(DirKey(to, from));
+  bool link_down = link.down_until > now ||
+                   (rev != links_.end() && rev->second.down_until > now);
   if (link_down || !hosts_[to].up) {
     if (send_fail_counter_ != nullptr) send_fail_counter_->Inc();
     events_->Schedule(options_.send_fail_detect, [this, from, to, msg]() {

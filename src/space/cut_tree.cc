@@ -222,16 +222,73 @@ bool CutTree::Descend(Cursor* c, int bit) const {
 
 BitCode CutTree::CodeForPoint(const Point& p, int len) const {
   MIND_CHECK(len >= 0 && len <= BitCode::kMaxLen);
-  Point q = schema_.Clamp(p);
-  Cursor c = Root();
+  const int k = schema_.dims();
+  MIND_CHECK_EQ(static_cast<int>(p.size()), k);
+  // Descent only ever inspects one interval per level, so the cursor is three
+  // stack arrays instead of a heap-backed Rect + clamped Point copy — this is
+  // the hottest call on the insert path (once per insert_record, once per
+  // stored replica).
+  constexpr int kStackDims = 16;
+  if (k > kStackDims) {
+    Point q = schema_.Clamp(p);
+    Cursor c = Root();
+    BitCode code;
+    for (int i = 0; i < len; ++i) {
+      const int bit = (q[CursorDim(c)] <= CutValue(c)) ? 0 : 1;
+      bool ok = Descend(&c, bit);
+      MIND_CHECK(ok);
+      code.PushBack(bit);
+    }
+    return code;
+  }
+  Value q[kStackDims], lo[kStackDims], hi[kStackDims];
+  for (int d = 0; d < k; ++d) {
+    const AttributeDef& a = schema_.attr(d);
+    lo[d] = a.min;
+    hi[d] = a.max;
+    q[d] = p[d] < a.min ? a.min : (p[d] > a.max ? a.max : p[d]);
+  }
+  if (nodes_.empty()) {
+    // Even tree: pure midpoint bisection, dimension strictly round-robin. A
+    // midpoint cut is always interior (cut < hi whenever lo < hi, and lo == hi
+    // forces bit 0), so the branch-free form needs no emptiness check.
+    uint64_t bits = 0;
+    int dim = 0;
+    for (int i = 0; i < len; ++i) {
+      const Value cut = lo[dim] + (hi[dim] - lo[dim]) / 2;
+      const uint64_t bit = q[dim] > cut ? 1 : 0;
+      if (bit) {
+        lo[dim] = cut + 1;
+      } else {
+        hi[dim] = cut;
+      }
+      bits = (bits << 1) | bit;
+      if (++dim == k) dim = 0;
+    }
+    return BitCode::FromBits(bits, len);
+  }
+  int node = 0;
   BitCode code;
   for (int i = 0; i < len; ++i) {
-    const int dim = CursorDim(c);
-    const Value cut = CutValue(c);
-    const int bit = (q[dim] <= cut) ? 0 : 1;
-    bool ok = Descend(&c, bit);
-    MIND_CHECK(ok);  // bit==1 implies q[dim] > cut, so high side is non-empty
-    code.PushBack(bit);
+    int dim;
+    Value cut;
+    if (node >= 0) {
+      dim = nodes_[node].dim;
+      cut = nodes_[node].cut;
+    } else {
+      dim = i % k;
+      cut = lo[dim] + (hi[dim] - lo[dim]) / 2;
+    }
+    if (q[dim] <= cut) {
+      hi[dim] = cut;
+      node = node >= 0 ? nodes_[node].child0 : -1;
+      code.PushBack(0);
+    } else {
+      MIND_CHECK(cut < hi[dim]);  // q[dim] > cut, so the high side is non-empty
+      lo[dim] = cut + 1;
+      node = node >= 0 ? nodes_[node].child1 : -1;
+      code.PushBack(1);
+    }
   }
   return code;
 }

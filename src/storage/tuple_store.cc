@@ -36,6 +36,13 @@ void TupleStore::Insert(Tuple tuple) {
   sorted_ = false;
 }
 
+void TupleStore::InsertCoded(Tuple tuple, const BitCode& code) {
+  MIND_CHECK(code.length() >= code_len_);
+  approx_bytes_ += tuple.WireBytes() + 16;
+  rows_.push_back(Row{KeyOf(code.Prefix(code_len_)), std::move(tuple)});
+  sorted_ = false;
+}
+
 void TupleStore::EnsureSorted() const {
   if (sorted_) return;
   std::sort(rows_.begin(), rows_.end(),

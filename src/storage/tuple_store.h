@@ -27,6 +27,11 @@ class TupleStore {
   /// Adds a tuple (O(1) amortized; the sort order is restored lazily).
   void Insert(Tuple tuple);
 
+  /// Adds a tuple whose data-space code is already known (the insert message
+  /// carries it end-to-end), skipping the CodeForPoint descent. `code` must
+  /// equal `cuts()->CodeForPoint(tuple.point, n)` for some n >= code_len.
+  void InsertCoded(Tuple tuple, const BitCode& code);
+
   size_t size() const { return rows_.size(); }
   uint64_t approx_bytes() const { return approx_bytes_; }
 

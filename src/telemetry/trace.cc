@@ -18,11 +18,21 @@ Tracer::Tracer(std::function<SimTime()> clock, size_t max_traces,
 }
 
 Tracer::TraceBuf* Tracer::GetOrCreateTrace(uint64_t trace_id) {
+  if (trace_id == mru_id_ && mru_ != nullptr) return mru_;
   auto it = traces_.find(trace_id);
-  if (it != traces_.end()) return &it->second;
-  if (traces_.size() >= max_traces_) EvictOldest();
-  order_.push_back(trace_id);
-  return &traces_[trace_id];
+  if (it == traces_.end()) {
+    if (traces_.size() >= max_traces_) EvictOldest();
+    order_.push_back(trace_id);
+    if (spare_trace_) {
+      spare_trace_.key() = trace_id;
+      it = traces_.insert(std::move(spare_trace_)).position;
+    } else {
+      it = traces_.emplace(trace_id, TraceBuf{}).first;
+    }
+  }
+  mru_id_ = trace_id;
+  mru_ = &it->second;
+  return mru_;
 }
 
 void Tracer::EvictOldest() {
@@ -31,8 +41,15 @@ void Tracer::EvictOldest() {
     order_.pop_front();
     auto it = traces_.find(victim);
     if (it == traces_.end()) continue;  // already gone
-    for (const TraceSpan& s : it->second.spans) index_.erase(s.span_id);
-    traces_.erase(it);
+    for (const TraceSpan& s : it->second.spans) {
+      auto nh = index_.extract(s.span_id);
+      if (nh && spare_index_.size() < 2 * max_spans_per_trace_) {
+        spare_index_.push_back(std::move(nh));
+      }
+    }
+    if (victim == mru_id_) mru_ = nullptr;
+    spare_trace_ = traces_.extract(it);
+    spare_trace_.mapped().spans.clear();  // keep capacity for reuse
     ++traces_evicted_;
     return;
   }
@@ -60,7 +77,15 @@ uint64_t Tracer::StartSpan(uint64_t trace_id, std::string name,
   span.name = std::move(name);
   span.node = node;
   span.start = clock_();
-  index_[span.span_id] = {trace_id, buf->spans.size()};
+  if (!spare_index_.empty()) {
+    auto nh = std::move(spare_index_.back());
+    spare_index_.pop_back();
+    nh.key() = span.span_id;
+    nh.mapped() = SpanRef{buf, buf->spans.size()};
+    index_.insert(std::move(nh));
+  } else {
+    index_.emplace(span.span_id, SpanRef{buf, buf->spans.size()});
+  }
   buf->spans.push_back(std::move(span));
   return buf->spans.back().span_id;
 #endif
@@ -70,7 +95,7 @@ void Tracer::EndSpan(uint64_t span_id) {
   if (span_id == 0) return;
   auto it = index_.find(span_id);
   if (it == index_.end()) return;  // evicted
-  TraceSpan& span = traces_[it->second.first].spans[it->second.second];
+  TraceSpan& span = it->second.buf->spans[it->second.idx];
   if (span.closed) return;
   span.end = clock_();
   span.closed = true;
@@ -81,8 +106,8 @@ void Tracer::Note(uint64_t span_id, const std::string& key,
   if (span_id == 0) return;
   auto it = index_.find(span_id);
   if (it == index_.end()) return;
-  traces_[it->second.first].spans[it->second.second].notes.emplace_back(
-      key, std::move(value));
+  it->second.buf->spans[it->second.idx].notes.emplace_back(key,
+                                                           std::move(value));
 }
 
 const std::vector<TraceSpan>* Tracer::GetTrace(uint64_t trace_id) const {

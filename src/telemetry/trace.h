@@ -80,6 +80,16 @@ class Tracer {
   struct TraceBuf {
     std::vector<TraceSpan> spans;
   };
+  // Direct handle into a trace's span vector. TraceBuf pointers are stable
+  // (node-based map) until the trace is erased, and every index_ entry of an
+  // erased trace is erased with it, so a SpanRef can never dangle.
+  struct SpanRef {
+    TraceBuf* buf;
+    size_t idx;
+  };
+
+  using TraceMap = std::unordered_map<uint64_t, TraceBuf>;
+  using IndexMap = std::unordered_map<uint64_t, SpanRef>;
 
   TraceBuf* GetOrCreateTrace(uint64_t trace_id);
   void EvictOldest();
@@ -93,10 +103,18 @@ class Tracer {
   bool enabled_ = true;
 #endif
 
-  std::unordered_map<uint64_t, TraceBuf> traces_;
+  TraceMap traces_;
   std::deque<uint64_t> order_;  // trace ids in first-seen order
-  // span id -> (trace id, index into that trace's span vector)
-  std::unordered_map<uint64_t, std::pair<uint64_t, size_t>> index_;
+  IndexMap index_;              // span id -> its slot
+  // One-entry MRU for GetOrCreateTrace: the insert/query paths open several
+  // spans on the same trace back to back.
+  uint64_t mru_id_ = 0;
+  TraceBuf* mru_ = nullptr;
+  // Recycled map nodes: at steady state every new trace evicts one, so
+  // reusing the extracted nodes (and the TraceBuf's span capacity) makes the
+  // recorder allocation-free.
+  TraceMap::node_type spare_trace_;
+  std::vector<IndexMap::node_type> spare_index_;
   uint64_t next_span_id_ = 1;
   uint64_t spans_dropped_ = 0;
   uint64_t traces_evicted_ = 0;

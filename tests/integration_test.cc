@@ -280,6 +280,82 @@ TEST(TelemetryIntegrationTest, RecordingDoesNotPerturbResults) {
   EXPECT_EQ(on.end_time, off.end_time);
 }
 
+// ------------------------------------------------------------ routing cache
+
+namespace {
+
+struct RouteCacheRunOutcome {
+  std::multiset<uint64_t> tuple_seqs;
+  std::vector<size_t> primary_counts;
+  bool complete = false;
+  SimTime latency = 0;
+  SimTime end_time = 0;
+  uint64_t cache_hits = 0;
+};
+
+// One fixed insert+crash+revive+query scenario with the per-node routing
+// cache on or off. The crash/revive leg exercises the cache-invalidation
+// sites (peer death, avoidance windows, rejoin).
+RouteCacheRunOutcome RunRouteCacheScenario(bool cache_on) {
+  MindNetOptions mopts;
+  mopts.sim.seed = 424242;
+  mopts.overlay.route_cache = cache_on;
+  MindNet net(16, mopts);
+  EXPECT_TRUE(net.Build().ok());
+  IndexDef def;
+  def.name = "idx";
+  def.schema = Schema({{"x", 0, 9999}, {"y", 0, 9999}});
+  EXPECT_TRUE(net.CreateIndexEverywhere(
+                     def, std::make_shared<CutTree>(CutTree::Even(def.schema)))
+                  .ok());
+  for (uint64_t i = 0; i < 400; ++i) {
+    Tuple t;
+    t.point = {i * 37 % 10000, i * 101 % 10000};
+    t.seq = i;
+    t.origin = static_cast<int>(i % 16);
+    EXPECT_TRUE(net.node(i % 16).Insert("idx", t).ok());
+    if (i % 50 == 0) net.sim().RunFor(FromSeconds(1));
+    if (i == 200) {
+      net.node(5).Crash();
+      net.sim().RunFor(FromSeconds(15));
+      net.node(5).Revive(0);
+      net.sim().RunFor(FromSeconds(15));
+    }
+  }
+  net.sim().RunFor(FromSeconds(30));
+  QueryResult r = RunQuery(net, 3, "idx", Rect({{1000, 8000}, {0, 9999}}));
+  RouteCacheRunOutcome out;
+  for (const auto& t : r.tuples) out.tuple_seqs.insert(t.seq);
+  for (size_t n = 0; n < net.size(); ++n) {
+    out.primary_counts.push_back(net.node(n).PrimaryTupleCount("idx"));
+  }
+  out.complete = r.complete;
+  out.latency = r.latency;
+  out.end_time = net.sim().now();
+  out.cache_hits = net.sim().metrics().counter("overlay.route.cache_hits").value();
+  return out;
+}
+
+}  // namespace
+
+// The routing cache must be a pure memoization of BestNextHop: the identical
+// scenario with the cache on and off yields bit-identical placement, query
+// results and sim-clock timings, while the cached run actually hits.
+TEST(RouteCacheIntegrationTest, CacheIsTransparent) {
+  RouteCacheRunOutcome on = RunRouteCacheScenario(true);
+  RouteCacheRunOutcome off = RunRouteCacheScenario(false);
+  EXPECT_FALSE(on.tuple_seqs.empty());
+#ifndef MIND_TELEMETRY_DISABLED
+  EXPECT_GT(on.cache_hits, 0u);
+  EXPECT_EQ(off.cache_hits, 0u);
+#endif
+  EXPECT_EQ(on.tuple_seqs, off.tuple_seqs);
+  EXPECT_EQ(on.primary_counts, off.primary_counts);
+  EXPECT_EQ(on.complete, off.complete);
+  EXPECT_EQ(on.latency, off.latency);
+  EXPECT_EQ(on.end_time, off.end_time);
+}
+
 #ifndef MIND_TELEMETRY_DISABLED
 // With telemetry on, the instrumented paths populate the registry and the
 // flight recorder end to end.

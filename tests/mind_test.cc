@@ -132,6 +132,68 @@ TEST_F(MindNetTest, InsertValidation) {
                   .IsNotFound());
 }
 
+TEST_F(MindNetTest, InsertBatchValidation) {
+  Start(4);
+  EXPECT_TRUE(net_->node(0).InsertBatch("test_idx", {}).ok());  // no-op
+  Tuple wrong;
+  wrong.point = {1, 2};
+  EXPECT_TRUE(net_->node(0)
+                  .InsertBatch("test_idx", {MakeTuple(1, 1, 1, 0, 0), wrong})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(net_->node(0)
+                  .InsertBatch("missing", {MakeTuple(1, 1, 1, 0, 0)})
+                  .IsNotFound());
+}
+
+// InsertBatch promises placement identical to per-tuple Insert: feed the same
+// tuple stream both ways (fresh nets, same seed) and the per-node primary
+// counts and queryable contents must match exactly.
+TEST_F(MindNetTest, InsertBatchMatchesSingleInsertPlacement) {
+  const int kBatches = 16, kPerBatch = 12;
+  auto make_tuples = [&](int b) {
+    std::vector<Tuple> tuples;
+    Rng rng(7000 + b);
+    for (int i = 0; i < kPerBatch; ++i) {
+      tuples.push_back(MakeTuple(rng.Uniform(10000), 1000 + b * kPerBatch + i,
+                                 rng.Uniform(10000), b % 8,
+                                 b * kPerBatch + i));
+    }
+    return tuples;
+  };
+
+  auto run = [&](bool batched) {
+    Start(8);
+    for (int b = 0; b < kBatches; ++b) {
+      auto tuples = make_tuples(b);
+      size_t src = b % 8;
+      if (batched) {
+        EXPECT_TRUE(net_->node(src).InsertBatch("test_idx", std::move(tuples)).ok());
+      } else {
+        for (auto& t : tuples) {
+          EXPECT_TRUE(net_->node(src).Insert("test_idx", std::move(t)).ok());
+        }
+      }
+      net_->sim().RunFor(FromMillis(500));
+    }
+    net_->sim().RunFor(FromSeconds(30));
+    std::vector<size_t> counts;
+    for (size_t n = 0; n < net_->size(); ++n) {
+      counts.push_back(net_->node(n).PrimaryTupleCount("test_idx"));
+    }
+    QueryResult r =
+        RunQuery(*net_, 2, "test_idx", Rect({{0, 9999}, {0, 100000}, {0, 9999}}));
+    std::multiset<uint64_t> seqs;
+    for (const auto& t : r.tuples) seqs.insert(t.seq);
+    return std::make_pair(counts, seqs);
+  };
+
+  auto [batch_counts, batch_seqs] = run(true);
+  auto [single_counts, single_seqs] = run(false);
+  EXPECT_EQ(batch_seqs.size(), static_cast<size_t>(kBatches * kPerBatch));
+  EXPECT_EQ(batch_counts, single_counts);
+  EXPECT_EQ(batch_seqs, single_seqs);
+}
+
 TEST_F(MindNetTest, QueryReturnsExactlyMatchingTuples) {
   Start(8);
   Rng rng(2);

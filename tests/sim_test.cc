@@ -100,6 +100,46 @@ TEST(EventQueueTest, LimitStopsRun) {
   EXPECT_EQ(fired, 3);
 }
 
+// Timer churn at scale: 100k timers scheduled and almost all cancelled. The
+// physical structures (slot array, heap) must stay sized to the peak
+// outstanding wave, not grow with the cumulative schedule count — lazy
+// cancellation has to compact.
+TEST(EventQueueTest, CancelChurn100kDoesNotGrowMemory) {
+  EventQueue q;
+  uint64_t fired = 0;
+  const int kWaves = 1000, kPerWave = 100;  // 100k timers total
+  std::vector<EventId> ids;
+  for (int w = 0; w < kWaves; ++w) {
+    ids.clear();
+    for (int i = 0; i < kPerWave; ++i) {
+      ids.push_back(q.Schedule(1000 + i, [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < kPerWave - 5; ++i) q.Cancel(ids[i]);  // 95% cancelled
+    q.Run();
+  }
+  EXPECT_EQ(fired, static_cast<uint64_t>(kWaves) * 5);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.heap_size(), 0u);
+  // Peak live per wave is 100; compaction bounds the dead overhang, so the
+  // slot array must stay within a small multiple of that.
+  EXPECT_LE(q.slot_count(), 4u * kPerWave);
+}
+
+// Slot reuse bumps the generation: a stale handle from a fired event must not
+// cancel the unrelated event that now occupies the same slot.
+TEST(EventQueueTest, StaleCancelOnReusedSlotIsNoop) {
+  EventQueue q;
+  int a = 0, b = 0;
+  EventId id1 = q.Schedule(10, [&a] { ++a; });
+  q.Run();
+  EventId id2 = q.Schedule(10, [&b] { ++b; });
+  EXPECT_NE(id1, id2);
+  q.Cancel(id1);  // stale: same slot, older generation
+  q.Run();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
 // ---------------------------------------------------------------- Network
 
 struct TestMsg : Message {

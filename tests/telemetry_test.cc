@@ -319,6 +319,10 @@ TEST(JsonExporterTest, SchemaRoundTrip) {
 #endif
 }
 
+TEST(JsonExporterTest, DefaultPathIsBenchName) {
+  EXPECT_EQ(JsonExporter::DefaultPath(TestMeta()), "BENCH_unit.json");
+}
+
 TEST(CsvExporterTest, FlatRowsParse) {
   MetricsRegistry reg;
 #ifndef MIND_TELEMETRY_DISABLED
