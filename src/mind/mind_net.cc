@@ -1,7 +1,7 @@
 #include "mind/mind_net.h"
 
-#include <cmath>
-
+#include "util/bitcode.h"
+#include "util/digest.h"
 #include "util/logging.h"
 
 namespace mind {
@@ -115,20 +115,42 @@ size_t MindNet::JoinedCount() const {
 }
 
 bool MindNet::CodesFormCompleteCover() const {
-  long double total = 0;
   std::vector<BitCode> codes;
   for (const auto& node : nodes_) {
     if (!node->overlay().alive() || !node->overlay().joined()) continue;
     codes.push_back(node->overlay().code());
-    total += std::pow(2.0L,
-                      -static_cast<long double>(node->overlay().code().length()));
   }
-  for (size_t i = 0; i < codes.size(); ++i) {
-    for (size_t j = 0; j < codes.size(); ++j) {
-      if (i != j && codes[i].IsPrefixOf(codes[j])) return false;
-    }
+  return CheckCompleteCover(codes).ok();
+}
+
+// ------------------------------------------------------------- correctness
+
+Status MindNet::ValidateInvariants(bool quiescent) const {
+  MIND_RETURN_NOT_OK(sim_->events().ValidateInvariants());
+  if (quiescent) {
+    std::vector<const OverlayNode*> overlays;
+    overlays.reserve(nodes_.size());
+    for (const auto& node : nodes_) overlays.push_back(&node->overlay());
+    MIND_RETURN_NOT_OK(ValidateOverlayInvariants(overlays));
   }
-  return std::fabs(static_cast<double>(total) - 1.0) < 1e-9;
+  for (const auto& node : nodes_) {
+    MIND_RETURN_NOT_OK(node->ValidateInvariants());
+  }
+  return Status::OK();
+}
+
+uint64_t MindNet::StateDigest() const {
+  Fnv64 d;
+  d.Mix(static_cast<uint64_t>(nodes_.size()));
+  sim_->events().DigestInto(&d);
+  for (const auto& node : nodes_) node->DigestInto(&d);
+  return d.value();
+}
+
+void MindNet::EnablePeriodicValidation(SimTime interval) {
+  sim_->events().set_validation_hook(
+      [this] { MIND_CHECK_OK(ValidateInvariants(/*quiescent=*/false)); },
+      interval);
 }
 
 }  // namespace mind

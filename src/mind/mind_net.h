@@ -65,6 +65,25 @@ class MindNet {
   size_t JoinedCount() const;
   bool CodesFormCompleteCover() const;
 
+  // ---- correctness tooling ---------------------------------------------
+
+  /// Validates every node's local structure plus the event queue. When
+  /// `quiescent` (the default), additionally checks fleet-wide overlay
+  /// invariants — complete code cover and sibling-link symmetry — which only
+  /// hold between topology changes; pass false while joins/crashes are in
+  /// flight. Returns OK trivially when MIND_VALIDATORS is off.
+  Status ValidateInvariants(bool quiescent = true) const;
+
+  /// FNV-1a 64 digest of the deployment's logical state: virtual clock,
+  /// pending events, and every node's overlay/index/storage state. Two runs
+  /// of the same seeded scenario must produce identical digests, regardless
+  /// of MIND_TELEMETRY; tools/check_determinism.sh enforces this.
+  uint64_t StateDigest() const;
+
+  /// Runs the non-quiescent validators every `interval` of virtual time,
+  /// piggybacked on event execution (aborts via MIND_CHECK on violation).
+  void EnablePeriodicValidation(SimTime interval);
+
  private:
   std::unique_ptr<Simulator> sim_;
   std::vector<std::unique_ptr<MindNode>> nodes_;

@@ -1,12 +1,23 @@
 #include "mind/mind_node.h"
 
 #include <algorithm>
-
-#include "util/logging.h"
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/logging.h"
+#include "util/validate.h"
+
 namespace mind {
+namespace {
+
+// MIND_QUERY_DEBUG is read once per process: the environment cannot change
+// mid-run and the query paths are hot.
+bool QueryDebugEnabled() {
+  static const bool enabled = std::getenv("MIND_QUERY_DEBUG") != nullptr;
+  return enabled;
+}
+
+}  // namespace
 
 MindNode::MindNode(Simulator* sim, OverlayOptions overlay_options,
                    MindOptions options, std::optional<GeoPoint> position)
@@ -465,7 +476,7 @@ void MindNode::NoteQueryVisit(uint64_t query_id) {
 }
 
 void MindNode::OnQueryArrived(const std::shared_ptr<QueryMsg>& m) {
-  if (getenv("MIND_QUERY_DEBUG")) {
+  if (QueryDebugEnabled()) {
     std::fprintf(stderr, "[qdbg] node %d (code %s) got query %llu code %s resolve_only=%d\n",
                  id(), overlay_.code().ToString().c_str(),
                  (unsigned long long)m->query_id, m->code.ToString().c_str(),
@@ -571,7 +582,7 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
                        options_.query_proc_per_tuple * n;
   dac_busy_until_ = respond_at;
 
-  if (getenv("MIND_QUERY_DEBUG")) {
+  if (QueryDebugEnabled()) {
     std::fprintf(stderr, "[qdbg] node %d (code %s) resolves %s -> %zu tuples\n",
                  id(), overlay_.code().ToString().c_str(),
                  code.ToString().c_str(), results.size());
@@ -605,7 +616,7 @@ void MindNode::OnQueryReply(const QueryReplyMsg& m) {
   tracer_->EndSpan(m.reply_span);
   auto it = queries_.find(m.query_id);
   if (it == queries_.end()) {
-    if (getenv("MIND_QUERY_DEBUG")) {
+    if (QueryDebugEnabled()) {
       std::fprintf(stderr, "[qdbg] originator %d: LATE reply from %d covered %s (%zu tuples)\n",
                    id(), m.resolver, m.covered.ToString().c_str(), m.tuples.size());
     }
@@ -613,7 +624,7 @@ void MindNode::OnQueryReply(const QueryReplyMsg& m) {
   }
   auto tit = it->second.trackers.find(m.version);
   if (tit == it->second.trackers.end()) return;
-  if (getenv("MIND_QUERY_DEBUG")) {
+  if (QueryDebugEnabled()) {
     std::fprintf(stderr, "[qdbg] originator %d: reply from %d covered %s (%zu tuples)\n",
                  id(), m.resolver, m.covered.ToString().c_str(), m.tuples.size());
   }
@@ -913,6 +924,46 @@ size_t MindNode::ReplicaTupleCount(const std::string& name) const {
 const IndexVersions* MindNode::PrimaryVersions(const std::string& name) const {
   const IndexState* st = FindIndex(name);
   return st ? &st->primary : nullptr;
+}
+
+// --------------------------------------------------------------- correctness
+
+Status MindNode::ValidateInvariants() const {
+#if MIND_VALIDATORS_ENABLED
+  MIND_RETURN_NOT_OK(overlay_.ValidateInvariants());
+  for (const auto& [name, st] : indices_) {
+    MIND_VALIDATE(st.def.name == name,
+                  "mind: node " << id() << " index map key '" << name
+                                << "' does not match its def name '"
+                                << st.def.name << "'");
+    MIND_RETURN_NOT_OK(st.primary.ValidateInvariants());
+    MIND_RETURN_NOT_OK(st.replicas.ValidateInvariants());
+    for (VersionId v : st.synced_versions) {
+      MIND_VALIDATE(st.primary.Store(v) != nullptr,
+                    "mind: node " << id() << " index '" << name
+                                  << "' records synced version " << v
+                                  << " missing from the primary chain");
+    }
+  }
+#endif  // MIND_VALIDATORS_ENABLED
+  return Status::OK();
+}
+
+void MindNode::DigestInto(Fnv64* out) const {
+  overlay_.DigestInto(out);
+  out->Mix(dac_busy_until_);
+  out->Mix(query_seq_);
+  out->Mix(insert_seq_);
+  out->Mix(static_cast<uint64_t>(static_cast<int64_t>(data_sibling_)));
+  out->Mix(join_time_);
+  out->Mix(static_cast<uint64_t>(indices_.size()));
+  for (const auto& [name, st] : indices_) {  // std::map: deterministic order
+    out->Mix(name);
+    st.primary.DigestInto(out);
+    st.replicas.DigestInto(out);
+    out->Mix(static_cast<uint64_t>(st.synced_versions.size()));
+    for (VersionId v : st.synced_versions) out->Mix(static_cast<uint64_t>(v));
+  }
 }
 
 }  // namespace mind

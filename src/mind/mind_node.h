@@ -20,6 +20,7 @@
 
 #include "mind/index_def.h"
 #include "mind/messages.h"
+#include "util/digest.h"
 #include "mind/query_tracker.h"
 #include "overlay/overlay_node.h"
 #include "storage/version_manager.h"
@@ -170,6 +171,20 @@ class MindNode {
   };
   Status StartRebalance(const RebalanceParams& params,
                         std::function<void(Status)> done = nullptr);
+
+  // ---- correctness tooling -------------------------------------------------
+
+  /// Checks node-local structure: overlay consistency, and every index's
+  /// primary and replica version chains (store keys vs cut trees, byte
+  /// accounting, cut-tree shape). Returns OK trivially when MIND_VALIDATORS
+  /// is off.
+  Status ValidateInvariants() const;
+
+  /// Folds this node's logical state (overlay, indices, DAC clock, local
+  /// sequence counters) into `out`. Deliberately excludes telemetry and
+  /// anything address- or capacity-dependent, so digests agree across runs
+  /// and across MIND_TELEMETRY settings.
+  void DigestInto(Fnv64* out) const;
 
  private:
   struct IndexState {

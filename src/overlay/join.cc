@@ -9,6 +9,7 @@
 // parent is *shallower*; the preempted joiner aborts and retries.
 #include "overlay/overlay_node.h"
 #include "util/logging.h"
+#include "util/ordered.h"
 
 namespace mind {
 
@@ -65,7 +66,11 @@ void OverlayNode::OnJoinFind(const JoinFindMsg& m) {
   NodeId best = id_;
   BitCode best_code = code_;
   int ties = 1;
-  for (const auto& [peer, pcode] : peers_) {
+  // Sorted iteration: the reservoir sample below both consumes rng_ draws
+  // and picks the winner in visit order, so hash-layout order would make
+  // the choice (and the rng stream) diverge across runs.
+  for (NodeId peer : SortedKeys(peers_)) {
+    const BitCode& pcode = peers_.find(peer)->second;
     if (pcode.length() < best_code.length()) {
       best = peer;
       best_code = pcode;
@@ -130,7 +135,7 @@ void OverlayNode::OnJoinRequest(NodeId from, const JoinRequestMsg& m) {
     return;
   }
 
-  for (const auto& [peer, pcode] : peers_) {
+  for (NodeId peer : SortedKeys(peers_)) {
     auto add = std::make_shared<NeighborAddMsg>();
     add->join_id = pending_join_->join_id;
     add->parent = id_;
@@ -173,15 +178,19 @@ void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
       return;
     }
   }
-  // (b) Against other staged joins in this neighborhood.
-  for (auto it = staged_adds_.begin(); it != staged_adds_.end();) {
+  // (b) Against other staged joins in this neighborhood. Scanned in join-id
+  // order: when the table holds both a join this one preempts and a join
+  // that rejects this one, which happens first decides what state survives,
+  // so the scan order must not depend on the hash layout.
+  for (uint64_t staged_id : SortedKeys(staged_adds_)) {
+    auto it = staged_adds_.find(staged_id);
     if (m.parent_depth < it->second.parent_depth) {
       // New join preempts the staged one: tell its parent.
       auto r = std::make_shared<NeighborAddRejectMsg>();
       r->join_id = it->first;
       SendRaw(it->second.parent, r);
       if (it->second.expiry_event) events_->Cancel(it->second.expiry_event);
-      it = staged_adds_.erase(it);
+      staged_adds_.erase(it);
       tm_.join_preemptions->Inc();
     } else if (it->second.parent_depth < m.parent_depth ||
                it->second.parent != m.parent) {
@@ -190,8 +199,6 @@ void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
       r->join_id = m.join_id;
       SendRaw(from, r);
       return;
-    } else {
-      ++it;
     }
   }
 
@@ -243,7 +250,7 @@ void OverlayNode::CommitPendingJoin() {
   AnnounceCode();
 
   SendRaw(pj.joiner, commit);
-  for (const auto& [peer, pcode] : peers_) {
+  for (NodeId peer : SortedKeys(peers_)) {
     if (peer == pj.joiner) continue;
     auto notify = std::make_shared<JoinCommitNotifyMsg>();
     notify->join_id = pj.join_id;
@@ -261,7 +268,7 @@ void OverlayNode::AbortPendingJoin(bool notify_joiner) {
   }
   // Tell peers to drop their staged entries right away: a stale staged add
   // blocks later joins in this neighborhood until it expires.
-  for (const auto& [peer, pcode] : peers_) {
+  for (NodeId peer : SortedKeys(peers_)) {
     auto cancel = std::make_shared<NeighborAddCancelMsg>();
     cancel->join_id = pending_join_->join_id;
     SendRaw(peer, cancel);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/ordered.h"
+#include "util/validate.h"
 
 namespace mind {
 
@@ -106,7 +108,9 @@ void OverlayNode::SetCode(BitCode new_code) {
 }
 
 void OverlayNode::AnnounceCode() {
-  for (const auto& [peer, pcode] : peers_) {
+  // Sorted so the send order (and thus event-queue order) never depends on
+  // the peer table's hash layout.
+  for (NodeId peer : SortedKeys(peers_)) {
     auto m = std::make_shared<CodeUpdateMsg>();
     m->new_code = code_;
     SendRaw(peer, m);
@@ -212,7 +216,10 @@ NodeId OverlayNode::BestNextHop(const BitCode& target) const {
       if (avoid != avoid_until_.end() && avoid->second > now) continue;
     }
     int cpl = pcode.CommonPrefixLen(target);
-    if (cpl > best_cpl) {
+    // Ties broken toward the smaller id: the winner must not depend on the
+    // peer table's iteration order, or routing diverges across stdlibs.
+    if (cpl > best_cpl ||
+        (cpl == best_cpl && best != kInvalidNode && peer < best)) {
       best_cpl = cpl;
       best = peer;
     }
@@ -314,7 +321,8 @@ void OverlayNode::OnBroadcastMsg(NodeId from,
                                  const std::shared_ptr<BroadcastMsg>& b) {
   if (!bcast_seen_.insert(b->bcast_id).second) return;
   if (on_broadcast_) on_broadcast_(b->origin, b->inner);
-  for (const auto& [peer, pcode] : peers_) {
+  // Sorted fan-out: flood order must not leak hash-table iteration order.
+  for (NodeId peer : SortedKeys(peers_)) {
     if (peer == from) continue;
     SendRaw(peer, b);
   }

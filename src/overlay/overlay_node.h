@@ -27,6 +27,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/bitcode.h"
+#include "util/digest.h"
 #include "util/rng.h"
 
 namespace mind {
@@ -144,6 +145,18 @@ class OverlayNode : public Host {
 
   void HandleMessage(NodeId from, const MessagePtr& msg) override;
   void HandleSendFailure(NodeId to, const MessagePtr& msg) override;
+
+  // -------- Correctness tooling -------------------------------------------
+
+  /// Node-local structural checks (safe at any time, including mid-join):
+  /// joined implies alive, no self/invalid peer entries, peer codes within
+  /// bounds, and a staged split consistent with the current code. Returns OK
+  /// trivially when MIND_VALIDATORS is off (see util/validate.h).
+  Status ValidateInvariants() const;
+
+  /// Folds the node's logical overlay state (liveness, code, sorted peer
+  /// table) into `out`. Independent of hash-table layout.
+  void DigestInto(Fnv64* out) const;
 
  private:
   friend class OverlayTestPeek;
@@ -339,6 +352,18 @@ class OverlayNode : public Host {
   };
   Instruments tm_;
 };
+
+/// Fleet-wide overlay checks, valid in quiescent states (no join, takeover
+/// or vacancy repair in flight — e.g. right after a build completes or at a
+/// churn-free checkpoint):
+///  * the codes of alive+joined nodes are prefix-free and tile the code
+///    space with no gap or overlap (exact arithmetic, CheckCompleteCover);
+///  * exact-sibling links are symmetric and carry the sibling's true code;
+///  * every node passes its local ValidateInvariants().
+/// Mid-churn these properties are transiently violated by design (a join
+/// narrows the parent's code before the joiner owns its half), so callers
+/// gate this on quiescence. Returns OK trivially when MIND_VALIDATORS is off.
+Status ValidateOverlayInvariants(const std::vector<const OverlayNode*>& nodes);
 
 }  // namespace mind
 

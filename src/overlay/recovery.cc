@@ -3,6 +3,7 @@
 // shortening, and expanding-ring recovery when greedy routing dead-ends.
 #include "overlay/overlay_node.h"
 #include "util/logging.h"
+#include "util/ordered.h"
 
 namespace mind {
 
@@ -14,9 +15,10 @@ void OverlayNode::OnHeartbeatTimer() {
       options_.heartbeat_interval *
       static_cast<SimTime>(options_.heartbeat_miss_limit);
 
-  // Collect the dead first: DeclarePeerDead mutates peers_.
+  // Collect the dead first: DeclarePeerDead mutates peers_. Sorted order so
+  // takeover/vacancy-watch cascades fire identically on every run.
   std::vector<NodeId> dead;
-  for (const auto& [peer, pcode] : peers_) {
+  for (NodeId peer : SortedKeys(peers_)) {
     auto it = last_seen_.find(peer);
     SimTime seen = (it == last_seen_.end()) ? 0 : it->second;
     if (seen == 0) {
@@ -28,7 +30,7 @@ void OverlayNode::OnHeartbeatTimer() {
   }
   for (NodeId peer : dead) DeclarePeerDead(peer);
 
-  for (const auto& [peer, pcode] : peers_) {
+  for (NodeId peer : SortedKeys(peers_)) {
     auto hb = std::make_shared<HeartbeatMsg>();
     hb->code = code_;
     SendRaw(peer, hb);
@@ -342,7 +344,7 @@ void OverlayNode::ContinueRingSearch(uint64_t search_id) {
   find->needed_cpl = code_.CommonPrefixLen(rs.env->target) + 1;
   find->stuck_node = id_;
   find->ttl = rs.ttl;
-  for (const auto& [peer, pcode] : peers_) SendRaw(peer, find);
+  for (NodeId peer : SortedKeys(peers_)) SendRaw(peer, find);
 
   rs.timeout_event =
       events_->Schedule(options_.ring_reply_timeout, [this, search_id] {
@@ -372,7 +374,7 @@ void OverlayNode::OnRingFind(NodeId from,
   if (m->ttl > 1) {
     auto fwd = std::make_shared<RingFindMsg>(*m);
     fwd->ttl = m->ttl - 1;
-    for (const auto& [peer, pcode] : peers_) {
+    for (NodeId peer : SortedKeys(peers_)) {
       if (peer != from) SendRaw(peer, fwd);
     }
   }

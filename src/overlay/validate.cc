@@ -1,0 +1,92 @@
+// Overlay invariant validators (node-local and fleet-wide) and the
+// overlay-state digest used by deterministic replay verification.
+#include <algorithm>
+#include <unordered_map>
+
+#include "overlay/overlay_node.h"
+#include "util/ordered.h"
+#include "util/validate.h"
+
+namespace mind {
+
+Status OverlayNode::ValidateInvariants() const {
+#if MIND_VALIDATORS_ENABLED
+  MIND_VALIDATE(alive_ || !joined_, "overlay: node " << id_ << " is joined but not alive");
+  for (const auto& [peer, pcode] : peers_) {
+    MIND_VALIDATE(peer != id_, "overlay: node " << id_ << " lists itself as a peer");
+    MIND_VALIDATE(peer != kInvalidNode,
+                  "overlay: node " << id_ << " lists kInvalidNode as a peer");
+    MIND_VALIDATE(pcode.length() <= BitCode::kMaxLen,
+                  "overlay: node " << id_ << " records peer " << peer
+                                   << " with an over-long code");
+  }
+  if (pending_join_.has_value()) {
+    MIND_VALIDATE(pending_join_->my_new_code == code_.Child(0),
+                  "overlay: node " << id_ << " staged split code "
+                                   << pending_join_->my_new_code.ToString()
+                                   << " inconsistent with current code "
+                                   << code_.ToString());
+    MIND_VALIDATE(pending_join_->joiner_code == code_.Child(1),
+                  "overlay: node " << id_ << " staged joiner code "
+                                   << pending_join_->joiner_code.ToString()
+                                   << " inconsistent with current code "
+                                   << code_.ToString());
+  }
+#endif  // MIND_VALIDATORS_ENABLED
+  return Status::OK();
+}
+
+void OverlayNode::DigestInto(Fnv64* out) const {
+  out->Mix(static_cast<uint64_t>(static_cast<int64_t>(id_)));
+  out->Mix(static_cast<uint64_t>(alive_));
+  out->Mix(static_cast<uint64_t>(joined_));
+  out->Mix(code_.bits());
+  out->Mix(static_cast<uint64_t>(code_.length()));
+  const std::vector<NodeId> peer_ids = SortedKeys(peers_);
+  out->Mix(static_cast<uint64_t>(peer_ids.size()));
+  for (NodeId peer : peer_ids) {
+    const BitCode& pcode = peers_.find(peer)->second;
+    out->Mix(static_cast<uint64_t>(static_cast<int64_t>(peer)));
+    out->Mix(pcode.bits());
+    out->Mix(static_cast<uint64_t>(pcode.length()));
+  }
+}
+
+Status ValidateOverlayInvariants(const std::vector<const OverlayNode*>& nodes) {
+#if MIND_VALIDATORS_ENABLED
+  std::unordered_map<NodeId, const OverlayNode*> by_id;
+  std::vector<BitCode> codes;
+  for (const OverlayNode* n : nodes) {
+    MIND_RETURN_NOT_OK(n->ValidateInvariants());
+    by_id[n->id()] = n;
+    if (n->alive() && n->joined()) codes.push_back(n->code());
+  }
+  if (codes.empty()) return Status::OK();
+  MIND_RETURN_NOT_OK(CheckCompleteCover(codes));
+  for (const OverlayNode* n : nodes) {
+    if (!n->alive() || !n->joined()) continue;
+    if (n->code().empty()) continue;
+    for (const auto& [peer, pcode] : n->peers()) {
+      if (pcode != n->code().Sibling()) continue;
+      auto it = by_id.find(peer);
+      if (it == by_id.end()) continue;  // a node outside the validated set
+      const OverlayNode* sib = it->second;
+      if (!sib->alive() || !sib->joined()) continue;
+      MIND_VALIDATE(sib->code() == pcode,
+                    "overlay: node " << n->id() << " records sibling " << peer
+                                     << " at code " << pcode.ToString()
+                                     << " but that node holds "
+                                     << sib->code().ToString());
+      MIND_VALIDATE(sib->peers().count(n->id()) != 0,
+                    "overlay: sibling link asymmetric: node "
+                        << n->id() << " (" << n->code().ToString() << ") lists "
+                        << peer << " but not vice versa");
+    }
+  }
+#else
+  (void)nodes;
+#endif  // MIND_VALIDATORS_ENABLED
+  return Status::OK();
+}
+
+}  // namespace mind

@@ -1,8 +1,10 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/validate.h"
 
 namespace mind {
 
@@ -138,6 +140,7 @@ size_t EventQueue::Run(size_t limit) {
     // under a fresh generation (and possibly reallocating slots_).
     Release(slot);
     fn();
+    MaybeValidate();
     ++fired;
   }
   if (run_counter_ != nullptr) run_counter_->Inc(fired);
@@ -156,6 +159,7 @@ size_t EventQueue::RunUntil(SimTime t) {
     --live_count_;
     Release(slot);
     fn();
+    MaybeValidate();
     ++fired;
   }
   if (t > now_) now_ = t;
@@ -172,8 +176,104 @@ bool EventQueue::Step() {
   --live_count_;
   Release(slot);
   fn();
+  MaybeValidate();
   if (run_counter_ != nullptr) run_counter_->Inc();
   return true;
+}
+
+Status EventQueue::ValidateInvariants() const {
+#if MIND_VALIDATORS_ENABLED
+  // Heap order: no entry sorts before its parent under (time, seq).
+  for (size_t i = 1; i < heap_.size(); ++i) {
+    const size_t parent = (i - 1) / 2;
+    MIND_VALIDATE(heap_[i] < slots_.size(),
+                  "event-queue: heap[" << i << "] = " << heap_[i]
+                                       << " is not a valid slot index ("
+                                       << slots_.size() << " slots)");
+    MIND_VALIDATE(!Before(heap_[i], heap_[parent]),
+                  "event-queue: heap property violated at heap[" << i << "]: slot "
+                      << heap_[i] << " (t=" << slots_[heap_[i]].time << " seq="
+                      << slots_[heap_[i]].seq << ") orders before its parent slot "
+                      << heap_[parent] << " (t=" << slots_[heap_[parent]].time
+                      << " seq=" << slots_[heap_[parent]].seq << ")");
+  }
+  if (!heap_.empty()) {
+    MIND_VALIDATE(heap_[0] < slots_.size(),
+                  "event-queue: heap[0] = " << heap_[0]
+                                            << " is not a valid slot index");
+  }
+
+  // Every slot is on exactly one of {heap, free list}; the free list is
+  // acyclic, properly terminated, and holds only dead slots.
+  std::vector<uint8_t> where(slots_.size(), 0);  // bit0 = heap, bit1 = free list
+  for (uint32_t s : heap_) {
+    MIND_VALIDATE((where[s] & 1) == 0,
+                  "event-queue: slot " << s << " appears twice in the heap");
+    where[s] |= 1;
+  }
+  size_t free_len = 0;
+  for (uint32_t s = free_head_; s != kNone; s = slots_[s].next_free) {
+    MIND_VALIDATE(s < slots_.size(), "event-queue: free list points at invalid slot "
+                                         << s << " (" << slots_.size() << " slots)");
+    MIND_VALIDATE((where[s] & 2) == 0, "event-queue: free list cycles at slot " << s);
+    MIND_VALIDATE((where[s] & 1) == 0,
+                  "event-queue: slot " << s << " is both in the heap and on the free list");
+    MIND_VALIDATE(!slots_[s].live, "event-queue: live slot " << s << " on the free list");
+    where[s] |= 2;
+    MIND_VALIDATE(++free_len <= slots_.size(),
+                  "event-queue: free list longer than the slot array");
+  }
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    MIND_VALIDATE(where[s] != 0, "event-queue: slot " << s
+                                     << " leaked (neither in heap nor on free list)");
+  }
+
+  // Counters agree with the slot flags; live events are never in the past,
+  // and their sequence numbers are unique and within the allocated range.
+  size_t live = 0;
+  size_t dead_in_heap = 0;
+  std::vector<uint64_t> seqs;
+  for (uint32_t s : heap_) {
+    const Slot& slot = slots_[s];
+    if (slot.live) {
+      ++live;
+      MIND_VALIDATE(slot.time >= now_, "event-queue: live slot " << s << " at t="
+                                           << slot.time << " is before now=" << now_);
+      MIND_VALIDATE(slot.seq <= next_seq_,
+                    "event-queue: slot " << s << " has seq " << slot.seq
+                                         << " beyond high-water mark " << next_seq_);
+      seqs.push_back(slot.seq);
+    } else {
+      ++dead_in_heap;
+    }
+  }
+  MIND_VALIDATE(live == live_count_, "event-queue: live_count_ is " << live_count_
+                                         << " but " << live << " heap slots are live");
+  MIND_VALIDATE(dead_in_heap == dead_in_heap_,
+                "event-queue: dead_in_heap_ is " << dead_in_heap_ << " but " << dead_in_heap
+                                                 << " heap slots are dead");
+  std::sort(seqs.begin(), seqs.end());
+  for (size_t i = 1; i < seqs.size(); ++i) {
+    MIND_VALIDATE(seqs[i] != seqs[i - 1],
+                  "event-queue: duplicate sequence number " << seqs[i]);
+  }
+#endif  // MIND_VALIDATORS_ENABLED
+  return Status::OK();
+}
+
+void EventQueue::DigestInto(Fnv64* out) const {
+  out->Mix(now_);
+  std::vector<std::pair<SimTime, uint64_t>> live;
+  live.reserve(live_count_);
+  for (uint32_t s : heap_) {
+    if (slots_[s].live) live.emplace_back(slots_[s].time, slots_[s].seq);
+  }
+  std::sort(live.begin(), live.end());
+  out->Mix(static_cast<uint64_t>(live.size()));
+  for (const auto& [t, seq] : live) {
+    out->Mix(t);
+    out->Mix(seq);
+  }
 }
 
 }  // namespace mind

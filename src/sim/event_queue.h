@@ -14,11 +14,14 @@
 #define MIND_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/event_fn.h"
 #include "sim/time.h"
 #include "telemetry/metrics.h"
+#include "util/digest.h"
+#include "util/status.h"
 
 namespace mind {
 
@@ -74,7 +77,32 @@ class EventQueue {
   /// Optional counter bumped once per fired event (`sim.events.processed`).
   void set_run_counter(telemetry::Counter* c) { run_counter_ = c; }
 
+  /// Registers a hook invoked after an event fires whenever at least
+  /// `interval` of virtual time has passed since the previous invocation
+  /// (piggybacked on the run loop, so it never keeps the queue non-empty).
+  /// The hook typically MIND_CHECK_OKs a ValidateInvariants() sweep. Pass a
+  /// null hook to disable.
+  void set_validation_hook(std::function<void()> hook, SimTime interval) {
+    validation_hook_ = std::move(hook);
+    validation_interval_ = interval;
+    next_validation_ = now_ + interval;
+  }
+
+  /// Checks internal consistency: heap order over (time, seq), every slot on
+  /// exactly one of {heap, free list}, free list acyclic and dead-only,
+  /// live/dead counters matching slot flags, no live event in the past, and
+  /// live sequence numbers unique and <= the allocation high-water mark.
+  /// Returns OK trivially when MIND_VALIDATORS is off (see util/validate.h).
+  Status ValidateInvariants() const;
+
+  /// Folds the queue's logical state (clock + sorted live (time, seq) pairs)
+  /// into `out`. Independent of slot layout, heap shape and compaction
+  /// history, so two behaviorally identical runs digest identically.
+  void DigestInto(Fnv64* out) const;
+
  private:
+  friend class EventQueueTestPeek;  // corruption injection in validator tests
+
   struct Slot {
     SimTime time = 0;
     uint64_t seq = 0;       // global insertion order; the tie-breaker
@@ -111,12 +139,23 @@ class EventQueue {
   // Timestamp of the next live event; false if none (drops dead prefixes).
   bool PeekTime(SimTime* t);
 
+  // Invokes the validation hook if due (called after an event fires).
+  void MaybeValidate() {
+    if (validation_hook_ && now_ >= next_validation_) {
+      validation_hook_();
+      next_validation_ = now_ + validation_interval_;
+    }
+  }
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
   size_t dead_in_heap_ = 0;
   uint32_t free_head_ = kNone;
   telemetry::Counter* run_counter_ = nullptr;
+  std::function<void()> validation_hook_;
+  SimTime validation_interval_ = 0;
+  SimTime next_validation_ = 0;
   std::vector<uint32_t> heap_;
   std::vector<Slot> slots_;
 };

@@ -29,6 +29,7 @@ class Simulator {
   ~Simulator();
 
   EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
   Network& network() { return *network_; }
   FailureInjector& failures() { return *failures_; }
   Rng& rng() { return rng_; }

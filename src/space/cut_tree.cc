@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/validate.h"
 
 namespace mind {
 
@@ -362,6 +363,66 @@ void CutTree::CoverRec(const Cursor& c, const Rect& query, int len,
     CoverRec(child, query, len, max_codes, prefix, out, overflow);
     prefix->PopBack();
   }
+}
+
+Status CutTree::ValidateInvariants() const {
+#if MIND_VALIDATORS_ENABLED
+  if (nodes_.empty()) return Status::OK();  // Even tree: nothing materialized
+  const int k = schema_.dims();
+  std::vector<uint8_t> visited(nodes_.size(), 0);
+  // (node index, region, depth) — regions recomputed exactly as Descend does,
+  // so the cut-in-range checks below certify the children tile the parent.
+  struct Frame {
+    int32_t node;
+    Rect rect;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, Rect::FullSpace(schema_), 0});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    MIND_VALIDATE(f.node >= 0 && static_cast<size_t>(f.node) < nodes_.size(),
+                  "cut-tree: child link " << f.node << " out of range ("
+                                          << nodes_.size() << " nodes)");
+    MIND_VALIDATE(!visited[f.node],
+                  "cut-tree: node " << f.node
+                                    << " reachable twice (shared subtree would "
+                                       "give two regions the same code)");
+    visited[f.node] = 1;
+    const Node& n = nodes_[static_cast<size_t>(f.node)];
+    MIND_VALIDATE(f.depth < materialized_depth_,
+                  "cut-tree: node " << f.node << " at depth " << f.depth
+                                    << " exceeds materialized depth "
+                                    << materialized_depth_);
+    MIND_VALIDATE(n.dim >= 0 && n.dim < k, "cut-tree: node " << f.node << " cuts dimension "
+                                               << n.dim << " outside schema (" << k
+                                               << " dims)");
+    const Interval iv = f.rect.interval(n.dim);
+    MIND_VALIDATE(iv.Contains(n.cut),
+                  "cut-tree: node " << f.node << " cut " << n.cut
+                                    << " outside its region [" << iv.lo << ", "
+                                    << iv.hi << "] on dim " << n.dim
+                                    << " (children would not tile the parent)");
+    MIND_VALIDATE(n.cut < iv.hi || n.child1 < 0,
+                  "cut-tree: node " << f.node << " has a child on the empty high side "
+                                    << "(cut " << n.cut << " == hi " << iv.hi << ")");
+    if (n.child0 >= 0) {
+      Rect left = f.rect;
+      left.mutable_interval(n.dim)->hi = n.cut;
+      stack.push_back(Frame{n.child0, std::move(left), f.depth + 1});
+    }
+    if (n.child1 >= 0) {
+      Rect right = f.rect;
+      right.mutable_interval(n.dim)->lo = n.cut + 1;
+      stack.push_back(Frame{n.child1, std::move(right), f.depth + 1});
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    MIND_VALIDATE(visited[i], "cut-tree: node " << i << " orphaned (unreachable from root)");
+  }
+#endif  // MIND_VALIDATORS_ENABLED
+  return Status::OK();
 }
 
 Result<std::vector<BitCode>> CutTree::Cover(const Rect& query, int len,

@@ -72,7 +72,18 @@ class CutTree {
   /// Dimension cut at a given depth.
   int DimAtDepth(int depth) const { return depth % schema_.dims(); }
 
+  /// Checks materialized-tree well-formedness: every node reachable from the
+  /// root exactly once (a shared subtree would give two regions the same
+  /// code), no orphan nodes, cut dimensions within the schema, each cut
+  /// interior to its region (which is exactly what makes the two children
+  /// tile the parent rectangle with no gap or overlap), and an empty high
+  /// side only where the child link is absent. Returns OK trivially when
+  /// MIND_VALIDATORS is off (see util/validate.h).
+  Status ValidateInvariants() const;
+
  private:
+  friend class CutTreeTestPeek;  // corruption injection in validator tests
+
   struct Node {
     Value cut = 0;       // low side: [lo, cut]; high side: [cut+1, hi]
     int16_t dim = 0;     // balanced cuts may deviate from round-robin when a

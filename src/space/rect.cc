@@ -48,10 +48,16 @@ std::optional<Rect> Rect::Intersect(const Rect& other) const {
 }
 
 std::string Rect::ToString() const {
+  // Appended piecewise: a chained operator+ here trips GCC 12's -Wrestrict
+  // false positive (PR105651) under -O3.
   std::string s;
   for (int d = 0; d < dims(); ++d) {
-    if (d) s += "x";
-    s += "[" + std::to_string(ivs_[d].lo) + "," + std::to_string(ivs_[d].hi) + "]";
+    if (d) s += 'x';
+    s += '[';
+    s += std::to_string(ivs_[d].lo);
+    s += ',';
+    s += std::to_string(ivs_[d].hi);
+    s += ']';
   }
   return s;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/validate.h"
 
 namespace mind {
 
@@ -92,6 +93,49 @@ size_t TupleStore::Count(const Rect& rect) const {
   size_t n = 0;
   Scan(rect, [&n](const Tuple&) { ++n; });
   return n;
+}
+
+Status TupleStore::ValidateInvariants() const {
+#if MIND_VALIDATORS_ENABLED
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    MIND_VALIDATE(!sorted_ || i == 0 || rows_[i - 1].key <= r.key,
+                  "tuple-store: claims sorted but row " << i << " (key " << r.key
+                      << ") is below row " << i - 1 << " (key " << rows_[i - 1].key
+                      << ")");
+    const BitCode code = cuts_->CodeForPoint(r.tuple.point, code_len_);
+    const uint64_t expect =
+        code.empty() ? 0 : code.bits() << (64 - code.length());
+    MIND_VALIDATE(r.key == expect,
+                  "tuple-store: row " << i << " (origin " << r.tuple.origin << " seq "
+                                      << r.tuple.seq << ") keyed " << r.key
+                                      << " but its point codes to " << expect
+                                      << " under the installed cut tree");
+    bytes += r.tuple.WireBytes() + 16;
+  }
+  MIND_VALIDATE(bytes == approx_bytes_,
+                "tuple-store: approx_bytes_ is " << approx_bytes_ << " but rows sum to "
+                                                 << bytes);
+  MIND_RETURN_NOT_OK(cuts_->ValidateInvariants());
+#endif  // MIND_VALIDATORS_ENABLED
+  return Status::OK();
+}
+
+void TupleStore::DigestInto(Fnv64* out) const {
+  OrderIndependentAccumulator acc;
+  for (const Row& r : rows_) {
+    Fnv64 h;
+    h.Mix(r.key);
+    h.Mix(static_cast<uint64_t>(static_cast<int64_t>(r.tuple.origin)));
+    h.Mix(r.tuple.seq);
+    h.Mix(static_cast<uint64_t>(r.tuple.point.size()));
+    for (Value v : r.tuple.point) h.Mix(v);
+    h.Mix(static_cast<uint64_t>(r.tuple.extra.size()));
+    for (Value v : r.tuple.extra) h.Mix(v);
+    acc.Add(h.value());
+  }
+  acc.DigestInto(out);
 }
 
 Histogram TupleStore::BuildHistogram(int bins_per_dim, int time_attr,

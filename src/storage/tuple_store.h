@@ -15,6 +15,7 @@
 #include "space/histogram.h"
 #include "space/rect.h"
 #include "storage/tuple.h"
+#include "util/digest.h"
 
 namespace mind {
 
@@ -57,7 +58,19 @@ class TupleStore {
   uint64_t scan_rows_examined() const { return scan_rows_examined_; }
   uint64_t scan_rows_matched() const { return scan_rows_matched_; }
 
+  /// Checks storage consistency: rows in key order when sorted_ claims so,
+  /// every row's key equal to its point's code under the installed cut tree,
+  /// the byte accounting matching the rows, and the cut tree itself
+  /// well-formed. Returns OK trivially when MIND_VALIDATORS is off.
+  Status ValidateInvariants() const;
+
+  /// Folds the stored tuples into `out`, independent of row order (rows are
+  /// only lazily sorted, and the sort is not stable within a key).
+  void DigestInto(Fnv64* out) const;
+
  private:
+  friend class TupleStoreTestPeek;  // corruption injection in validator tests
+
   struct Row {
     uint64_t key;  // left-aligned code bits
     Tuple tuple;

@@ -1,6 +1,7 @@
 #include "storage/version_manager.h"
 
 #include "util/logging.h"
+#include "util/validate.h"
 
 namespace mind {
 
@@ -82,6 +83,39 @@ Result<SimTime> IndexVersions::StartOf(VersionId id) const {
 std::optional<VersionId> IndexVersions::LatestVersion() const {
   if (entries_.empty()) return std::nullopt;
   return entries_.back().id;
+}
+
+Status IndexVersions::ValidateInvariants() const {
+#if MIND_VALIDATORS_ENABLED
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    MIND_VALIDATE(i == 0 || entries_[i - 1].id < e.id,
+                  "version-manager: version ids not strictly increasing ("
+                      << entries_[i - 1].id << " then " << e.id << ")");
+    MIND_VALIDATE(i == 0 || entries_[i - 1].start <= e.start,
+                  "version-manager: version " << e.id << " starts at " << e.start
+                                              << ", before version " << entries_[i - 1].id
+                                              << " at " << entries_[i - 1].start);
+    MIND_VALIDATE(e.cuts != nullptr, "version-manager: version " << e.id << " has no cut tree");
+    MIND_VALIDATE(e.store != nullptr, "version-manager: version " << e.id << " has no store");
+    MIND_VALIDATE(e.store->cuts().get() == e.cuts.get(),
+                  "version-manager: version " << e.id
+                                              << " cut tree desynced from its store's "
+                                                 "(queries and stored tuples would be "
+                                                 "coded under different embeddings)");
+    MIND_RETURN_NOT_OK(e.store->ValidateInvariants());
+  }
+#endif  // MIND_VALIDATORS_ENABLED
+  return Status::OK();
+}
+
+void IndexVersions::DigestInto(Fnv64* out) const {
+  out->Mix(static_cast<uint64_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    out->Mix(static_cast<uint64_t>(e.id));
+    out->Mix(e.start);
+    e.store->DigestInto(out);
+  }
 }
 
 size_t IndexVersions::TotalTuples() const {

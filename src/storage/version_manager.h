@@ -59,7 +59,19 @@ class IndexVersions {
   size_t TotalTuples() const;
   uint64_t TotalBytes() const;
 
+  /// Checks the version chain: ids strictly increasing, starts nondecreasing,
+  /// every entry carrying a cut tree and a store, and each store built over
+  /// the *same* cut tree the chain records for that version (a desync here
+  /// would code queries and stored tuples under different embeddings). Also
+  /// validates each store. Returns OK trivially when MIND_VALIDATORS is off.
+  Status ValidateInvariants() const;
+
+  /// Folds the version chain (ids, start times, store contents) into `out`.
+  void DigestInto(Fnv64* out) const;
+
  private:
+  friend class VersionManagerTestPeek;  // corruption injection in validator tests
+
   struct Entry {
     VersionId id;
     SimTime start;

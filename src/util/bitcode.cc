@@ -1,6 +1,8 @@
 #include "util/bitcode.h"
 
+#include <algorithm>
 #include <bit>
+#include <sstream>
 
 namespace mind {
 
@@ -38,6 +40,62 @@ std::string BitCode::ToString() const {
   s.reserve(len_);
   for (int i = 0; i < len_; ++i) s.push_back(static_cast<char>('0' + bit(i)));
   return s;
+}
+
+namespace {
+
+// Left-aligns a code's bits in 64 bits so lexicographic order over codes
+// matches numeric order over keys.
+uint64_t AlignedBits(const BitCode& c) {
+  return c.empty() ? 0 : c.bits() << (BitCode::kMaxLen - c.length());
+}
+
+}  // namespace
+
+Status CheckCompleteCover(const std::vector<BitCode>& codes) {
+  if (codes.empty()) {
+    return Status::Internal("complete-cover: no codes (empty set covers nothing)");
+  }
+  // Sort by left-aligned bits, shorter code first on ties. Any prefix
+  // relation (including duplicates) then appears between adjacent entries.
+  std::vector<BitCode> sorted = codes;
+  std::sort(sorted.begin(), sorted.end(), [](const BitCode& a, const BitCode& b) {
+    uint64_t ka = AlignedBits(a);
+    uint64_t kb = AlignedBits(b);
+    if (ka != kb) return ka < kb;
+    return a.length() < b.length();
+  });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    const BitCode& prev = sorted[i - 1];
+    const BitCode& cur = sorted[i];
+    if (prev.IsPrefixOf(cur)) {
+      std::ostringstream oss;
+      if (prev == cur) {
+        oss << "complete-cover: duplicate code " << cur.ToString();
+      } else {
+        oss << "complete-cover: code " << prev.ToString() << " is a prefix of "
+            << cur.ToString() << " (regions overlap)";
+      }
+      return Status::Internal(oss.str());
+    }
+  }
+  // Prefix-free => regions are disjoint; exact measures must sum to the
+  // whole space. A code of length L covers 2^(64-L) of the 2^64 key space;
+  // 128-bit accumulation because the target itself is 2^64.
+  unsigned __int128 covered = 0;
+  for (const BitCode& c : sorted) {
+    covered += static_cast<unsigned __int128>(1) << (BitCode::kMaxLen - c.length());
+  }
+  const unsigned __int128 whole = static_cast<unsigned __int128>(1) << BitCode::kMaxLen;
+  if (covered != whole) {
+    // covered < whole here (overlap was excluded above), so the deficit
+    // fits in 64 bits ... unless codes repeat measure; report in 2^-64ths.
+    std::ostringstream oss;
+    oss << "complete-cover: gap of " << static_cast<uint64_t>(whole - covered)
+        << "/2^64 of the space uncovered (" << sorted.size() << " codes)";
+    return Status::Internal(oss.str());
+  }
+  return Status::OK();
 }
 
 bool operator<(const BitCode& a, const BitCode& b) {

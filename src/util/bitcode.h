@@ -13,8 +13,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace mind {
 
@@ -123,6 +125,13 @@ class BitCode {
   uint64_t bits_ = 0;  // right-aligned: bit 0 of the code is the MSB of the low len_ bits
   int len_ = 0;
 };
+
+/// Checks that `codes` is prefix-free and exactly tiles the code space: the
+/// hyper-rectangles they label partition the data space with no gap and no
+/// overlap. Exact integer arithmetic (each code of length L covers
+/// 2^(64-L)/2^64 of the space) — no floating-point epsilon. Returns OK or an
+/// Internal status naming the offending codes / the covered fraction.
+Status CheckCompleteCover(const std::vector<BitCode>& codes);
 
 }  // namespace mind
 

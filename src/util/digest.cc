@@ -1,0 +1,15 @@
+#include "util/digest.h"
+
+namespace mind {
+
+std::string DigestToHex(uint64_t digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace mind

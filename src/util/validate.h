@@ -1,0 +1,82 @@
+// Runtime invariant validation support.
+//
+// Two tiers, both compiled out when MIND_VALIDATORS_DISABLED is defined
+// (the default for Release builds; see the MIND_VALIDATORS CMake option):
+//
+//  - MIND_DCHECK*: debug-only counterparts of the MIND_CHECK family from
+//    util/logging.h. Use them on hot paths where a release build must not
+//    pay for the check.
+//  - MIND_VALIDATE: building block for Status-returning ValidateInvariants()
+//    methods. On failure it returns Status::Internal with a streamed
+//    diagnostic naming the exact violation, so corruption tests (and
+//    operators reading logs) see *which* invariant broke and where.
+//
+// ValidateInvariants() bodies are themselves wrapped so that a disabled
+// build keeps the symbol (callers need not care) but the body collapses to
+// `return Status::OK()`.
+#ifndef MIND_UTIL_VALIDATE_H_
+#define MIND_UTIL_VALIDATE_H_
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+#if defined(MIND_VALIDATORS_DISABLED)
+#define MIND_VALIDATORS_ENABLED 0
+#else
+#define MIND_VALIDATORS_ENABLED 1
+#endif
+
+namespace mind {
+
+/// True when this build carries the validator bodies (MIND_VALIDATORS=ON).
+constexpr bool ValidatorsEnabled() { return MIND_VALIDATORS_ENABLED != 0; }
+
+}  // namespace mind
+
+#if MIND_VALIDATORS_ENABLED
+
+#define MIND_DCHECK(cond) MIND_CHECK(cond)
+#define MIND_DCHECK_OK(expr) MIND_CHECK_OK(expr)
+#define MIND_DCHECK_EQ(a, b) MIND_CHECK_EQ(a, b)
+#define MIND_DCHECK_NE(a, b) MIND_CHECK_NE(a, b)
+#define MIND_DCHECK_LT(a, b) MIND_CHECK_LT(a, b)
+#define MIND_DCHECK_LE(a, b) MIND_CHECK_LE(a, b)
+#define MIND_DCHECK_GT(a, b) MIND_CHECK_GT(a, b)
+#define MIND_DCHECK_GE(a, b) MIND_CHECK_GE(a, b)
+
+// Fails a ValidateInvariants() body with a precise diagnostic. `msg` is a
+// stream expression: MIND_VALIDATE(a == b, "slot " << i << " mismatch").
+#define MIND_VALIDATE(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream _mind_validate_oss;                      \
+      _mind_validate_oss << msg;                                  \
+      return ::mind::Status::Internal(_mind_validate_oss.str());  \
+    }                                                             \
+  } while (0)
+
+#else  // !MIND_VALIDATORS_ENABLED
+
+// The `while (false)` guard swallows the condition and any streamed
+// operands without evaluating them, while keeping them syntax-checked.
+#define MIND_DCHECK(cond) \
+  while (false) MIND_CHECK(cond)
+#define MIND_DCHECK_OK(expr) \
+  do {                       \
+  } while (false)
+#define MIND_DCHECK_EQ(a, b) MIND_DCHECK((a) == (b))
+#define MIND_DCHECK_NE(a, b) MIND_DCHECK((a) != (b))
+#define MIND_DCHECK_LT(a, b) MIND_DCHECK((a) < (b))
+#define MIND_DCHECK_LE(a, b) MIND_DCHECK((a) <= (b))
+#define MIND_DCHECK_GT(a, b) MIND_DCHECK((a) > (b))
+#define MIND_DCHECK_GE(a, b) MIND_DCHECK((a) >= (b))
+
+#define MIND_VALIDATE(cond, msg) \
+  do {                           \
+  } while (false)
+
+#endif  // MIND_VALIDATORS_ENABLED
+
+#endif  // MIND_UTIL_VALIDATE_H_

@@ -44,6 +44,9 @@ TEST(PipelineIntegrationTest, DistributedEqualsOfflineForAllThreeIndices) {
   mopts.sim.seed = 22222;
   mopts.positions = topo.Positions();
   MindNet net(topo.size(), mopts);
+  // Sweep the structure validators over the whole net every 10 s of virtual
+  // time while the pipeline runs (no-op in MIND_VALIDATORS=OFF builds).
+  net.EnablePeriodicValidation(FromSeconds(10));
   ASSERT_TRUE(net.Build().ok());
   for (const IndexDef& def : {MakeIndex1(), MakeIndex2(), MakeIndex3()}) {
     ASSERT_TRUE(net.CreateIndexEverywhere(
@@ -85,6 +88,8 @@ TEST(PipelineIntegrationTest, DistributedEqualsOfflineForAllThreeIndices) {
     net.sim().RunFor(FromSeconds(window));
   }
   net.sim().RunFor(FromSeconds(30));
+  // Quiescent now: the fleet-wide overlay invariants must hold too.
+  ASSERT_TRUE(net.ValidateInvariants().ok());
 
   ASSERT_GT(t2.size(), 20u);  // the workload must be non-trivial
   EXPECT_EQ(net.TotalPrimaryTuples("index1_fanout"), t1.size());

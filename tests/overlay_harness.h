@@ -2,12 +2,12 @@
 #ifndef MIND_TESTS_OVERLAY_HARNESS_H_
 #define MIND_TESTS_OVERLAY_HARNESS_H_
 
-#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "overlay/overlay_node.h"
 #include "sim/simulator.h"
+#include "util/bitcode.h"
 
 namespace mind {
 
@@ -27,21 +27,23 @@ struct OverlayFleet {
   }
 
   /// True iff the joined nodes' codes form a complete prefix-free cover of
-  /// the code space (sum of 2^-len == 1 and no code is a prefix of another).
+  /// the code space (exact check — no floating-point mass sum).
   bool CodesFormCompleteCover() const {
-    long double total = 0;
     std::vector<BitCode> codes;
     for (const auto& node : nodes) {
       if (!node->alive() || !node->joined()) continue;
       codes.push_back(node->code());
-      total += std::pow(2.0L, -static_cast<long double>(node->code().length()));
     }
-    for (size_t i = 0; i < codes.size(); ++i) {
-      for (size_t j = 0; j < codes.size(); ++j) {
-        if (i != j && codes[i].IsPrefixOf(codes[j])) return false;
-      }
-    }
-    return std::fabs(static_cast<double>(total) - 1.0) < 1e-9;
+    return CheckCompleteCover(codes).ok();
+  }
+
+  /// Fleet-wide structural validation; only meaningful at quiescence (between
+  /// topology changes — see ValidateOverlayInvariants).
+  Status Validate() const {
+    std::vector<const OverlayNode*> ptrs;
+    ptrs.reserve(nodes.size());
+    for (const auto& node : nodes) ptrs.push_back(node.get());
+    return ValidateOverlayInvariants(ptrs);
   }
 
   int MaxCodeLength() const {

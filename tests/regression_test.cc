@@ -126,7 +126,8 @@ TEST(QueryCompletionRegressionTest, SupplementalRepliesDoNotCompleteQueries) {
   std::vector<Tuple> all;
   for (int i = 0; i < 300; ++i) {
     Tuple t;
-    t.point = {rng.Uniform(10000), 1000 + i, rng.Uniform(10000)};
+    t.point = {rng.Uniform(10000), static_cast<Value>(1000 + i),
+               rng.Uniform(10000)};
     t.origin = static_cast<int>(i % 9);
     t.seq = i;
     all.push_back(t);

@@ -143,7 +143,7 @@ TEST(EventQueueTest, StaleCancelOnReusedSlotIsNoop) {
 // ---------------------------------------------------------------- Network
 
 struct TestMsg : Message {
-  explicit TestMsg(int v, size_t bytes = 64) : value(v), bytes(bytes) {}
+  explicit TestMsg(int v, size_t size = 64) : value(v), bytes(size) {}
   int value;
   size_t bytes;
   size_t SizeBytes() const override { return bytes; }

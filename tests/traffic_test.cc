@@ -42,7 +42,10 @@ TEST(TopologyTest, GeographyIsSane) {
   for (const auto& r : t.routers()) {
     EXPECT_LT(r.position.lon_deg, -60);  // west of the Atlantic
   }
-  for (const auto& r : Topology::Geant().routers()) {
+  // Bind the topology first: iterating Topology::Geant().routers() directly
+  // would destroy the temporary before the loop body runs.
+  Topology geant = Topology::Geant();
+  for (const auto& r : geant.routers()) {
     EXPECT_GT(r.position.lon_deg, -12);  // Europe/Middle East
   }
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Deterministic-replay check.
+#
+# Builds the repo twice -- telemetry ON (the default) and telemetry OFF --
+# and runs tools/determinism_probe in each configuration. The probe prints
+# `state_digest <hex16>` after a fixed seeded scenario; this script fails if
+#   (a) two runs of the same binary disagree (nondeterminism within a build:
+#       wall-clock leak, unseeded randomness, unordered-container ordering), or
+#   (b) the telemetry-ON and telemetry-OFF digests disagree (telemetry
+#       recording changed simulation behaviour).
+#
+# Usage: tools/check_determinism.sh [build-dir]   (default: build-determinism)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-determinism}"
+
+digest() {  # digest <binary>  -> prints the hex digest, fails loudly otherwise
+  local out
+  out="$("$1" | grep '^state_digest ' | awk '{print $2}')"
+  if [[ -z "${out}" ]]; then
+    echo "error: $1 printed no state_digest" >&2
+    exit 1
+  fi
+  echo "${out}"
+}
+
+echo "== configure + build (telemetry ON) =="
+cmake -B "${BUILD}/on" -S . -DMIND_TELEMETRY=ON >/dev/null
+cmake --build "${BUILD}/on" --target determinism_probe -j >/dev/null
+
+echo "== configure + build (telemetry OFF) =="
+cmake -B "${BUILD}/off" -S . -DMIND_TELEMETRY=OFF >/dev/null
+cmake --build "${BUILD}/off" --target determinism_probe -j >/dev/null
+
+run1="$(digest "${BUILD}/on/tools/determinism_probe")"
+run2="$(digest "${BUILD}/on/tools/determinism_probe")"
+run_off="$(digest "${BUILD}/off/tools/determinism_probe")"
+
+echo "run 1 (telemetry on):  ${run1}"
+echo "run 2 (telemetry on):  ${run2}"
+echo "run 3 (telemetry off): ${run_off}"
+
+fail=0
+if [[ "${run1}" != "${run2}" ]]; then
+  echo "FAIL: two runs of the same binary diverged -- the simulation is" \
+       "nondeterministic (check mind_lint and recent unordered iteration)" >&2
+  fail=1
+fi
+if [[ "${run1}" != "${run_off}" ]]; then
+  echo "FAIL: telemetry ON and OFF builds diverged -- some recording call" \
+       "changes simulation state (telemetry must be observation-only)" >&2
+  fail=1
+fi
+if [[ "${fail}" -ne 0 ]]; then
+  exit 1
+fi
+echo "OK: deterministic replay verified (digest ${run1})"

@@ -1,0 +1,64 @@
+// Deterministic-replay probe: runs a fixed, fully-seeded fig07-style
+// scenario — the 34-node Abilene+GEANT deployment, a two-minute trace slice
+// of inserts, and a handful of range queries — with periodic invariant
+// validation piggybacked on the event loop, then prints the final state
+// digest on stdout as `state_digest <hex16>`.
+//
+// tools/check_determinism.sh runs this binary repeatedly (across processes
+// and across MIND_TELEMETRY settings) and fails on any digest mismatch. The
+// digest covers logical state only (overlay codes, stored tuples, pending
+// events, version chains), so telemetry ON and OFF builds must agree.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace mind;
+using namespace mind::bench;
+
+int main() {
+  Topology topo = Topology::AbileneGeant();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 40;
+  gopts.seed = 707;
+  FlowGenerator gen(topo, gopts);
+
+  MindNetOptions mopts;
+  mopts.sim.seed = 4242;
+  mopts.overlay.heartbeat_interval = FromSeconds(5);
+  mopts.mind.replication = 1;
+  mopts.positions = topo.Positions();
+  MindNet net(topo.size(), mopts);
+  // In validator builds this aborts the run on the first structural
+  // violation; in Release it is a no-op and only the digest matters.
+  net.EnablePeriodicValidation(FromSeconds(10));
+
+  Status st = net.Build();
+  if (!st.ok()) {
+    std::fprintf(stderr, "overlay build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  CreatePaperIndices(net);
+
+  TraceDriveOptions topts;
+  topts.day = 0;
+  topts.t0_sec = 39600;
+  topts.t1_sec = 39600 + 120;
+  DriveTrace(net, gen, topts);
+
+  Rng qrng(99);
+  const IndexDef def = MakeIndex1({});
+  for (size_t i = 0; i < 5; ++i) {
+    Rect rect = RandomMonitoringQuery(&qrng, def, 39600 + 120);
+    (void)RunQueryBlocking(net, i % net.size(), "index1_fanout", rect);
+  }
+  net.sim().RunFor(FromSeconds(30));
+
+  st = net.ValidateInvariants(/*quiescent=*/true);
+  if (!st.ok()) {
+    std::fprintf(stderr, "final validation failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("state_digest %s\n", DigestToHex(net.StateDigest()).c_str());
+  return 0;
+}

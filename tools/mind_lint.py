@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""MIND-specific determinism lints.
+
+The simulator is a deterministic discrete-event world: identical seeds must
+produce bit-identical runs on every stdlib (tools/check_determinism.sh checks
+the end state). Three classes of source-level hazard break that promise, and
+this lint bans them in the simulation-facing directories:
+
+  wall-clock   -- std::chrono::system_clock, time(), gettimeofday, ...
+                  Virtual time comes from EventQueue::now(); real time must
+                  never leak into simulation state.
+  libc-rand    -- rand(), srand(), std::random_device. All randomness flows
+                  through the seeded mind::Rng.
+  unordered-emit -- range-for over an unordered_{map,set} member whose body
+                  sends messages or schedules events. Hash-table iteration
+                  order differs across stdlibs, so the emission order (and
+                  with it RNG consumption and tie-breaks downstream) would
+                  too. Iterate util/ordered.h's SortedKeys() instead.
+  telemetry-divergence -- branching on MIND_TELEMETRY_DISABLED outside
+                  src/telemetry. Simulation logic must behave identically
+                  whether telemetry is compiled in or not; only the telemetry
+                  subsystem itself may test the flag.
+
+Suppress a finding with `// mind-lint: allow(<rule>)` on the offending line
+or the line above it, where <rule> is one of: wall-clock, libc-rand,
+unordered-emit, telemetry-divergence.
+
+Exit status: 0 when clean, 1 with one "file:line: [rule] message" per finding.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINT_DIRS = ["src/sim", "src/overlay", "src/mind", "src/space", "src/storage"]
+TELEMETRY_EXEMPT = "src/telemetry"
+
+TOKEN_RULES = [
+    ("wall-clock", re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
+     "wall-clock reads are forbidden; use EventQueue::now() virtual time"),
+    ("wall-clock", re.compile(r"\b(gettimeofday|clock_gettime)\s*\("),
+     "wall-clock reads are forbidden; use EventQueue::now() virtual time"),
+    ("wall-clock", re.compile(r"(\b|::)time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "libc time() is forbidden; use EventQueue::now() virtual time"),
+    ("libc-rand", re.compile(r"\b(rand|srand)\s*\(\s*(\)|\w)"),
+     "libc randomness is forbidden; use the seeded mind::Rng"),
+    ("libc-rand", re.compile(r"\brandom_device\b"),
+     "std::random_device is unseedable; use the seeded mind::Rng"),
+]
+
+UNORDERED_MEMBER = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*(\w+)\s*[;{=]")
+EMIT_CALL = re.compile(
+    r"\b(Send|SendRaw|SendDirect|Route|Broadcast|Schedule|ScheduleAt)\s*\(")
+ALLOW = re.compile(r"//\s*mind-lint:\s*allow\((\w[\w-]*)\)")
+
+
+def strip_comments_and_strings(line):
+    """Blanks out string/char literals and // comments (keeps the line length
+    stable so column-free reporting still points at the right line)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            out.append(" " * (n - i))
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed(lines, idx, rule):
+    """True when line idx (0-based) or the line above carries an allow()."""
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            m = ALLOW.search(lines[j])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def find_loop_body(code_lines, start_idx):
+    """Returns (first, last) line indices of the block opened by the range-for
+    at start_idx, by brace counting; (start, start) for brace-less bodies."""
+    depth = 0
+    opened = False
+    for i in range(start_idx, len(code_lines)):
+        for c in code_lines[i]:
+            if c == "{":
+                depth += 1
+                opened = True
+            elif c == "}":
+                depth -= 1
+                if opened and depth == 0:
+                    return (start_idx, i)
+        if not opened and code_lines[i].rstrip().endswith(";") and i > start_idx:
+            return (start_idx, i)  # single-statement body
+    return (start_idx, len(code_lines) - 1)
+
+
+def lint_file(path, relpath, findings):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read().splitlines()
+    code = [strip_comments_and_strings(ln) for ln in raw]
+
+    for idx, line in enumerate(code):
+        for rule, rx, msg in TOKEN_RULES:
+            if rx.search(line) and not allowed(raw, idx, rule):
+                findings.append(f"{relpath}:{idx + 1}: [{rule}] {msg}")
+        if TELEMETRY_EXEMPT not in relpath.replace(os.sep, "/"):
+            if ("MIND_TELEMETRY_DISABLED" in line
+                    and not allowed(raw, idx, "telemetry-divergence")):
+                findings.append(
+                    f"{relpath}:{idx + 1}: [telemetry-divergence] simulation "
+                    "code may not branch on the telemetry build flag; only "
+                    "src/telemetry may test MIND_TELEMETRY_DISABLED")
+
+    # Pass 2: unordered members iterated with emission in the loop body.
+    members = set()
+    for line in code:
+        m = UNORDERED_MEMBER.search(line)
+        if m:
+            members.add(m.group(1))
+    if not members:
+        return
+    loop_rx = re.compile(
+        r"for\s*\(.*:\s*(?:\w+(?:\.|->))?(" + "|".join(re.escape(m) for m in members) + r")\s*\)")
+    for idx, line in enumerate(code):
+        m = loop_rx.search(line)
+        if not m:
+            continue
+        if allowed(raw, idx, "unordered-emit"):
+            continue
+        first, last = find_loop_body(code, idx)
+        for j in range(first, last + 1):
+            call = EMIT_CALL.search(code[j])
+            if call:
+                findings.append(
+                    f"{relpath}:{idx + 1}: [unordered-emit] iteration over "
+                    f"unordered member '{m.group(1)}' calls {call.group(1)}() "
+                    f"at line {j + 1}; hash order leaks into message/event "
+                    "order -- iterate SortedKeys() (util/ordered.h) instead")
+                break
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    args = ap.parse_args()
+
+    findings = []
+    checked = 0
+    for d in LINT_DIRS:
+        base = os.path.join(args.root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                lint_file(path, os.path.relpath(path, args.root), findings)
+                checked += 1
+
+    if findings:
+        for f in findings:
+            print(f)
+        print(f"mind_lint: {len(findings)} finding(s) in {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"mind_lint: clean ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every source
+# file in src/, using the compile database exported by CMake.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+# The build dir must have been configured already (compile_commands.json).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found on PATH (CI installs it; locally use" \
+       "your distro package)" >&2
+  exit 2
+fi
+if [[ ! -f "${BUILD}/compile_commands.json" ]]; then
+  echo "error: ${BUILD}/compile_commands.json missing -- configure first:" \
+       "cmake -B ${BUILD} -S ." >&2
+  exit 2
+fi
+
+mapfile -t files < <(find src -name '*.cc' | sort)
+echo "clang-tidy over ${#files[@]} files (build dir: ${BUILD})"
+fail=0
+for f in "${files[@]}"; do
+  if ! clang-tidy -p "${BUILD}" --quiet --warnings-as-errors='*' "$f"; then
+    fail=1
+  fi
+done
+if [[ "${fail}" -ne 0 ]]; then
+  echo "clang-tidy: violations found" >&2
+  exit 1
+fi
+echo "clang-tidy: clean"
