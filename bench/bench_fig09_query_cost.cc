@@ -45,6 +45,11 @@ int main() {
   //  * retrieval cost: nodes that supplied results (the paper's headline);
   //  * resolver cost: all (incl. negative) responders;
   //  * visit cost: every node the query touched, forwarders included.
+  // The same instruments feed the table below and the BENCH_*.json export.
+  telemetry::MetricsRegistry bench_metrics;
+  auto& retrieval_h = bench_metrics.histogram("bench.fig09.retrieval_cost_nodes");
+  auto& resolver_h = bench_metrics.histogram("bench.fig09.resolver_cost_nodes");
+  auto& visit_h = bench_metrics.histogram("bench.fig09.visit_cost_nodes");
   std::map<size_t, size_t> retrieval_hist, resolver_hist, visit_hist;
   size_t total = 0, le4_retrieval = 0, le4_resolver = 0;
   for (int iter = 0; iter < 150; ++iter) {
@@ -57,7 +62,11 @@ int main() {
     if (!result || !result->complete) continue;
     retrieval_hist[result->positive_responders]++;
     resolver_hist[result->responders]++;
-    visit_hist[net->QueryVisitCount(result->query_id)]++;
+    size_t visits = net->QueryVisitCount(result->query_id);
+    visit_hist[visits]++;
+    retrieval_h.Record(static_cast<double>(result->positive_responders));
+    resolver_h.Record(static_cast<double>(result->responders));
+    visit_h.Record(static_cast<double>(visits));
     ++total;
     if (result->positive_responders <= 4) ++le4_retrieval;
     if (result->responders <= 4) ++le4_resolver;
@@ -82,5 +91,21 @@ int main() {
   std::printf("queries resolved by <= 4 nodes: %.1f%%\n",
               100.0 * static_cast<double>(le4_resolver) /
                   static_cast<double>(total));
+
+  bench_metrics.gauge("bench.fig09.le4_retrieval_pct")
+      .Set(100.0 * static_cast<double>(le4_retrieval) /
+           static_cast<double>(total));
+  bench_metrics.gauge("bench.fig09.le4_resolver_pct")
+      .Set(100.0 * static_cast<double>(le4_resolver) /
+           static_cast<double>(total));
+  bench_metrics.counter("bench.fig09.queries_complete")
+      .Inc(static_cast<uint64_t>(total));
+  telemetry::RunMeta meta;
+  meta.bench = "fig09_query_cost";
+  meta.seed = 9090;
+  meta.topology = "abilene_geant";
+  meta.nodes = static_cast<int>(topo.size());
+  meta.extra["queries"] = "150";
+  ExportBench(bench_metrics, meta);
   return 0;
 }

@@ -1,7 +1,6 @@
 #include "mind/mind_node.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 
 #include "util/logging.h"
@@ -11,9 +10,17 @@ namespace mind {
 namespace {
 
 // MIND_QUERY_DEBUG is read once per process: the environment cannot change
-// mid-run and the query paths are hot.
+// mid-run and the query paths are hot. Setting it also opts the process into
+// debug-level logging, so the [qdbg] lines — emitted through the sim-time-
+// aware log clock like every other line — actually surface.
 bool QueryDebugEnabled() {
-  static const bool enabled = std::getenv("MIND_QUERY_DEBUG") != nullptr;
+  static const bool enabled = [] {
+    const bool on = std::getenv("MIND_QUERY_DEBUG") != nullptr;
+    if (on && GetLogThreshold() > LogLevel::kDebug) {
+      SetLogThreshold(LogLevel::kDebug);
+    }
+    return on;
+  }();
   return enabled;
 }
 
@@ -26,6 +33,7 @@ MindNode::MindNode(Simulator* sim, OverlayOptions overlay_options,
       options_(options),
       rng_(options.seed),
       overlay_(sim, overlay_options, position),
+      cover_cache_(&sim->metrics()),
       tracer_(&sim->tracer()) {
   rng_ = Rng(options.seed).Fork(static_cast<uint64_t>(overlay_.id()) + 7919);
   telemetry::MetricsRegistry& m = sim->metrics();
@@ -104,10 +112,19 @@ Status MindNode::InstallCuts(const std::string& name, VersionId version,
   return Status::OK();
 }
 
+TupleStoreConfig MindNode::StoreConfig() {
+  TupleStoreConfig config;
+  config.code_len = options_.insert_code_len;
+  config.options.compaction = options_.store_compaction;
+  config.metrics = &sim_->metrics();
+  config.cover_cache = options_.cover_cache ? &cover_cache_ : nullptr;
+  return config;
+}
+
 void MindNode::ApplyCreateIndex(const CreateIndexMsg& m) {
   if (indices_.count(m.def.name)) return;  // duplicate broadcast
-  auto [it, inserted] = indices_.emplace(
-      m.def.name, IndexState(m.def, options_.insert_code_len));
+  auto [it, inserted] =
+      indices_.emplace(m.def.name, IndexState(m.def, StoreConfig()));
   MIND_CHECK(inserted);
   MIND_CHECK_OK(it->second.primary.AddVersion(m.version, m.cuts, m.start));
   MIND_CHECK_OK(it->second.replicas.AddVersion(m.version, m.cuts, m.start));
@@ -477,10 +494,10 @@ void MindNode::NoteQueryVisit(uint64_t query_id) {
 
 void MindNode::OnQueryArrived(const std::shared_ptr<QueryMsg>& m) {
   if (QueryDebugEnabled()) {
-    std::fprintf(stderr, "[qdbg] node %d (code %s) got query %llu code %s resolve_only=%d\n",
-                 id(), overlay_.code().ToString().c_str(),
-                 (unsigned long long)m->query_id, m->code.ToString().c_str(),
-                 (int)m->resolve_only);
+    MIND_LOG(Debug) << "[qdbg] node " << id() << " (code "
+                    << overlay_.code().ToString() << ") got query "
+                    << m->query_id << " code " << m->code.ToString()
+                    << " resolve_only=" << m->resolve_only;
   }
   NoteQueryVisit(m->query_id);
   if (m->resolve_only) {
@@ -535,7 +552,10 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
   tracer_->Note(resolve_span, "code", code.ToString());
   tm_.subquery_len->Record(static_cast<double>(code.length()));
 
-  std::vector<Tuple> results;
+  // The reply message doubles as the result buffer: stores append matching
+  // tuples straight into it (QueryInto), and the originator moves them out —
+  // no intermediate vector anywhere on the reply path.
+  auto reply = std::make_shared<QueryReplyMsg>();
   TupleStore* primary = st->primary.Store(m.version);
   TupleStore* replicas = st->replicas.Store(m.version);
   uint64_t examined0 = (primary ? primary->scan_rows_examined() : 0) +
@@ -546,14 +566,10 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
   std::optional<Rect> scan_rect;
   if (region.has_value()) scan_rect = region->Intersect(m.rect);
   if (scan_rect.has_value()) {
-    if (primary != nullptr) {
-      for (auto& t : primary->Query(*scan_rect)) results.push_back(std::move(t));
-    }
+    if (primary != nullptr) primary->QueryInto(*scan_rect, &reply->tuples);
     // Replica data answers for failed primaries (transparent failover, §3.8);
     // the originator de-duplicates.
-    if (replicas != nullptr) {
-      for (auto& t : replicas->Query(*scan_rect)) results.push_back(std::move(t));
-    }
+    if (replicas != nullptr) replicas->QueryInto(*scan_rect, &reply->tuples);
   }
   uint64_t examined1 = (primary ? primary->scan_rows_examined() : 0) +
                        (replicas ? replicas->scan_rows_examined() : 0);
@@ -573,7 +589,7 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
     overlay_.SendDirect(data_sibling_, fwd);
   }
 
-  size_t n = results.size();
+  size_t n = reply->tuples.size();
   SimTime now = events_->now();
   SimTime dac_wait = dac_busy_until_ > now ? dac_busy_until_ - now : 0;
   tm_.dac_query_wait_ms->Record(ToSeconds(dac_wait) * 1e3);
@@ -583,15 +599,13 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
   dac_busy_until_ = respond_at;
 
   if (QueryDebugEnabled()) {
-    std::fprintf(stderr, "[qdbg] node %d (code %s) resolves %s -> %zu tuples\n",
-                 id(), overlay_.code().ToString().c_str(),
-                 code.ToString().c_str(), results.size());
+    MIND_LOG(Debug) << "[qdbg] node " << id() << " (code "
+                    << overlay_.code().ToString() << ") resolves "
+                    << code.ToString() << " -> " << n << " tuples";
   }
-  auto reply = std::make_shared<QueryReplyMsg>();
   reply->query_id = m.query_id;
   reply->version = m.version;
   reply->covered = code;
-  reply->tuples = std::move(results);
   reply->resolver = id();
   reply->supplemental = m.resolve_only;
   NodeId originator = m.originator;
@@ -612,23 +626,28 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
       });
 }
 
-void MindNode::OnQueryReply(const QueryReplyMsg& m) {
+void MindNode::OnQueryReply(QueryReplyMsg& m) {
   tracer_->EndSpan(m.reply_span);
   auto it = queries_.find(m.query_id);
   if (it == queries_.end()) {
     if (QueryDebugEnabled()) {
-      std::fprintf(stderr, "[qdbg] originator %d: LATE reply from %d covered %s (%zu tuples)\n",
-                   id(), m.resolver, m.covered.ToString().c_str(), m.tuples.size());
+      MIND_LOG(Debug) << "[qdbg] originator " << id() << ": LATE reply from "
+                      << m.resolver << " covered " << m.covered.ToString()
+                      << " (" << m.tuples.size() << " tuples)";
     }
     return;  // finished or timed out
   }
   auto tit = it->second.trackers.find(m.version);
   if (tit == it->second.trackers.end()) return;
   if (QueryDebugEnabled()) {
-    std::fprintf(stderr, "[qdbg] originator %d: reply from %d covered %s (%zu tuples)\n",
-                 id(), m.resolver, m.covered.ToString().c_str(), m.tuples.size());
+    MIND_LOG(Debug) << "[qdbg] originator " << id() << ": reply from "
+                    << m.resolver << " covered " << m.covered.ToString()
+                    << " (" << m.tuples.size() << " tuples)";
   }
-  tit->second.AddReply(m.resolver, m.covered, m.tuples, !m.supplemental);
+  // Each reply has exactly one final consumer (either this self-delivery or
+  // the one OnDirect dispatch), so the payload can be moved out wholesale.
+  tit->second.AddReply(m.resolver, m.covered, std::move(m.tuples),
+                       !m.supplemental);
   it->second.visited.insert(m.resolver);
   for (auto& [v, tracker] : it->second.trackers) {
     if (!tracker.IsComplete()) return;
@@ -650,15 +669,25 @@ void MindNode::FinalizeQuery(uint64_t query_id, bool complete) {
   if (!complete) tm_.query_timeouts->Inc();
   tracer_->Note(pq.root_span, "outcome", complete ? "complete" : "timeout");
   tracer_->EndSpan(pq.root_span);
-  std::unordered_set<uint64_t> seen;
   std::unordered_set<NodeId> responders, positive;
-  for (auto& [v, tracker] : pq.trackers) {
-    for (auto& t : tracker.TakeTuples()) {
-      uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(t.origin))
-                      << 40) ^
-                     t.seq;
-      if (seen.insert(key).second) result.tuples.push_back(std::move(t));
+  if (pq.trackers.size() == 1) {
+    // Single-version query (the common case): the tracker already de-duped
+    // per (origin, seq) as replies arrived, so its buffer is the answer.
+    result.tuples = pq.trackers.begin()->second.TakeTuples();
+  } else {
+    // Multi-version: replicas may have answered the same tuple under two
+    // versions; de-dup across trackers.
+    std::unordered_set<uint64_t> seen;
+    for (auto& [v, tracker] : pq.trackers) {
+      for (auto& t : tracker.TakeTuples()) {
+        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(t.origin))
+                        << 40) ^
+                       t.seq;
+        if (seen.insert(key).second) result.tuples.push_back(std::move(t));
+      }
     }
+  }
+  for (auto& [v, tracker] : pq.trackers) {
     for (NodeId r : tracker.responders()) responders.insert(r);
     for (NodeId r : tracker.positive_responders()) positive.insert(r);
   }
@@ -764,8 +793,10 @@ void MindNode::RequestIndexSync() {
 
 void MindNode::Crash() {
   overlay_.Crash();
-  // Volatile state is lost.
+  // Volatile state is lost. Cached covers pin their cut trees, so dropping
+  // the stores here would otherwise keep those trees alive via the cache.
   indices_.clear();
+  cover_cache_.Invalidate();
   for (auto& [qid, pq] : queries_) {
     if (pq.timeout_event) events_->Cancel(pq.timeout_event);
   }
@@ -809,6 +840,8 @@ void MindNode::OnBroadcastMsg(NodeId origin, const MessagePtr& inner) {
       break;
     case MindMsgKind::kDropIndex:
       indices_.erase(static_cast<const DropIndexMsg&>(*mm).name);
+      // Release cut trees that only the cover cache still pins.
+      cover_cache_.Invalidate();
       break;
     case MindMsgKind::kInstallCuts:
       ApplyInstallCuts(static_cast<const InstallCutsMsg&>(*mm));
@@ -834,7 +867,7 @@ void MindNode::OnDirect(NodeId from, const MessagePtr& msg) {
       break;
     }
     case MindMsgKind::kQueryReply:
-      OnQueryReply(static_cast<const QueryReplyMsg&>(*mm));
+      OnQueryReply(static_cast<QueryReplyMsg&>(*mm));
       break;
     case MindMsgKind::kQuery: {
       // resolve_only forwards arrive as direct messages.
@@ -870,8 +903,7 @@ void MindNode::OnDirect(NodeId from, const MessagePtr& msg) {
       for (const auto& snap : r.indices) {
         if (indices_.count(snap.def.name)) continue;
         auto [it, inserted] = indices_.emplace(
-            snap.def.name,
-            IndexState(snap.def, options_.insert_code_len));
+            snap.def.name, IndexState(snap.def, StoreConfig()));
         MIND_CHECK(inserted);
         for (const auto& vs : snap.versions) {
           MIND_CHECK_OK(it->second.primary.AddVersion(vs.id, vs.cuts, vs.start));

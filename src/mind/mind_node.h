@@ -23,6 +23,7 @@
 #include "util/digest.h"
 #include "mind/query_tracker.h"
 #include "overlay/overlay_node.h"
+#include "storage/cover_cache.h"
 #include "storage/version_manager.h"
 
 namespace mind {
@@ -51,6 +52,13 @@ struct MindOptions {
   SimTime batch_item_proc_time = 100;    // 0.1 ms per extra batched tuple
   SimTime query_proc_base = 2000;        // 2 ms per sub-query
   SimTime query_proc_per_tuple = 5;      // + 5 us per returned tuple
+  /// Two-level store compaction (delta merged into base at the size-ratio
+  /// trigger and at version freeze). Layout-only: results, timings and
+  /// digests are identical on or off.
+  bool store_compaction = true;
+  /// Per-node cover cache memoizing CutTree::Cover for store scans. Pure
+  /// memoization: results, timings and digests are identical on or off.
+  bool cover_cache = true;
   uint64_t seed = 0x31337;
 };
 
@@ -194,8 +202,8 @@ class MindNode {
     /// Versions learned through IndexSync (we joined after their creation):
     /// their pre-join data lives at our split parent (§3.4 forward pointer).
     std::set<VersionId> synced_versions;
-    explicit IndexState(IndexDef d, int code_len)
-        : def(std::move(d)), primary(code_len), replicas(code_len) {}
+    IndexState(IndexDef d, const TupleStoreConfig& config)
+        : def(std::move(d)), primary(config), replicas(config) {}
   };
 
   struct PendingQuery {
@@ -232,7 +240,9 @@ class MindNode {
   void OnQueryArrived(const std::shared_ptr<QueryMsg>& m);
   void HandleQueryCode(const std::shared_ptr<QueryMsg>& m, const BitCode& code);
   void ResolveAndReply(const QueryMsg& m, const BitCode& code);
-  void OnQueryReply(const QueryReplyMsg& m);
+  /// Consumes m.tuples (moved into the tracker) — a reply message has
+  /// exactly one final consumer.
+  void OnQueryReply(QueryReplyMsg& m);
   void OnHistRequest(const HistRequestMsg& m);
   void OnHistReply(const HistReplyMsg& m);
   void FinalizeQuery(uint64_t query_id, bool complete);
@@ -241,12 +251,19 @@ class MindNode {
 
   IndexState* FindIndex(const std::string& name);
   const IndexState* FindIndex(const std::string& name) const;
+  /// The store config stamped onto every version chain this node opens
+  /// (key precision, compaction policy, metrics, the shared cover cache).
+  TupleStoreConfig StoreConfig();
 
   Simulator* sim_;
   EventQueue* events_;
   MindOptions options_;
   Rng rng_;
   OverlayNode overlay_;
+  /// One cover cache per node, shared by all of its stores (primary and
+  /// replica chains of every index); keyed by cuts identity, so distinct
+  /// versions never collide. Excluded from DigestInto by design.
+  CoverCache cover_cache_;
 
   std::map<std::string, IndexState> indices_;
   std::unordered_map<uint64_t, PendingQuery> queries_;

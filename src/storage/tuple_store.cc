@@ -2,91 +2,141 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 #include "util/validate.h"
 
 namespace mind {
 
-namespace {
-// Left-aligned key of a code and the (inclusive) key range it covers.
-uint64_t KeyOf(const BitCode& code) {
-  if (code.length() == 0) return 0;
-  return code.bits() << (64 - code.length());
-}
-uint64_t KeyRangeEnd(const BitCode& code) {
-  if (code.length() == 0) return UINT64_MAX;
-  uint64_t span = (code.length() == 64) ? 0 : ((uint64_t{1} << (64 - code.length())) - 1);
-  return KeyOf(code) + span;
-}
-// Cover length for queries: fine enough to prune, coarse enough to bound the
-// number of ranges.
-constexpr int kQueryCoverLen = 12;
-constexpr size_t kMaxCoverCodes = 4096;
-}  // namespace
-
-TupleStore::TupleStore(CutTreeRef cuts, int code_len)
-    : cuts_(std::move(cuts)), code_len_(code_len) {
+TupleStore::TupleStore(CutTreeRef cuts, TupleStoreConfig config)
+    : cuts_(std::move(cuts)),
+      code_len_(config.code_len),
+      opts_(config.options),
+      cover_cache_(config.cover_cache) {
   MIND_CHECK(cuts_ != nullptr);
   MIND_CHECK(code_len_ > 0 && code_len_ <= BitCode::kMaxLen);
+  MIND_CHECK(opts_.compact_ratio > 0);
+  if (config.metrics != nullptr) {
+    compactions_ = &config.metrics->counter("storage.compaction.count");
+    compaction_rows_ = &config.metrics->counter("storage.compaction.rows");
+    cover_fallbacks_ = &config.metrics->counter("storage.cover.fallback");
+  }
 }
+
+TupleStore::TupleStore(CutTreeRef cuts, int code_len)
+    : TupleStore(std::move(cuts), TupleStoreConfig{code_len, {}, nullptr,
+                                                   nullptr}) {}
 
 void TupleStore::Insert(Tuple tuple) {
   BitCode code = cuts_->CodeForPoint(tuple.point, code_len_);
-  approx_bytes_ += tuple.WireBytes() + 16;
-  rows_.push_back(Row{KeyOf(code), std::move(tuple)});
-  sorted_ = false;
+  InsertRow(Row{CodeKey(code), std::move(tuple)});
 }
 
 void TupleStore::InsertCoded(Tuple tuple, const BitCode& code) {
   MIND_CHECK(code.length() >= code_len_);
-  approx_bytes_ += tuple.WireBytes() + 16;
-  rows_.push_back(Row{KeyOf(code.Prefix(code_len_)), std::move(tuple)});
-  sorted_ = false;
+  InsertRow(Row{CodeKey(code.Prefix(code_len_)), std::move(tuple)});
 }
 
-void TupleStore::EnsureSorted() const {
-  if (sorted_) return;
-  std::sort(rows_.begin(), rows_.end(),
+void TupleStore::InsertRow(Row row) {
+  approx_bytes_ += row.tuple.WireBytes() + 16;
+  // An append that keeps key order keeps the delta sorted (time-correlated
+  // inserts often do); only a true inversion forces the lazy re-sort.
+  if (!delta_.empty() && delta_.back().key > row.key) delta_sorted_ = false;
+  delta_.push_back(std::move(row));
+  MaybeCompact();
+}
+
+void TupleStore::MaybeCompact() {
+  if (!opts_.compaction) return;
+  if (delta_.size() < opts_.compact_min_delta) return;
+  if (delta_.size() * opts_.compact_ratio <= base_.size()) return;
+  Compact();
+}
+
+void TupleStore::Compact() {
+  if (delta_.empty()) return;
+  EnsureDeltaSorted();
+  const size_t merged = delta_.size();
+  const size_t mid = base_.size();
+  base_.insert(base_.end(), std::make_move_iterator(delta_.begin()),
+               std::make_move_iterator(delta_.end()));
+  std::inplace_merge(base_.begin(), base_.begin() + static_cast<long>(mid),
+                     base_.end(),
+                     [](const Row& a, const Row& b) { return a.key < b.key; });
+  delta_.clear();
+  delta_sorted_ = true;
+  if (compactions_ != nullptr) compactions_->Inc();
+  if (compaction_rows_ != nullptr) compaction_rows_->Inc(merged);
+}
+
+void TupleStore::EnsureDeltaSorted() const {
+  if (delta_sorted_) return;
+  std::sort(delta_.begin(), delta_.end(),
             [](const Row& a, const Row& b) { return a.key < b.key; });
-  sorted_ = true;
+  delta_sorted_ = true;
+}
+
+template <typename Fn>
+void TupleStore::ScanAll(const std::vector<Row>& run, const Rect& rect,
+                         Fn& fn) const {
+  for (const Row& r : run) {
+    ++scan_rows_examined_;
+    if (rect.Contains(r.tuple.point)) {
+      ++scan_rows_matched_;
+      fn(r.tuple);
+    }
+  }
+}
+
+template <typename Fn>
+void TupleStore::ScanRange(const std::vector<Row>& run, const KeyRange& kr,
+                           const Rect& rect, Fn& fn) const {
+  auto first = std::lower_bound(
+      run.begin(), run.end(), kr.lo,
+      [](const Row& r, uint64_t k) { return r.key < k; });
+  for (auto it = first; it != run.end() && it->key <= kr.hi; ++it) {
+    ++scan_rows_examined_;
+    if (rect.Contains(it->tuple.point)) {
+      ++scan_rows_matched_;
+      fn(it->tuple);
+    }
+  }
 }
 
 template <typename Fn>
 void TupleStore::Scan(const Rect& rect, Fn&& fn) const {
-  EnsureSorted();
-  int len = std::min(kQueryCoverLen, code_len_);
-  auto cover = cuts_->Cover(rect, len, kMaxCoverCodes);
-  if (!cover.ok()) {
-    // Pathologically wide query: fall back to a full scan.
-    for (const Row& r : rows_) {
-      ++scan_rows_examined_;
-      if (rect.Contains(r.tuple.point)) {
-        ++scan_rows_matched_;
-        fn(r.tuple);
-      }
-    }
+  const int len = std::min(opts_.cover_len, code_len_);
+  CoverRanges local;
+  const CoverRanges* cover;
+  if (cover_cache_ != nullptr) {
+    cover = cover_cache_->GetOrCompute(rect, cuts_, len, opts_.max_cover_codes);
+  } else {
+    local = ComputeCoverRanges(*cuts_, rect, len, opts_.max_cover_codes);
+    cover = &local;
+  }
+  if (cover->fallback) {
+    // Pathologically wide query: walk every row of both runs as they sit —
+    // a scan that visits everything gains nothing from restored key order.
+    if (cover_fallbacks_ != nullptr) cover_fallbacks_->Inc();
+    ScanAll(base_, rect, fn);
+    ScanAll(delta_, rect, fn);
     return;
   }
-  for (const BitCode& code : cover.value()) {
-    uint64_t lo = KeyOf(code);
-    uint64_t hi = KeyRangeEnd(code);
-    auto first = std::lower_bound(
-        rows_.begin(), rows_.end(), lo,
-        [](const Row& r, uint64_t k) { return r.key < k; });
-    for (auto it = first; it != rows_.end() && it->key <= hi; ++it) {
-      ++scan_rows_examined_;
-      if (rect.Contains(it->tuple.point)) {
-        ++scan_rows_matched_;
-        fn(it->tuple);
-      }
-    }
+  EnsureDeltaSorted();
+  for (const KeyRange& kr : cover->ranges) {
+    ScanRange(base_, kr, rect, fn);
+    ScanRange(delta_, kr, rect, fn);
   }
 }
 
 std::vector<Tuple> TupleStore::Query(const Rect& rect) const {
   std::vector<Tuple> out;
-  Scan(rect, [&out](const Tuple& t) { out.push_back(t); });
+  QueryInto(rect, &out);
   return out;
+}
+
+void TupleStore::QueryInto(const Rect& rect, std::vector<Tuple>* out) const {
+  Scan(rect, [out](const Tuple& t) { out->push_back(t); });
 }
 
 size_t TupleStore::Count(const Rect& rect) const {
@@ -98,25 +148,34 @@ size_t TupleStore::Count(const Rect& rect) const {
 Status TupleStore::ValidateInvariants() const {
 #if MIND_VALIDATORS_ENABLED
   uint64_t bytes = 0;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    const Row& r = rows_[i];
-    MIND_VALIDATE(!sorted_ || i == 0 || rows_[i - 1].key <= r.key,
-                  "tuple-store: claims sorted but row " << i << " (key " << r.key
-                      << ") is below row " << i - 1 << " (key " << rows_[i - 1].key
-                      << ")");
-    const BitCode code = cuts_->CodeForPoint(r.tuple.point, code_len_);
-    const uint64_t expect =
-        code.empty() ? 0 : code.bits() << (64 - code.length());
-    MIND_VALIDATE(r.key == expect,
-                  "tuple-store: row " << i << " (origin " << r.tuple.origin << " seq "
-                                      << r.tuple.seq << ") keyed " << r.key
-                                      << " but its point codes to " << expect
-                                      << " under the installed cut tree");
-    bytes += r.tuple.WireBytes() + 16;
-  }
+  auto check_run = [&](const std::vector<Row>& run, bool claims_sorted,
+                       const char* name) -> Status {
+    for (size_t i = 0; i < run.size(); ++i) {
+      const Row& r = run[i];
+      MIND_VALIDATE(!claims_sorted || i == 0 || run[i - 1].key <= r.key,
+                    "tuple-store: " << name << " run claims sorted but row " << i
+                                    << " (key " << r.key << ") is below row "
+                                    << i - 1 << " (key " << run[i - 1].key
+                                    << ")");
+      const BitCode code = cuts_->CodeForPoint(r.tuple.point, code_len_);
+      const uint64_t expect =
+          code.empty() ? 0 : code.bits() << (64 - code.length());
+      MIND_VALIDATE(r.key == expect,
+                    "tuple-store: " << name << " row " << i << " (origin "
+                                    << r.tuple.origin << " seq " << r.tuple.seq
+                                    << ") keyed " << r.key
+                                    << " but its point codes to " << expect
+                                    << " under the installed cut tree");
+      bytes += r.tuple.WireBytes() + 16;
+    }
+    return Status::OK();
+  };
+  // The base run's order is unconditional; the delta's only when claimed.
+  MIND_RETURN_NOT_OK(check_run(base_, true, "base"));
+  MIND_RETURN_NOT_OK(check_run(delta_, delta_sorted_, "delta"));
   MIND_VALIDATE(bytes == approx_bytes_,
-                "tuple-store: approx_bytes_ is " << approx_bytes_ << " but rows sum to "
-                                                 << bytes);
+                "tuple-store: approx_bytes_ is "
+                    << approx_bytes_ << " but base+delta rows sum to " << bytes);
   MIND_RETURN_NOT_OK(cuts_->ValidateInvariants());
 #endif  // MIND_VALIDATORS_ENABLED
   return Status::OK();
@@ -124,17 +183,21 @@ Status TupleStore::ValidateInvariants() const {
 
 void TupleStore::DigestInto(Fnv64* out) const {
   OrderIndependentAccumulator acc;
-  for (const Row& r : rows_) {
-    Fnv64 h;
-    h.Mix(r.key);
-    h.Mix(static_cast<uint64_t>(static_cast<int64_t>(r.tuple.origin)));
-    h.Mix(r.tuple.seq);
-    h.Mix(static_cast<uint64_t>(r.tuple.point.size()));
-    for (Value v : r.tuple.point) h.Mix(v);
-    h.Mix(static_cast<uint64_t>(r.tuple.extra.size()));
-    for (Value v : r.tuple.extra) h.Mix(v);
-    acc.Add(h.value());
-  }
+  auto fold_run = [&acc](const std::vector<Row>& run) {
+    for (const Row& r : run) {
+      Fnv64 h;
+      h.Mix(r.key);
+      h.Mix(static_cast<uint64_t>(static_cast<int64_t>(r.tuple.origin)));
+      h.Mix(r.tuple.seq);
+      h.Mix(static_cast<uint64_t>(r.tuple.point.size()));
+      for (Value v : r.tuple.point) h.Mix(v);
+      h.Mix(static_cast<uint64_t>(r.tuple.extra.size()));
+      for (Value v : r.tuple.extra) h.Mix(v);
+      acc.Add(h.value());
+    }
+  };
+  fold_run(base_);
+  fold_run(delta_);
   acc.DigestInto(out);
 }
 
@@ -142,17 +205,20 @@ Histogram TupleStore::BuildHistogram(int bins_per_dim, int time_attr,
                                      Value time_shift) const {
   Histogram h(cuts_->schema(), bins_per_dim);
   if (time_attr < 0 || time_shift == 0) {
-    for (const Row& r : rows_) h.Add(r.tuple.point);
+    for (const Row& r : base_) h.Add(r.tuple.point);
+    for (const Row& r : delta_) h.Add(r.tuple.point);
     return h;
   }
   const Value max = cuts_->schema().attr(time_attr).max;
   Point p;
-  for (const Row& r : rows_) {
+  auto add_shifted = [&](const Row& r) {
     p = r.tuple.point;
     Value shifted = p[time_attr] + time_shift;
     p[time_attr] = (shifted < p[time_attr] || shifted > max) ? max : shifted;
     h.Add(p);
-  }
+  };
+  for (const Row& r : base_) add_shifted(r);
+  for (const Row& r : delta_) add_shifted(r);
   return h;
 }
 

@@ -1,10 +1,14 @@
 // Per-node, per-(index, version) tuple storage with rectangle queries.
 //
 // Replaces the paper's MySQL/JDBC backend (DESIGN.md §2). Tuples are keyed by
-// their data-space code (left-aligned in 64 bits), kept sorted, and a
-// rectangle query first narrows to the key ranges of its covering codes and
-// then filters exactly — the in-memory analogue of the prototype's SQL
-// statement over a code-clustered table.
+// their data-space code (left-aligned in 64 bits) and held in two sorted
+// runs, LSM-style: a large *base* run that is always in key order and a
+// small *delta* run that absorbs inserts and is sorted lazily. A rectangle
+// query narrows to the merged key ranges of its covering codes (optionally
+// through a shared CoverCache) and binary-searches both runs — so an insert
+// between queries costs a delta re-sort of a few rows, never a full re-sort.
+// Compaction merges the delta into the base when it exceeds a size ratio of
+// the base, and at daily version freeze (IndexVersions::AddVersion).
 #ifndef MIND_STORAGE_TUPLE_STORE_H_
 #define MIND_STORAGE_TUPLE_STORE_H_
 
@@ -14,18 +18,47 @@
 #include "space/cut_tree.h"
 #include "space/histogram.h"
 #include "space/rect.h"
+#include "storage/cover_cache.h"
 #include "storage/tuple.h"
 #include "util/digest.h"
 
 namespace mind {
 
+struct TupleStoreOptions {
+  /// Merge the delta run into the base run at the size-ratio trigger (and at
+  /// version freeze). Off leaves every insert in the delta run. Layout-only:
+  /// query results, counts and digests are identical either way.
+  bool compaction = true;
+  /// Compaction triggers once the delta holds at least this many rows...
+  size_t compact_min_delta = 64;
+  /// ...and delta * ratio exceeds the base size (amortizes the merge).
+  size_t compact_ratio = 4;
+  /// Query cover granularity: fine enough to prune, coarse enough to bound
+  /// the number of ranges.
+  int cover_len = 12;
+  /// Cover() code budget; overflow takes the full-scan fallback path.
+  size_t max_cover_codes = 4096;
+};
+
+/// Everything a store needs besides its cut tree: key precision, layout
+/// policy, and the optional per-node sharables (metrics, cover cache).
+/// IndexVersions stamps one config onto every store it opens.
+struct TupleStoreConfig {
+  int code_len = 32;
+  TupleStoreOptions options;
+  telemetry::MetricsRegistry* metrics = nullptr;  // storage.* counters
+  CoverCache* cover_cache = nullptr;              // shared, owned by the node
+};
+
 class TupleStore {
  public:
-  /// `cuts` is the embedding under which tuples are coded; `code_len` the
-  /// stored key precision (also the maximum useful cover length).
+  /// `cuts` is the embedding under which tuples are coded; `config.code_len`
+  /// the stored key precision (also the maximum useful cover length).
+  TupleStore(CutTreeRef cuts, TupleStoreConfig config);
+  /// Default config with the given key precision (tests, standalone use).
   TupleStore(CutTreeRef cuts, int code_len);
 
-  /// Adds a tuple (O(1) amortized; the sort order is restored lazily).
+  /// Adds a tuple (O(1) amortized; appends to the delta run).
   void Insert(Tuple tuple);
 
   /// Adds a tuple whose data-space code is already known (the insert message
@@ -33,11 +66,23 @@ class TupleStore {
   /// equal `cuts()->CodeForPoint(tuple.point, n)` for some n >= code_len.
   void InsertCoded(Tuple tuple, const BitCode& code);
 
-  size_t size() const { return rows_.size(); }
+  /// Merges the delta run into the base run now (the version-freeze hook;
+  /// inserts trigger it automatically per TupleStoreOptions). Layout-only.
+  void Compact();
+
+  size_t size() const { return base_.size() + delta_.size(); }
+  size_t base_size() const { return base_.size(); }
+  size_t delta_size() const { return delta_.size(); }
   uint64_t approx_bytes() const { return approx_bytes_; }
+  bool compaction_enabled() const { return opts_.compaction; }
 
   /// All tuples whose point lies inside `rect`.
   std::vector<Tuple> Query(const Rect& rect) const;
+
+  /// Appends the matches to `*out` without an intermediate vector — the
+  /// zero-copy reply-assembly entry point (results land directly in the
+  /// outgoing QueryReplyMsg).
+  void QueryInto(const Rect& rect, std::vector<Tuple>* out) const;
 
   /// Number of matching tuples without materializing them.
   size_t Count(const Rect& rect) const;
@@ -58,14 +103,15 @@ class TupleStore {
   uint64_t scan_rows_examined() const { return scan_rows_examined_; }
   uint64_t scan_rows_matched() const { return scan_rows_matched_; }
 
-  /// Checks storage consistency: rows in key order when sorted_ claims so,
-  /// every row's key equal to its point's code under the installed cut tree,
-  /// the byte accounting matching the rows, and the cut tree itself
-  /// well-formed. Returns OK trivially when MIND_VALIDATORS is off.
+  /// Checks storage consistency: the base run always in key order, the delta
+  /// run in key order when delta_sorted_ claims so, every row's key equal to
+  /// its point's code under the installed cut tree, the byte accounting
+  /// matching the rows of both runs, and the cut tree itself well-formed.
+  /// Returns OK trivially when MIND_VALIDATORS is off.
   Status ValidateInvariants() const;
 
-  /// Folds the stored tuples into `out`, independent of row order (rows are
-  /// only lazily sorted, and the sort is not stable within a key).
+  /// Folds the stored tuples into `out`, independent of row order *and* of
+  /// the base/delta split (the digest must not see compaction timing).
   void DigestInto(Fnv64* out) const;
 
  private:
@@ -76,18 +122,33 @@ class TupleStore {
     Tuple tuple;
   };
 
-  void EnsureSorted() const;
+  void InsertRow(Row row);
+  void MaybeCompact();
+  void EnsureDeltaSorted() const;
   // Invokes fn on every tuple inside rect.
   template <typename Fn>
   void Scan(const Rect& rect, Fn&& fn) const;
+  // Every match within one run / one key range of one run.
+  template <typename Fn>
+  void ScanAll(const std::vector<Row>& run, const Rect& rect, Fn& fn) const;
+  template <typename Fn>
+  void ScanRange(const std::vector<Row>& run, const KeyRange& kr,
+                 const Rect& rect, Fn& fn) const;
 
   CutTreeRef cuts_;
   int code_len_;
-  mutable std::vector<Row> rows_;
-  mutable bool sorted_ = true;
+  TupleStoreOptions opts_;
+  mutable std::vector<Row> base_;   // always key-sorted
+  mutable std::vector<Row> delta_;  // recent inserts; sorted iff delta_sorted_
+  mutable bool delta_sorted_ = true;
   mutable uint64_t scan_rows_examined_ = 0;
   mutable uint64_t scan_rows_matched_ = 0;
   uint64_t approx_bytes_ = 0;
+  CoverCache* cover_cache_ = nullptr;
+  // storage.compaction.* / storage.cover.* counters; null without a registry.
+  telemetry::Counter* compactions_ = nullptr;
+  telemetry::Counter* compaction_rows_ = nullptr;
+  telemetry::Counter* cover_fallbacks_ = nullptr;
 };
 
 }  // namespace mind

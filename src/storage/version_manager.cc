@@ -16,12 +16,19 @@ Status IndexVersions::AddVersion(VersionId id, CutTreeRef cuts, SimTime start) {
     if (start < entries_.back().start) {
       return Status::InvalidArgument("version start times must not decrease");
     }
+    // Daily freeze (§3.7): the closing version stops taking the bulk of the
+    // inserts once the new one opens; merge its delta down now so its
+    // history is served from a single sorted run. (Stragglers timestamped
+    // into the old window still insert fine — they just reopen a delta.)
+    if (entries_.back().store->compaction_enabled()) {
+      entries_.back().store->Compact();
+    }
   }
   Entry e;
   e.id = id;
   e.start = start;
   e.cuts = cuts;
-  e.store = std::make_unique<TupleStore>(std::move(cuts), code_len_);
+  e.store = std::make_unique<TupleStore>(std::move(cuts), config_);
   entries_.push_back(std::move(e));
   return Status::OK();
 }

@@ -22,10 +22,16 @@ using VersionId = uint32_t;
 /// \brief The version chain of one index at one node.
 class IndexVersions {
  public:
-  explicit IndexVersions(int code_len) : code_len_(code_len) {}
+  /// Default store policy with the given key precision (tests, tools).
+  explicit IndexVersions(int code_len) { config_.code_len = code_len; }
+  /// Full store config: every opened version's store is stamped with it
+  /// (layout policy, metrics registry, the node's shared cover cache).
+  explicit IndexVersions(TupleStoreConfig config) : config_(config) {}
 
   /// Opens a new version valid from `start`. Versions must be added in
-  /// increasing (id, start) order; the previous version closes at `start`.
+  /// increasing (id, start) order; the previous version closes at `start`
+  /// and — the daily freeze — gets its delta run compacted down, so sealed
+  /// stores serve their history at base-run cost.
   Status AddVersion(VersionId id, CutTreeRef cuts, SimTime start);
 
   /// Version in effect at time t (the last version with start <= t), or
@@ -80,7 +86,7 @@ class IndexVersions {
   };
   const Entry* Find(VersionId id) const;
 
-  int code_len_;
+  TupleStoreConfig config_;
   std::vector<Entry> entries_;  // sorted by (id, start)
 };
 

@@ -361,6 +361,95 @@ TEST(RouteCacheIntegrationTest, CacheIsTransparent) {
   EXPECT_EQ(on.end_time, off.end_time);
 }
 
+// ----------------------------------------------------- store layout knobs
+
+namespace {
+
+struct StorePathRunOutcome {
+  std::multiset<uint64_t> tuple_seqs;
+  bool complete = false;
+  SimTime latency = 0;
+  SimTime end_time = 0;
+  uint64_t digest = 0;
+  uint64_t compactions = 0;
+  uint64_t cover_hits = 0;
+};
+
+// One fixed insert+crash+revive+query scenario with store compaction and the
+// cover cache toggled. Enough inserts that the compaction ratio trigger
+// fires, plus a crash/revive leg to exercise cache invalidation.
+StorePathRunOutcome RunStorePathScenario(bool compaction, bool cover_cache) {
+  MindNetOptions mopts;
+  mopts.sim.seed = 515151;
+  mopts.mind.store_compaction = compaction;
+  mopts.mind.cover_cache = cover_cache;
+  MindNet net(12, mopts);
+  EXPECT_TRUE(net.Build().ok());
+  IndexDef def;
+  def.name = "idx";
+  def.schema = Schema({{"x", 0, 9999}, {"y", 0, 9999}});
+  EXPECT_TRUE(net.CreateIndexEverywhere(
+                     def, std::make_shared<CutTree>(CutTree::Even(def.schema)))
+                  .ok());
+  for (uint64_t i = 0; i < 1500; ++i) {
+    Tuple t;
+    t.point = {i * 37 % 10000, i * 101 % 10000};
+    t.seq = i;
+    t.origin = static_cast<int>(i % 12);
+    EXPECT_TRUE(net.node(i % 12).Insert("idx", t).ok());
+    if (i % 200 == 0) net.sim().RunFor(FromSeconds(1));
+    if (i == 700) {
+      net.node(4).Crash();
+      net.sim().RunFor(FromSeconds(15));
+      net.node(4).Revive(0);
+      net.sim().RunFor(FromSeconds(15));
+    }
+  }
+  net.sim().RunFor(FromSeconds(30));
+  StorePathRunOutcome out;
+  // Several queries so covers repeat (the cache's hit case) and results are
+  // compared across more than one rectangle.
+  for (int q = 0; q < 3; ++q) {
+    QueryResult r = RunQuery(net, 3 + q, "idx",
+                             Rect({{1000u + 500u * q, 8000}, {0, 9999}}));
+    for (const auto& t : r.tuples) out.tuple_seqs.insert(t.seq);
+    out.complete = r.complete;
+    out.latency = r.latency;
+  }
+  out.end_time = net.sim().now();
+  out.digest = net.StateDigest();
+  out.compactions = net.sim().metrics().counter("storage.compaction.count").value();
+  out.cover_hits =
+      net.sim().metrics().counter("storage.cover_cache.hits").value();
+  return out;
+}
+
+}  // namespace
+
+// Compaction and the cover cache are layout/memoization only: every knob
+// combination must yield bit-identical tuples, latencies, sim clock and
+// whole-net digest — while the enabled runs actually compact and hit.
+TEST(StorePathIntegrationTest, LayoutKnobsAreTransparent) {
+  StorePathRunOutcome base = RunStorePathScenario(true, true);
+  StorePathRunOutcome no_compact = RunStorePathScenario(false, true);
+  StorePathRunOutcome no_cache = RunStorePathScenario(true, false);
+  StorePathRunOutcome plain = RunStorePathScenario(false, false);
+  EXPECT_FALSE(base.tuple_seqs.empty());
+#ifndef MIND_TELEMETRY_DISABLED
+  EXPECT_GT(base.compactions, 0u);
+  EXPECT_EQ(no_compact.compactions, 0u);
+  EXPECT_GT(base.cover_hits, 0u);
+  EXPECT_EQ(plain.cover_hits, 0u);
+#endif
+  for (const StorePathRunOutcome* o : {&no_compact, &no_cache, &plain}) {
+    EXPECT_EQ(base.tuple_seqs, o->tuple_seqs);
+    EXPECT_EQ(base.complete, o->complete);
+    EXPECT_EQ(base.latency, o->latency);
+    EXPECT_EQ(base.end_time, o->end_time);
+    EXPECT_EQ(base.digest, o->digest);
+  }
+}
+
 #ifndef MIND_TELEMETRY_DISABLED
 // With telemetry on, the instrumented paths populate the registry and the
 // flight recorder end to end.

@@ -5,8 +5,10 @@
 
 #include "sim/time.h"
 #include "space/cut_tree.h"
+#include "storage/cover_cache.h"
 #include "storage/tuple_store.h"
 #include "storage/version_manager.h"
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 
 namespace mind {
@@ -137,6 +139,178 @@ TEST(TupleStoreTest, BuildHistogramCountsAll) {
   Histogram h = store.BuildHistogram(8);
   EXPECT_DOUBLE_EQ(h.total_mass(), 100.0);
   EXPECT_EQ(h.schema(), MakeSchema());
+}
+
+// ------------------------------------------------------- two-level layout
+
+// Every layout (never compacted / auto-compacted / freshly compacted) must
+// answer queries and digest identically: compaction is observable only
+// through base_size()/delta_size().
+TEST(TupleStoreTest, CompactionIsLayoutOnly) {
+  Rng rng(41);
+  TupleStoreConfig off_cfg;
+  off_cfg.code_len = 24;
+  off_cfg.options.compaction = false;
+  auto cuts = EvenCuts();
+  TupleStore auto_store(cuts, 24);          // default: compaction on
+  TupleStore off_store(cuts, off_cfg);      // everything stays in the delta
+  TupleStore manual_store(cuts, off_cfg);   // compacted by hand mid-stream
+  for (int i = 0; i < 1000; ++i) {
+    Tuple t = MakeTuple(rng.Uniform(10000), rng.Uniform(10000), 0, i);
+    auto_store.Insert(t);
+    off_store.Insert(t);
+    manual_store.Insert(t);
+    if (i % 137 == 0) manual_store.Compact();
+  }
+  EXPECT_GT(auto_store.base_size(), 0u);    // the ratio trigger fired
+  EXPECT_EQ(off_store.base_size(), 0u);     // it never does with compaction off
+  EXPECT_EQ(off_store.delta_size(), 1000u);
+  for (int iter = 0; iter < 30; ++iter) {
+    Value x1 = rng.Uniform(10000), x2 = rng.Uniform(10000);
+    Value y1 = rng.Uniform(10000), y2 = rng.Uniform(10000);
+    Rect q({{std::min(x1, x2), std::max(x1, x2)},
+            {std::min(y1, y2), std::max(y1, y2)}});
+    size_t expect = off_store.Count(q);
+    EXPECT_EQ(auto_store.Count(q), expect) << q.ToString();
+    EXPECT_EQ(manual_store.Count(q), expect) << q.ToString();
+  }
+  Fnv64 d_auto, d_off, d_manual;
+  auto_store.DigestInto(&d_auto);
+  off_store.DigestInto(&d_off);
+  manual_store.DigestInto(&d_manual);
+  EXPECT_EQ(d_auto.value(), d_off.value());
+  EXPECT_EQ(d_auto.value(), d_manual.value());
+  EXPECT_TRUE(auto_store.ValidateInvariants().ok());
+  EXPECT_TRUE(off_store.ValidateInvariants().ok());
+  EXPECT_TRUE(manual_store.ValidateInvariants().ok());
+}
+
+TEST(TupleStoreTest, DeltaBaseBoundaryAndEmptyRunEdges) {
+  TupleStore store(EvenCuts(), 24);
+  Rect all({{0, 9999}, {0, 9999}});
+  // Both runs empty.
+  EXPECT_EQ(store.Count(all), 0u);
+  store.Compact();  // compacting nothing is a no-op
+  EXPECT_EQ(store.size(), 0u);
+  // Delta only.
+  store.Insert(MakeTuple(10, 10, 0, 1));
+  EXPECT_EQ(store.base_size(), 0u);
+  EXPECT_EQ(store.Count(all), 1u);
+  // Base only.
+  store.Compact();
+  EXPECT_EQ(store.base_size(), 1u);
+  EXPECT_EQ(store.delta_size(), 0u);
+  EXPECT_EQ(store.Count(all), 1u);
+  // Straddling: the same key can live in both runs at once; queries must see
+  // both copies (distinct seqs — de-dup is the originator's job, not ours).
+  store.Insert(MakeTuple(10, 10, 0, 2));
+  EXPECT_EQ(store.base_size(), 1u);
+  EXPECT_EQ(store.delta_size(), 1u);
+  EXPECT_EQ(store.Count(Rect({{10, 10}, {10, 10}})), 2u);
+  EXPECT_EQ(store.Count(all), 2u);
+}
+
+TEST(TupleStoreTest, FreezeCompactionAtVersionBoundary) {
+  TupleStoreConfig cfg;
+  cfg.code_len = 24;
+  IndexVersions v(cfg);
+  ASSERT_TRUE(v.AddVersion(1, EvenCuts(), 0).ok());
+  for (int i = 0; i < 10; ++i) v.Store(1)->Insert(MakeTuple(i, i, 0, i));
+  EXPECT_EQ(v.Store(1)->delta_size(), 10u);  // below the ratio trigger
+  ASSERT_TRUE(v.AddVersion(2, EvenCuts(), kUsPerDay).ok());
+  EXPECT_EQ(v.Store(1)->delta_size(), 0u);   // frozen down at the boundary
+  EXPECT_EQ(v.Store(1)->base_size(), 10u);
+}
+
+// ------------------------------------------------------------ cover cache
+
+TEST(CoverCacheTest, RangesAreMergedSortedAndDisjoint) {
+  auto cuts = EvenCuts();
+  CoverRanges cr =
+      ComputeCoverRanges(*cuts, Rect({{0, 4999}, {0, 9999}}), 12, 4096);
+  ASSERT_FALSE(cr.fallback);
+  ASSERT_FALSE(cr.ranges.empty());
+  for (size_t i = 0; i < cr.ranges.size(); ++i) {
+    EXPECT_LE(cr.ranges[i].lo, cr.ranges[i].hi);
+    // Strictly separated: abutting neighbours would have been merged.
+    if (i > 0) {
+      EXPECT_GT(cr.ranges[i].lo, cr.ranges[i - 1].hi + 1);
+    }
+  }
+  // The half-domain rect covers one subtree: codes 0xx... merge to one range.
+  EXPECT_EQ(cr.ranges.size(), 1u);
+}
+
+TEST(CoverCacheTest, HitsMissesAndInvalidation) {
+  telemetry::MetricsRegistry metrics;
+  CoverCache cache(&metrics);
+  auto cuts = EvenCuts();
+  Rect q({{0, 999}, {0, 999}});
+  const CoverRanges* a = cache.GetOrCompute(q, cuts, 12, 4096);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  const CoverRanges* b = cache.GetOrCompute(q, cuts, 12, 4096);
+  EXPECT_EQ(a, b);  // served from the table, not recomputed
+  // Same rect, different length or different tree: distinct entries.
+  cache.GetOrCompute(q, cuts, 10, 4096);
+  cache.GetOrCompute(q, EvenCuts(), 12, 4096);
+  EXPECT_EQ(cache.size(), 3u);
+#ifndef MIND_TELEMETRY_DISABLED
+  EXPECT_EQ(metrics.counter("storage.cover_cache.hits").value(), 1u);
+  EXPECT_EQ(metrics.counter("storage.cover_cache.misses").value(), 3u);
+#endif
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.GetOrCompute(q, cuts, 12, 4096);
+  EXPECT_EQ(cache.size(), 1u);  // repopulated after the epoch clear
+}
+
+TEST(CoverCacheTest, CachedAndUncachedScansAgree) {
+  Rng rng(43);
+  auto cuts = EvenCuts();
+  CoverCache cache;
+  TupleStoreConfig cached_cfg;
+  cached_cfg.code_len = 24;
+  cached_cfg.cover_cache = &cache;
+  TupleStore cached(cuts, cached_cfg);
+  TupleStore plain(cuts, 24);
+  for (int i = 0; i < 2000; ++i) {
+    Tuple t = MakeTuple(rng.Uniform(10000), rng.Uniform(10000), 0, i);
+    cached.Insert(t);
+    plain.Insert(t);
+  }
+  for (int iter = 0; iter < 40; ++iter) {
+    Value x1 = rng.Uniform(10000), x2 = rng.Uniform(10000);
+    Value y1 = rng.Uniform(10000), y2 = rng.Uniform(10000);
+    Rect q({{std::min(x1, x2), std::max(x1, x2)},
+            {std::min(y1, y2), std::max(y1, y2)}});
+    EXPECT_EQ(cached.Count(q), plain.Count(q)) << q.ToString();
+    // Re-probe: the second scan is served from the cache and must agree too.
+    EXPECT_EQ(cached.Count(q), plain.Count(q)) << q.ToString();
+  }
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(CoverCacheTest, CoverOverflowTakesFallbackAndStaysCorrect) {
+  telemetry::MetricsRegistry metrics;
+  Rng rng(47);
+  TupleStoreConfig cfg;
+  cfg.code_len = 24;
+  cfg.options.max_cover_codes = 4;  // force overflow on fragmented covers
+  cfg.metrics = &metrics;
+  TupleStore store(EvenCuts(), cfg);
+  TupleStore plain(EvenCuts(), 24);
+  for (int i = 0; i < 500; ++i) {
+    Tuple t = MakeTuple(rng.Uniform(10000), rng.Uniform(10000), 0, i);
+    store.Insert(t);
+    plain.Insert(t);
+  }
+  // A rect clipped on both dims fragments into >4 codes at cover_len 12.
+  Rect q({{1, 9998}, {1, 9998}});
+  EXPECT_EQ(store.Count(q), plain.Count(q));
+#ifndef MIND_TELEMETRY_DISABLED
+  EXPECT_GE(metrics.counter("storage.cover.fallback").value(), 1u);
+#endif
 }
 
 // ---------------------------------------------------------------- Versions

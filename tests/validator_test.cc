@@ -40,7 +40,9 @@ class CutTreeTestPeek {
 
 class TupleStoreTestPeek {
  public:
-  static auto& rows(TupleStore& s) { return s.rows_; }
+  static auto& base(TupleStore& s) { return s.base_; }
+  static auto& delta(TupleStore& s) { return s.delta_; }
+  static bool& delta_sorted(TupleStore& s) { return s.delta_sorted_; }
   static uint64_t& approx_bytes(TupleStore& s) { return s.approx_bytes_; }
 };
 
@@ -176,15 +178,55 @@ TEST(TupleStoreValidatorTest, CleanStorePasses) {
     store.Insert(TwoDimTuple(static_cast<Value>(i * 199 % 10000),
                              static_cast<Value>(i * 53 % 10000), i));
   }
-  (void)store.Query(Rect({{0, 9999}, {0, 9999}}));  // forces the lazy sort
+  store.Compact();  // populate the base run...
+  for (uint64_t i = 50; i < 80; ++i) {
+    store.Insert(TwoDimTuple(static_cast<Value>(i * 199 % 10000),
+                             static_cast<Value>(i * 53 % 10000), i));
+  }
+  (void)store.Query(Rect({{0, 9999}, {0, 9999}}));  // ...and sort the delta
+  ASSERT_GT(TupleStoreTestPeek::base(store).size(), 0u);
+  ASSERT_GT(TupleStoreTestPeek::delta(store).size(), 0u);
   EXPECT_TRUE(store.ValidateInvariants().ok());
 }
 
 TEST(TupleStoreValidatorTest, DetectsKeyPointMismatch) {
   TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())), 24);
-  store.Insert(TwoDimTuple(100, 200, 1));
-  TupleStoreTestPeek::rows(store)[0].key ^= uint64_t{1} << 63;
+  store.Insert(TwoDimTuple(100, 200, 1));  // fresh inserts land in the delta
+  TupleStoreTestPeek::delta(store)[0].key ^= uint64_t{1} << 63;
   ExpectViolation(store.ValidateInvariants(), "under the installed cut tree");
+}
+
+TEST(TupleStoreValidatorTest, DetectsBaseRunOutOfOrder) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())), 24);
+  for (uint64_t i = 0; i < 8; ++i) {
+    store.Insert(TwoDimTuple(static_cast<Value>(i * 1200 % 10000),
+                             static_cast<Value>(i * 777 % 10000), i));
+  }
+  store.Compact();
+  auto& base = TupleStoreTestPeek::base(store);
+  ASSERT_GE(base.size(), 2u);
+  // Find two adjacent rows with distinct keys; swapping them must trip the
+  // unconditional base-run order check.
+  for (size_t i = 1; i < base.size(); ++i) {
+    if (base[i - 1].key != base[i].key) {
+      std::swap(base[i - 1], base[i]);
+      ExpectViolation(store.ValidateInvariants(), "base run claims sorted");
+      return;
+    }
+  }
+  FAIL() << "all 8 base keys collided; pick spreadier test points";
+}
+
+TEST(TupleStoreValidatorTest, DetectsDeltaFalselyClaimingSorted) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())), 24);
+  store.Insert(TwoDimTuple(100, 200, 1));
+  store.Insert(TwoDimTuple(9000, 9100, 2));
+  auto& delta = TupleStoreTestPeek::delta(store);
+  ASSERT_EQ(delta.size(), 2u);
+  ASSERT_NE(delta[0].key, delta[1].key);
+  if (delta[0].key < delta[1].key) std::swap(delta[0], delta[1]);
+  TupleStoreTestPeek::delta_sorted(store) = true;  // the lie under test
+  ExpectViolation(store.ValidateInvariants(), "delta run claims sorted");
 }
 
 TEST(TupleStoreValidatorTest, DetectsByteAccountingDrift) {
