@@ -7,6 +7,7 @@
 #include "mind/mind_net.h"
 #include "overlay/overlay_node.h"
 #include "sim/event_queue.h"
+#include "sim/simulator.h"
 #include "space/cut_tree.h"
 #include "space/histogram.h"
 #include "space/mismatch.h"
@@ -177,6 +178,51 @@ void BM_EventQueueCancelChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventQueueCancelChurn);
+
+// ------------------------------------------------------------- send path
+//
+// Raw Network::Send cost with no MIND routing on top: link-state lookup,
+// latency + jitter computation, delivery scheduling, dispatch. The rotating
+// destination stride touches every directed (from, to) pair over time, so
+// the per-link state table itself (dense per-host rows) is the structure
+// under test.
+
+struct SinkHost : Host {
+  uint64_t delivered = 0;
+  void HandleMessage(NodeId, const MessagePtr&) override { ++delivered; }
+};
+
+struct PingMsg : Message {
+  const char* TypeName() const override { return "bench.ping"; }
+};
+
+void BM_NetworkSendDrain(benchmark::State& state) {
+  SimulatorOptions sopts;
+  sopts.seed = 0xbe7c;
+  Simulator sim(sopts);
+  constexpr int kHosts = 64;
+  std::vector<std::unique_ptr<SinkHost>> hosts;
+  hosts.reserve(kHosts);
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(std::make_unique<SinkHost>());
+    sim.network().AddHost(hosts.back().get(),
+                          GeoPoint{double(i % 8) * 5.0, double(i / 8) * 5.0});
+  }
+  auto msg = std::make_shared<PingMsg>();
+  int stride = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < kHosts; ++i) {
+      sim.network().Send(i, (i + stride) % kHosts, msg);
+    }
+    stride = stride % (kHosts - 1) + 1;
+    sim.Run();  // drain all deliveries
+  }
+  uint64_t delivered = 0;
+  for (const auto& h : hosts) delivered += h->delivered;
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * kHosts);
+}
+BENCHMARK(BM_NetworkSendDrain);
 
 // ------------------------------------------------------------ insert path
 //

@@ -168,7 +168,9 @@ inline TraceDriveResult DriveTrace(MindNet& net, FlowGenerator& gen,
     auto aggregates = agg.DrainAll();
     result.aggregates += aggregates.size();
 
-    // Schedule the inserts at the window's closing sim time.
+    // Schedule the inserts at the window's closing sim time, on the monitor's
+    // own queue (ScheduleOn == events().ScheduleAt under the sequential
+    // engine; under the parallel engine the control queue must stay empty).
     SimTime when = result.epoch + FromSeconds(t_end - opts.t0_sec);
     for (const auto& rec : aggregates) {
       result.all_aggregates.push_back(rec);
@@ -176,7 +178,7 @@ inline TraceDriveResult DriveTrace(MindNet& net, FlowGenerator& gen,
       if (opts.feed_index1) {
         if (auto tup = ToIndex1Tuple(rec, ++seq, opts.index_opts)) {
           ++result.inserted1;
-          net.sim().events().ScheduleAt(when, [&net, monitor, tup] {
+          net.sim().ScheduleOn(monitor, when, [&net, monitor, tup] {
             (void)net.node(monitor).Insert("index1_fanout", *tup);
           });
         }
@@ -184,7 +186,7 @@ inline TraceDriveResult DriveTrace(MindNet& net, FlowGenerator& gen,
       if (opts.feed_index2) {
         if (auto tup = ToIndex2Tuple(rec, ++seq, opts.index_opts)) {
           ++result.inserted2;
-          net.sim().events().ScheduleAt(when, [&net, monitor, tup] {
+          net.sim().ScheduleOn(monitor, when, [&net, monitor, tup] {
             (void)net.node(monitor).Insert("index2_octets", *tup);
           });
         }
@@ -192,7 +194,7 @@ inline TraceDriveResult DriveTrace(MindNet& net, FlowGenerator& gen,
       if (opts.feed_index3) {
         if (auto tup = ToIndex3Tuple(rec, ++seq, opts.index_opts)) {
           ++result.inserted3;
-          net.sim().events().ScheduleAt(when, [&net, monitor, tup] {
+          net.sim().ScheduleOn(monitor, when, [&net, monitor, tup] {
             (void)net.node(monitor).Insert("index3_flowsize", *tup);
           });
         }

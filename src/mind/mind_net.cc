@@ -1,16 +1,33 @@
 #include "mind/mind_net.h"
 
+#include <algorithm>
+
+#include "sim/parallel_engine.h"
 #include "util/bitcode.h"
 #include "util/digest.h"
 #include "util/logging.h"
 
 namespace mind {
+namespace {
+
+// Which measurement slot the calling context writes to: 0 outside parallel
+// phases, 1 + shard id inside one.
+size_t MeasureSlot() {
+  int s = ParallelEngine::current_shard();
+  return s < 0 ? 0 : static_cast<size_t>(s) + 1;
+}
+
+}  // namespace
 
 MindNet::MindNet(size_t n, MindNetOptions options)
     : options_(std::move(options)) {
   MIND_CHECK_GT(n, 0u);
   MIND_CHECK(options_.positions.empty() || options_.positions.size() == n);
   sim_ = std::make_unique<Simulator>(options_.sim);
+  const ParallelEngine* engine = sim_->parallel_engine();
+  const size_t slots = engine == nullptr ? 1 : engine->shard_count() + 1;
+  stored_slots_.resize(slots);
+  visit_slots_.resize(slots);
   for (size_t i = 0; i < n; ++i) {
     OverlayOptions oo = options_.overlay;
     oo.seed = options_.sim.seed + 1000 + i;
@@ -20,10 +37,11 @@ MindNet::MindNet(size_t n, MindNetOptions options)
     if (!options_.positions.empty()) pos = options_.positions[i];
     nodes_.push_back(std::make_unique<MindNode>(sim_.get(), oo, mo, pos));
     MindNode* node = nodes_.back().get();
-    node->set_on_stored(
-        [this](const MindNode::StoredInfo& info) { stored_.push_back(info); });
+    node->set_on_stored([this](const MindNode::StoredInfo& info) {
+      stored_slots_[MeasureSlot()].push_back(info);
+    });
     node->set_on_query_visit([this](uint64_t query_id, NodeId id) {
-      visits_[query_id].insert(id);
+      visit_slots_[MeasureSlot()][query_id].insert(id);
     });
   }
 }
@@ -35,8 +53,12 @@ Status MindNet::Build(bool concurrent_joins) {
       nodes_[i]->Join(0);
     } else {
       MindNode* node = nodes_[i].get();
-      sim_->events().Schedule(options_.join_stagger * i,
-                              [node] { node->Join(0); });
+      // ScheduleOn lands the join on the node's own shard queue under the
+      // parallel engine; with the sequential engine it is exactly
+      // events().Schedule, so legacy replay digests are unchanged.
+      sim_->ScheduleOn(node->overlay().id(),
+                       sim_->now() + options_.join_stagger * i,
+                       [node] { node->Join(0); });
     }
   }
   SimTime deadline = sim_->now() + options_.build_deadline;
@@ -87,9 +109,54 @@ Status MindNet::InstallCutsEverywhere(const std::string& name,
   return Status::OK();
 }
 
+const std::vector<MindNode::StoredInfo>& MindNet::stored() const {
+  if (stored_slots_.size() == 1) return stored_slots_[0];
+  size_t total = 0;
+  for (const auto& slot : stored_slots_) total += slot.size();
+  // Buffers are append-only between Clear calls, so a matching size means the
+  // cached merge is current (stored() is only legal between runs).
+  if (stored_merged_.size() != total) {
+    stored_merged_.clear();
+    stored_merged_.reserve(total);
+    for (const auto& slot : stored_slots_) {
+      stored_merged_.insert(stored_merged_.end(), slot.begin(), slot.end());
+    }
+    // (committed_at, storer) is a deterministic order: a storer always lives
+    // on the same shard (fixed shard count), and its commits are appended in
+    // virtual-time order, so stable_sort resolves ties identically for every
+    // thread count.
+    std::stable_sort(stored_merged_.begin(), stored_merged_.end(),
+                     [](const MindNode::StoredInfo& a,
+                        const MindNode::StoredInfo& b) {
+                       if (a.committed_at != b.committed_at) {
+                         return a.committed_at < b.committed_at;
+                       }
+                       return a.storer < b.storer;
+                     });
+  }
+  return stored_merged_;
+}
+
+void MindNet::ClearStored() {
+  for (auto& slot : stored_slots_) slot.clear();
+  stored_merged_.clear();
+}
+
 size_t MindNet::QueryVisitCount(uint64_t query_id) const {
-  auto it = visits_.find(query_id);
-  return it == visits_.end() ? 0 : it->second.size();
+  if (visit_slots_.size() == 1) {
+    auto it = visit_slots_[0].find(query_id);
+    return it == visit_slots_[0].end() ? 0 : it->second.size();
+  }
+  std::unordered_set<NodeId> merged;
+  for (const auto& slot : visit_slots_) {
+    auto it = slot.find(query_id);
+    if (it != slot.end()) merged.insert(it->second.begin(), it->second.end());
+  }
+  return merged.size();
+}
+
+void MindNet::ClearVisits() {
+  for (auto& slot : visit_slots_) slot.clear();
 }
 
 size_t MindNet::TotalPrimaryTuples(const std::string& index) const {
@@ -127,6 +194,11 @@ bool MindNet::CodesFormCompleteCover() const {
 
 Status MindNet::ValidateInvariants(bool quiescent) const {
   MIND_RETURN_NOT_OK(sim_->events().ValidateInvariants());
+  if (const ParallelEngine* engine = sim_->parallel_engine()) {
+    for (int s = 0; s < engine->shard_count(); ++s) {
+      MIND_RETURN_NOT_OK(engine->shard_queue(s).ValidateInvariants());
+    }
+  }
   if (quiescent) {
     std::vector<const OverlayNode*> overlays;
     overlays.reserve(nodes_.size());
@@ -142,12 +214,27 @@ Status MindNet::ValidateInvariants(bool quiescent) const {
 uint64_t MindNet::StateDigest() const {
   Fnv64 d;
   d.Mix(static_cast<uint64_t>(nodes_.size()));
-  sim_->events().DigestInto(&d);
+  if (sim_->discipline()) {
+    // Discipline runs digest the pending-event set by (time, band, ukey) so
+    // the value is identical whether events live in one queue or S shard
+    // queues. Legacy runs keep the historical clock+FIFO digest byte-for-byte.
+    sim_->DigestEventsKeyed(&d);
+  } else {
+    sim_->events().DigestInto(&d);
+  }
   for (const auto& node : nodes_) node->DigestInto(&d);
   return d.value();
 }
 
 void MindNet::EnablePeriodicValidation(SimTime interval) {
+  if (ParallelEngine* engine = sim_->parallel_engine()) {
+    // Shard queues cannot run fleet-wide validators mid-phase; piggyback on
+    // the window barrier instead, where all shards are quiescent.
+    engine->set_barrier_hook(
+        [this] { MIND_CHECK_OK(ValidateInvariants(/*quiescent=*/false)); },
+        interval);
+    return;
+  }
   sim_->events().set_validation_hook(
       [this] { MIND_CHECK_OK(ValidateInvariants(/*quiescent=*/false)); },
       interval);

@@ -48,13 +48,16 @@ class MindNet {
 
   // ---- global measurement ---------------------------------------------
 
-  /// All insert commits across the net (in commit order).
-  const std::vector<MindNode::StoredInfo>& stored() const { return stored_; }
-  void ClearStored() { stored_.clear(); }
+  /// All insert commits across the net. Under the sequential engine this is
+  /// raw commit order; under the parallel engine the per-shard buffers are
+  /// merged into (committed_at, storer) order, which is identical for every
+  /// thread count.
+  const std::vector<MindNode::StoredInfo>& stored() const;
+  void ClearStored();
 
   /// Distinct overlay nodes visited by a query (the paper's query cost).
   size_t QueryVisitCount(uint64_t query_id) const;
-  void ClearVisits() { visits_.clear(); }
+  void ClearVisits();
 
   /// Sum of primary tuples over all nodes for an index.
   size_t TotalPrimaryTuples(const std::string& index) const;
@@ -88,8 +91,13 @@ class MindNet {
   std::unique_ptr<Simulator> sim_;
   std::vector<std::unique_ptr<MindNode>> nodes_;
   MindNetOptions options_;
-  std::vector<MindNode::StoredInfo> stored_;
-  std::unordered_map<uint64_t, std::unordered_set<NodeId>> visits_;
+  // Measurement hooks fire from whichever shard executes the commit, so each
+  // shard gets a private buffer (slot 0 = serial / control context, slot s+1 =
+  // shard s). Reads happen only between runs and merge deterministically.
+  std::vector<std::vector<MindNode::StoredInfo>> stored_slots_;
+  std::vector<std::unordered_map<uint64_t, std::unordered_set<NodeId>>>
+      visit_slots_;
+  mutable std::vector<MindNode::StoredInfo> stored_merged_;
 };
 
 }  // namespace mind

@@ -36,6 +36,7 @@ MindNode::MindNode(Simulator* sim, OverlayOptions overlay_options,
       cover_cache_(&sim->metrics()),
       tracer_(&sim->tracer()) {
   rng_ = Rng(options.seed).Fork(static_cast<uint64_t>(overlay_.id()) + 7919);
+  events_ = sim->queue_for(overlay_.id());
   telemetry::MetricsRegistry& m = sim->metrics();
   tm_.inserts = &m.counter("mind.insert.count");
   tm_.queries = &m.counter("mind.query.count");
@@ -223,6 +224,7 @@ void MindNode::OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops) {
       info.version = m->version;
       info.origin = origin;
       info.storer = id();
+      info.committed_at = commit_at;
       info.latency = commit_at - m->sent_at;
       info.hops = hops;
       on_stored_(info);
@@ -401,6 +403,7 @@ void MindNode::CommitBatch(const std::shared_ptr<InsertBatchMsg>& m,
         info.version = m->version;
         info.origin = origin;
         info.storer = id();
+        info.committed_at = commit_at;
         info.latency = commit_at - m->sent_at;
         info.hops = hops;
         on_stored_(info);

@@ -148,8 +148,9 @@ class MindNode {
     VersionId version = 0;
     NodeId origin = kInvalidNode;
     NodeId storer = kInvalidNode;
-    SimTime latency = 0;  // insert-call to commit
-    int hops = 0;         // overlay hops of the insert path
+    SimTime committed_at = 0;  // virtual time of the commit
+    SimTime latency = 0;       // insert-call to commit
+    int hops = 0;              // overlay hops of the insert path
   };
   using StoredFn = std::function<void(const StoredInfo&)>;
   void set_on_stored(StoredFn fn) { on_stored_ = std::move(fn); }

@@ -16,6 +16,10 @@ OverlayNode::OverlayNode(Simulator* sim, OverlayOptions options,
       options_(options),
       rng_(options.seed) {
   id_ = position ? net_->AddHost(this, *position) : net_->AddHost(this);
+  // Bind all of this node's timers and self-scheduled work to the queue that
+  // owns its id — a shard queue under the parallel engine, the global queue
+  // otherwise (where queue_for returns exactly &sim->events()).
+  events_ = sim->queue_for(id_);
   rng_ = Rng(options.seed).Fork(static_cast<uint64_t>(id_) + 1);
   telemetry::MetricsRegistry& m = sim->metrics();
   tm_.delivered = &m.counter("overlay.route.delivered");

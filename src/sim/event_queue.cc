@@ -8,7 +8,8 @@
 
 namespace mind {
 
-EventId EventQueue::ScheduleAt(SimTime t, EventFn fn) {
+EventId EventQueue::ScheduleAtKeyed(SimTime t, uint8_t band, uint64_t ukey,
+                                    EventFn fn) {
   MIND_CHECK_GE(t, now_) << "cannot schedule in the past";
   uint32_t slot;
   if (free_head_ != kNone) {
@@ -21,6 +22,8 @@ EventId EventQueue::ScheduleAt(SimTime t, EventFn fn) {
   Slot& s = slots_[slot];
   s.time = t;
   s.seq = ++next_seq_;
+  s.band = band;
+  s.ukey = ukey;
   s.live = true;
   s.fn = std::move(fn);
   heap_.push_back(slot);
@@ -167,6 +170,28 @@ size_t EventQueue::RunUntil(SimTime t) {
   return fired;
 }
 
+size_t EventQueue::RunUntilBefore(SimTime t) {
+  size_t fired = 0;
+  SimTime next;
+  while (PeekTime(&next) && next < t) {
+    uint32_t slot = PopNextSlot();
+    if (slot == kNone) break;
+    now_ = slots_[slot].time;
+    EventFn fn = std::move(slots_[slot].fn);
+    slots_[slot].live = false;
+    --live_count_;
+    Release(slot);
+    fn();
+    MaybeValidate();
+    ++fired;
+  }
+  // The clock is left at the last fired event; the engine advances every
+  // shard to a common barrier time afterwards (AdvanceTo), so a window that
+  // overshoots the run target never drags the clock past it.
+  if (run_counter_ != nullptr) run_counter_->Inc(fired);
+  return fired;
+}
+
 bool EventQueue::Step() {
   uint32_t slot = PopNextSlot();
   if (slot == kNone) return false;
@@ -273,6 +298,14 @@ void EventQueue::DigestInto(Fnv64* out) const {
   for (const auto& [t, seq] : live) {
     out->Mix(t);
     out->Mix(seq);
+  }
+}
+
+void EventQueue::CollectKeyed(std::vector<std::array<uint64_t, 3>>* out) const {
+  for (uint32_t s : heap_) {
+    if (!slots_[s].live) continue;
+    out->push_back({slots_[s].time, static_cast<uint64_t>(slots_[s].band),
+                    slots_[s].ukey});
   }
 }
 

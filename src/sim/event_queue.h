@@ -13,6 +13,7 @@
 #ifndef MIND_SIM_EVENT_QUEUE_H_
 #define MIND_SIM_EVENT_QUEUE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -44,7 +45,18 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `t` (>= now).
-  EventId ScheduleAt(SimTime t, EventFn fn);
+  EventId ScheduleAt(SimTime t, EventFn fn) {
+    return ScheduleAtKeyed(t, 0, 0, std::move(fn));
+  }
+
+  /// Schedules `fn` at `t` with an explicit ordering key. Events fire in
+  /// (time, band, ukey, insertion seq) order; plain ScheduleAt uses
+  /// (band 0, ukey 0), so its relative order is pure insertion order exactly
+  /// as before. The discipline-mode network layer keys message deliveries by
+  /// engine-independent values (band, sender, per-link send index) so the
+  /// same-timestamp event order at a host is identical whether the run is
+  /// sequential or sharded across threads.
+  EventId ScheduleAtKeyed(SimTime t, uint8_t band, uint64_t ukey, EventFn fn);
 
   /// Schedules `fn` to run `delay` after now.
   EventId Schedule(SimTime delay, EventFn fn) {
@@ -62,6 +74,22 @@ class EventQueue {
 
   /// Runs events with timestamp <= t, then advances the clock to exactly t.
   size_t RunUntil(SimTime t);
+
+  /// Runs events with timestamp strictly < t, leaving the clock at the last
+  /// fired event. The parallel engine's window primitive: a shard executes
+  /// the half-open window [now, t), and the engine aligns all shard clocks
+  /// with AdvanceTo at the barrier.
+  size_t RunUntilBefore(SimTime t);
+
+  /// Advances the clock to max(now, t) without firing anything. Used at
+  /// window barriers so every shard clock agrees before cross-shard events
+  /// are admitted.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Timestamp of the next live event; false if the queue is drained.
+  bool PeekNextTime(SimTime* t) { return PeekTime(t); }
 
   /// Fires the single next event, if any. Returns true if one fired.
   bool Step();
@@ -100,14 +128,24 @@ class EventQueue {
   /// history, so two behaviorally identical runs digest identically.
   void DigestInto(Fnv64* out) const;
 
+  /// Appends the (time, band, ukey) triple of every live event to `out`
+  /// (unsorted). Unlike DigestInto's (time, seq) pairs, these keys are
+  /// engine-independent: per-queue insertion sequence numbers differ between
+  /// a single global queue and per-shard queues, but the keyed triples do
+  /// not. The discipline-mode StateDigest sorts the union across all shard
+  /// queues and digests that.
+  void CollectKeyed(std::vector<std::array<uint64_t, 3>>* out) const;
+
  private:
   friend class EventQueueTestPeek;  // corruption injection in validator tests
 
   struct Slot {
     SimTime time = 0;
-    uint64_t seq = 0;       // global insertion order; the tie-breaker
+    uint64_t seq = 0;       // per-queue insertion order; the final tie-breaker
+    uint64_t ukey = 0;      // engine-independent key within (time, band)
     uint32_t gen = 0;       // bumped on release; validates EventIds
     uint32_t next_free = kNone;
+    uint8_t band = 0;       // ordering band within a timestamp (0 = local)
     bool live = false;
     EventFn fn;
   };
@@ -123,6 +161,8 @@ class EventQueue {
     const Slot& sa = slots_[a];
     const Slot& sb = slots_[b];
     if (sa.time != sb.time) return sa.time < sb.time;
+    if (sa.band != sb.band) return sa.band < sb.band;
+    if (sa.ukey != sb.ukey) return sa.ukey < sb.ukey;
     return sa.seq < sb.seq;
   }
   void SiftUp(size_t i);

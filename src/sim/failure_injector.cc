@@ -1,5 +1,7 @@
 #include "sim/failure_injector.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace mind {
@@ -11,6 +13,11 @@ FailureInjector::FailureInjector(EventQueue* events, Network* network,
 void FailureInjector::Start(SimTime horizon) {
   const size_t n = network_->host_count();
   const double hours = ToSeconds(horizon) / 3600.0;
+  // Discipline mode: outages are registered as an immutable plan on the
+  // network instead of SetLinkDown/SetNodeUp calls firing mid-run, so every
+  // shard can resolve liveness at send time without cross-shard reads. The
+  // random draws below are identical in both modes (same rng_ stream).
+  const bool plan = network_->discipline();
 
   if (options_.link_flaps_per_pair_hour > 0) {
     for (NodeId a = 0; a < static_cast<NodeId>(n); ++a) {
@@ -24,9 +31,13 @@ void FailureInjector::Start(SimTime horizon) {
           if (t >= events_->now() + horizon) break;
           SimTime dur = static_cast<SimTime>(rng_.Exponential(
               1.0 / static_cast<double>(options_.mean_flap_duration)));
-          events_->ScheduleAt(t, [this, a, b, dur]() {
-            network_->SetLinkDown(a, b, dur);
-          });
+          if (plan) {
+            network_->PlanLinkOutage(a, b, t, t + std::max<SimTime>(dur, 1));
+          } else {
+            events_->ScheduleAt(t, [this, a, b, dur]() {
+              network_->SetLinkDown(a, b, dur);
+            });
+          }
           ++scheduled_flaps_;
         }
       }
@@ -44,16 +55,33 @@ void FailureInjector::Start(SimTime horizon) {
         if (t >= events_->now() + horizon) break;
         SimTime down = static_cast<SimTime>(rng_.Exponential(
             1.0 / static_cast<double>(options_.mean_downtime)));
-        events_->ScheduleAt(t, [this, id]() {
-          if (!network_->IsNodeUp(id)) return;  // already down
-          network_->SetNodeUp(id, false);
-          if (on_crash_) on_crash_(id);
-        });
-        events_->ScheduleAt(t + down, [this, id]() {
-          if (network_->IsNodeUp(id)) return;
-          network_->SetNodeUp(id, true);
-          if (on_revive_) on_revive_(id);
-        });
+        if (plan) {
+          // Network-level blackout. The crash/revive callbacks run as events
+          // on the node's own shard queue; overlay-level crash protocols
+          // (which mutate fleet-wide state) stay a sequential-engine feature,
+          // so callbacks are only scheduled when someone registered them.
+          network_->PlanNodeOutage(id, t, t + std::max<SimTime>(down, 1));
+          if (on_crash_) {
+            network_->queue_for(id)->ScheduleAt(t,
+                                                [this, id]() { on_crash_(id); });
+          }
+          if (on_revive_) {
+            network_->queue_for(id)->ScheduleAt(
+                t + std::max<SimTime>(down, 1),
+                [this, id]() { on_revive_(id); });
+          }
+        } else {
+          events_->ScheduleAt(t, [this, id]() {
+            if (!network_->IsNodeUp(id)) return;  // already down
+            network_->SetNodeUp(id, false);
+            if (on_crash_) on_crash_(id);
+          });
+          events_->ScheduleAt(t + down, [this, id]() {
+            if (network_->IsNodeUp(id)) return;
+            network_->SetNodeUp(id, true);
+            if (on_revive_) on_revive_(id);
+          });
+        }
         ++scheduled_crashes_;
         t += down;  // next crash only after recovery
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/parallel_engine.h"
 #include "util/logging.h"
 
 namespace mind {
@@ -50,7 +51,8 @@ Network::Network(EventQueue* events, NetworkOptions options,
 
 NodeId Network::AddHost(Host* host) {
   MIND_CHECK(host != nullptr);
-  hosts_.push_back(HostState{host, false, GeoPoint{}, true});
+  MIND_CHECK(!InParallelPhase()) << "AddHost during a parallel phase";
+  hosts_.push_back(HostState{host, false, GeoPoint{}, true, 0});
   return static_cast<NodeId>(hosts_.size() - 1);
 }
 
@@ -61,7 +63,14 @@ NodeId Network::AddHost(Host* host, GeoPoint position) {
   return id;
 }
 
+void Network::PresizeLinkTable() {
+  MIND_CHECK(!InParallelPhase());
+  links_.resize(hosts_.size());
+  for (auto& row : links_) row.resize(hosts_.size());
+}
+
 void Network::SetLatency(NodeId a, NodeId b, SimTime one_way) {
+  MIND_CHECK(!InParallelPhase()) << "SetLatency during a parallel phase";
   latency_override_[DirKey(a, b)] = one_way;
   latency_override_[DirKey(b, a)] = one_way;
 }
@@ -84,9 +93,38 @@ SimTime Network::JitterUs() {
   return FromMillis(ms);
 }
 
+SimTime Network::JitterCounterUs(NodeId from, NodeId to,
+                                 uint64_t counter) const {
+  double ms = CounterLogNormal(options_.seed, DirKey(from, to), counter,
+                               options_.jitter_mu_ln_ms,
+                               options_.jitter_sigma_ln);
+  return FromMillis(ms);
+}
+
+bool Network::InParallelPhase() const {
+  return engine_ != nullptr && engine_->in_parallel_phase();
+}
+
+EventQueue* Network::queue_for(NodeId id) const {
+  return engine_ != nullptr ? engine_->queue_for(id) : events_;
+}
+
+void Network::DispatchKeyed(NodeId to, SimTime t, uint8_t band, uint64_t ukey,
+                            EventFn fn) {
+  if (engine_ != nullptr) {
+    engine_->ScheduleKeyed(to, t, band, ukey, std::move(fn));
+  } else {
+    events_->ScheduleAtKeyed(t, band, ukey, std::move(fn));
+  }
+}
+
 void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   MIND_CHECK(from >= 0 && static_cast<size_t>(from) < hosts_.size());
   MIND_CHECK(to >= 0 && static_cast<size_t>(to) < hosts_.size());
+  if (options_.discipline) {
+    SendDiscipline(from, to, msg);
+    return;
+  }
   if (!hosts_[from].up) return;  // a dead node cannot send
 
   if (from == to) {
@@ -98,13 +136,13 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   }
 
   SimTime now = events_->now();
-  LinkState& link = links_[DirKey(from, to)];
+  LinkState& link = LinkTo(from, to);
 
-  // find(): operator[] on the reverse key would materialize a LinkState for
-  // every (to, from) pair that never sends.
-  auto rev = links_.find(DirKey(to, from));
-  bool link_down = link.down_until > now ||
-                   (rev != links_.end() && rev->second.down_until > now);
+  bool link_down = false;
+  if (!down_until_.empty()) {
+    auto it = down_until_.find(DirKey(from, to));
+    link_down = it != down_until_.end() && it->second > now;
+  }
   if (link_down || !hosts_[to].up) {
     if (send_fail_counter_ != nullptr) send_fail_counter_->Inc();
     events_->Schedule(options_.send_fail_detect, [this, from, to, msg]() {
@@ -146,8 +184,88 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   });
 }
 
+void Network::SendDiscipline(NodeId from, NodeId to, MessagePtr msg) {
+  EventQueue* src_q = queue_for(from);
+  SimTime now = src_q->now();
+  if (!IsNodeUpAt(from, now)) return;  // a dead node cannot send
+
+  if (from == to) {
+    if (loopback_counter_ != nullptr) loopback_counter_->Inc();
+    SimTime arrival = now + options_.loopback_delay;
+    uint64_t ukey = PackUkey(from, hosts_[from].loopback_count++);
+    // Loopback never crosses a shard; liveness is re-checked at delivery
+    // against the sender's own flag and the immutable plan.
+    DispatchKeyed(to, arrival, kBandDelivery, ukey,
+                  [this, from, to, msg, arrival]() {
+                    if (IsNodeUpAt(to, arrival)) {
+                      hosts_[to].host->HandleMessage(from, msg);
+                    }
+                  });
+    return;
+  }
+
+  LinkState& link = LinkTo(from, to);
+  uint64_t send_ix = link.send_count++;
+  if (!IsLinkUpAt(from, to, now) || !IsNodeUpAt(to, now)) {
+    if (send_fail_counter_ != nullptr) send_fail_counter_->Inc();
+    DispatchKeyed(from, now + options_.send_fail_detect, kBandNotify,
+                  PackUkey(to, send_ix), [this, from, to, msg]() {
+                    if (IsNodeUpAt(from, queue_for(from)->now())) {
+                      hosts_[from].host->HandleSendFailure(to, msg);
+                    }
+                  });
+    return;
+  }
+
+  double tx_sec =
+      static_cast<double>(msg->SizeBytes()) / options_.bandwidth_bytes_per_sec;
+  SimTime queue_wait = link.busy_until > now ? link.busy_until - now : 0;
+  SimTime depart = std::max(now, link.busy_until) + FromSeconds(tx_sec);
+  link.busy_until = depart;
+  SimTime arrival =
+      depart + Latency(from, to) + JitterCounterUs(from, to, send_ix);
+  arrival = std::max(arrival, link.last_arrival + 1);
+  link.last_arrival = arrival;
+  SimTime delay = arrival - now;
+  link.stats.messages++;
+  link.stats.bytes += msg->SizeBytes();
+  if (msgs_counter_ != nullptr) {
+    msgs_counter_->Inc();
+    bytes_counter_->Inc(msg->SizeBytes());
+    queue_wait_ms_->Record(ToSeconds(queue_wait) * 1e3);
+    delivery_delay_ms_->Record(ToSeconds(delay) * 1e3);
+  }
+
+  if (!IsNodeUpAt(to, arrival)) {
+    // In-flight loss, resolved at send time: the failure plan already knows
+    // the destination will be down at arrival, so the sender schedules its
+    // own notification locally — no cross-shard zero-lookahead event needed.
+    DispatchKeyed(from, arrival, kBandNotify, PackUkey(to, send_ix),
+                  [this, from, to, msg, arrival]() {
+                    if (inflight_fail_counter_ != nullptr) {
+                      inflight_fail_counter_->Inc();
+                    }
+                    if (IsNodeUpAt(from, arrival)) {
+                      hosts_[from].host->HandleSendFailure(to, msg);
+                    }
+                  });
+    return;
+  }
+
+  DispatchKeyed(to, arrival, kBandDelivery, PackUkey(from, send_ix),
+                [this, from, to, msg, delay]() {
+                  // Last-resort guard for dynamic (unplanned) death between
+                  // send and arrival: the flag only mutates outside parallel
+                  // phases, so both engines read the same value.
+                  if (!hosts_[to].up) return;
+                  if (delay_observer_) delay_observer_(from, to, delay);
+                  hosts_[to].host->HandleMessage(from, msg);
+                });
+}
+
 void Network::SetNodeUp(NodeId id, bool up) {
   MIND_CHECK(id >= 0 && static_cast<size_t>(id) < hosts_.size());
+  MIND_CHECK(!InParallelPhase()) << "SetNodeUp during a parallel phase";
   hosts_[id].up = up;
 }
 
@@ -157,26 +275,68 @@ bool Network::IsNodeUp(NodeId id) const {
 }
 
 void Network::SetLinkDown(NodeId a, NodeId b, SimTime duration) {
+  MIND_CHECK(!InParallelPhase()) << "SetLinkDown during a parallel phase";
   SimTime until = events_->now() + duration;
-  LinkState& ab = links_[DirKey(a, b)];
-  LinkState& ba = links_[DirKey(b, a)];
-  ab.down_until = std::max(ab.down_until, until);
-  ba.down_until = std::max(ba.down_until, until);
+  SimTime& ab = down_until_[DirKey(a, b)];
+  SimTime& ba = down_until_[DirKey(b, a)];
+  ab = std::max(ab, until);
+  ba = std::max(ba, until);
 }
 
 bool Network::IsLinkUp(NodeId a, NodeId b) const {
-  auto it = links_.find(DirKey(a, b));
-  SimTime now = events_->now();
-  if (it != links_.end() && it->second.down_until > now) return false;
-  it = links_.find(DirKey(b, a));
-  if (it != links_.end() && it->second.down_until > now) return false;
+  return IsLinkUpAt(a, b, events_->now());
+}
+
+void Network::PlanNodeOutage(NodeId id, SimTime down_at, SimTime up_at) {
+  MIND_CHECK(id >= 0 && static_cast<size_t>(id) < hosts_.size());
+  MIND_CHECK(!InParallelPhase()) << "PlanNodeOutage during a parallel phase";
+  MIND_CHECK_LT(down_at, up_at);
+  if (node_outages_.size() < hosts_.size()) node_outages_.resize(hosts_.size());
+  node_outages_[id].push_back(Outage{down_at, up_at});
+}
+
+void Network::PlanLinkOutage(NodeId a, NodeId b, SimTime down_at,
+                             SimTime up_at) {
+  MIND_CHECK(!InParallelPhase()) << "PlanLinkOutage during a parallel phase";
+  MIND_CHECK_LT(down_at, up_at);
+  link_outages_[DirKey(a, b)].push_back(Outage{down_at, up_at});
+  link_outages_[DirKey(b, a)].push_back(Outage{down_at, up_at});
+}
+
+bool Network::IsNodeUpAt(NodeId id, SimTime t) const {
+  MIND_CHECK(id >= 0 && static_cast<size_t>(id) < hosts_.size());
+  if (!hosts_[id].up) return false;
+  if (static_cast<size_t>(id) < node_outages_.size()) {
+    for (const Outage& o : node_outages_[id]) {
+      if (o.from <= t && t < o.until) return false;
+    }
+  }
+  return true;
+}
+
+bool Network::IsLinkUpAt(NodeId a, NodeId b, SimTime t) const {
+  if (!down_until_.empty()) {
+    auto it = down_until_.find(DirKey(a, b));
+    if (it != down_until_.end() && it->second > t) return false;
+    it = down_until_.find(DirKey(b, a));
+    if (it != down_until_.end() && it->second > t) return false;
+  }
+  if (!link_outages_.empty()) {
+    auto it = link_outages_.find(DirKey(a, b));
+    if (it != link_outages_.end()) {
+      for (const Outage& o : it->second) {
+        if (o.from <= t && t < o.until) return false;
+      }
+    }
+  }
   return true;
 }
 
 Network::LinkStats Network::GetLinkStats(NodeId from, NodeId to) const {
-  auto it = links_.find(DirKey(from, to));
-  if (it == links_.end()) return LinkStats{};
-  return it->second.stats;
+  if (static_cast<size_t>(from) >= links_.size()) return LinkStats{};
+  const auto& row = links_[static_cast<size_t>(from)];
+  if (static_cast<size_t>(to) >= row.size()) return LinkStats{};
+  return row[static_cast<size_t>(to)].stats;
 }
 
 }  // namespace mind

@@ -34,6 +34,8 @@ double GreatCircleKm(const GeoPoint& a, const GeoPoint& b);
 /// ~2/3 c with a path-stretch factor, plus a fixed per-link overhead.
 SimTime PropagationDelayUs(const GeoPoint& a, const GeoPoint& b);
 
+class ParallelEngine;
+
 struct NetworkOptions {
   /// One-way latency used for host pairs without coordinates or overrides.
   SimTime default_latency = FromMillis(20);
@@ -49,6 +51,17 @@ struct NetworkOptions {
   /// Local loopback delivery delay (from == to).
   SimTime loopback_delay = 10;  // us
   uint64_t seed = 0x5eed;
+  /// Deterministic-discipline mode (set by Simulator when `threads` or
+  /// `deterministic_discipline` is requested; not meant to be set by hand).
+  /// Under the discipline every random value on the delivery path is a pure
+  /// function of (seed, directed link, per-link send index) instead of a
+  /// shared-stream draw in event-execution order; deliveries are scheduled
+  /// with engine-independent ordering keys; and in-flight loss is resolved at
+  /// send time from the pre-registered failure plan. The same discipline run
+  /// sequentially or sharded across any number of threads produces
+  /// bit-identical state digests. Legacy mode (the default) is byte-for-byte
+  /// the behavior of previous releases.
+  bool discipline = false;
 };
 
 /// \brief The simulated network fabric.
@@ -92,6 +105,41 @@ class Network {
   void SetLinkDown(NodeId a, NodeId b, SimTime duration);
   bool IsLinkUp(NodeId a, NodeId b) const;
 
+  /// Pre-registers a node outage over [down_at, up_at). Discipline mode: the
+  /// failure plan is immutable while shards execute, so any shard can resolve
+  /// "will the destination be alive at arrival?" at send time without
+  /// cross-shard reads. The node still runs its own timers while planned-down;
+  /// only network delivery to/from it is suppressed (overlay-level crash
+  /// protocols remain a sequential-engine feature).
+  void PlanNodeOutage(NodeId id, SimTime down_at, SimTime up_at);
+  /// Pre-registers an outage of the (undirected) link over [down_at, up_at).
+  void PlanLinkOutage(NodeId a, NodeId b, SimTime down_at, SimTime up_at);
+
+  /// Node liveness at virtual time `t`: the dynamic up flag AND no planned
+  /// outage covering t. Safe to call from any shard during a parallel phase
+  /// (the flag and the plan are both frozen while shards run).
+  bool IsNodeUpAt(NodeId id, SimTime t) const;
+  /// Link liveness at `t` (dynamic outages + planned outages, both directions).
+  bool IsLinkUpAt(NodeId a, NodeId b, SimTime t) const;
+
+  /// Wires the parallel engine in (Simulator does this); discipline-mode
+  /// sends then route to the destination's shard queue, buffering across
+  /// shard boundaries during a parallel phase.
+  void set_parallel_engine(ParallelEngine* engine) { engine_ = engine; }
+  /// The queue that owns `id`'s events: its shard queue under the parallel
+  /// engine, the global queue otherwise.
+  EventQueue* queue_for(NodeId id) const;
+
+  bool discipline() const { return options_.discipline; }
+  bool has_delay_observer() const { return static_cast<bool>(delay_observer_); }
+
+  /// Grows the dense per-host link table to its full host_count x host_count
+  /// extent. The parallel engine calls this (in serial context) before every
+  /// run: LinkTo() grows the table lazily, and a reallocation from one shard
+  /// worker would race with reads from another. After pre-sizing, workers
+  /// only ever touch rows owned by their own shard's senders.
+  void PresizeLinkTable();
+
   /// Per-directed-link transfer counters (Fig 12 uses the message counts).
   struct LinkStats {
     uint64_t messages = 0;
@@ -112,24 +160,59 @@ class Network {
     bool has_position = false;
     GeoPoint position;
     bool up = true;
+    uint64_t loopback_count = 0;  // discipline: keys same-host deliveries
   };
+  // Dense per-directed-link state, rows indexed by sender then destination.
+  // Every field is written only by the sending side, so under the parallel
+  // engine a row is touched exclusively by the shard that owns its sender.
+  // Outages live in the sparse maps below (shared, but frozen while shards
+  // execute), keeping this hot-path struct lean.
   struct LinkState {
     SimTime busy_until = 0;    // FIFO transmit queue tail (directed)
-    SimTime down_until = 0;    // outage end (stored on the directed pair)
     SimTime last_arrival = 0;  // enforces in-order (TCP-like) delivery
+    uint64_t send_count = 0;   // discipline: per-link RNG counter + ukey
     LinkStats stats;
+  };
+  struct Outage {
+    SimTime from = 0;
+    SimTime until = 0;
   };
 
   uint64_t DirKey(NodeId from, NodeId to) const {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
            static_cast<uint32_t>(to);
   }
+  // (host id, per-link counter) packed into an engine-independent ordering
+  // key: unique within its band at the destination queue.
+  static uint64_t PackUkey(NodeId id, uint64_t counter) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(id)) << 40) |
+           (counter & ((uint64_t{1} << 40) - 1));
+  }
+
+  LinkState& LinkTo(NodeId from, NodeId to) {
+    if (links_.size() < hosts_.size()) links_.resize(hosts_.size());
+    auto& row = links_[static_cast<size_t>(from)];
+    if (row.size() < hosts_.size()) row.resize(hosts_.size());
+    return row[static_cast<size_t>(to)];
+  }
 
   SimTime JitterUs();
+  // Discipline-mode jitter: pure function of (seed, link, send index).
+  SimTime JitterCounterUs(NodeId from, NodeId to, uint64_t counter) const;
+  void SendDiscipline(NodeId from, NodeId to, MessagePtr msg);
+  // Routes a keyed event to `to`'s owning queue, buffering across shard
+  // boundaries during a parallel phase.
+  void DispatchKeyed(NodeId to, SimTime t, uint8_t band, uint64_t ukey,
+                     EventFn fn);
+  bool InParallelPhase() const;
+  // Ordering bands within one timestamp at a host (band 0 = local events).
+  static constexpr uint8_t kBandDelivery = 1;
+  static constexpr uint8_t kBandNotify = 2;
 
   EventQueue* events_;
   NetworkOptions options_;
   Rng rng_;
+  ParallelEngine* engine_ = nullptr;
   // Cached instruments (nullptr when constructed without telemetry).
   telemetry::Counter* msgs_counter_ = nullptr;
   telemetry::Counter* bytes_counter_ = nullptr;
@@ -139,7 +222,10 @@ class Network {
   telemetry::SimHistogram* queue_wait_ms_ = nullptr;
   telemetry::SimHistogram* delivery_delay_ms_ = nullptr;
   std::vector<HostState> hosts_;
-  std::unordered_map<uint64_t, LinkState> links_;
+  std::vector<std::vector<LinkState>> links_;
+  std::unordered_map<uint64_t, SimTime> down_until_;  // dynamic outages
+  std::vector<std::vector<Outage>> node_outages_;     // planned, per node
+  std::unordered_map<uint64_t, std::vector<Outage>> link_outages_;  // planned
   std::unordered_map<uint64_t, SimTime> latency_override_;
   DelayObserver delay_observer_;
 };

@@ -1,0 +1,178 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+
+#include "sim/network.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace mind {
+
+namespace {
+// Shard the current thread is executing; -1 in serial context. File-local so
+// the threading surface stays behind the engine boundary.
+thread_local int tls_shard = -1;
+}  // namespace
+
+int ParallelEngine::current_shard() { return tls_shard; }
+
+ParallelEngine::ParallelEngine(EventQueue* control, Network* network,
+                               int threads, int shards)
+    : control_(control), network_(network), threads_(threads) {
+  MIND_CHECK_GE(threads, 1);
+  int s = shards > 0 ? shards : kDefaultShards;
+  queues_.reserve(s);
+  for (int i = 0; i < s; ++i) queues_.push_back(std::make_unique<EventQueue>());
+  outbox_.resize(s);
+  fired_.resize(s, 0);
+}
+
+ParallelEngine::~ParallelEngine() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelEngine::ScheduleKeyed(NodeId owner, SimTime t, uint8_t band,
+                                   uint64_t ukey, EventFn fn) {
+  int dst = ShardOf(owner);
+  if (in_parallel_phase_ && tls_shard != dst) {
+    MIND_CHECK_GE(tls_shard, 0)
+        << "cross-shard schedule from outside a shard worker";
+    outbox_[tls_shard].push_back(Pending{t, ukey, dst, band, std::move(fn)});
+  } else {
+    queues_[dst]->ScheduleAtKeyed(t, band, ukey, std::move(fn));
+  }
+}
+
+SimTime ParallelEngine::lookahead() {
+  size_t hosts = network_->host_count();
+  if (lookahead_ == 0 || hosts != lookahead_host_count_) ComputeLookahead();
+  return lookahead_;
+}
+
+void ParallelEngine::ComputeLookahead() {
+  size_t n = network_->host_count();
+  MIND_CHECK_GT(n, 0u) << "parallel engine needs registered hosts";
+  SimTime min_latency = UINT64_MAX;
+  for (NodeId a = 0; a < static_cast<NodeId>(n); ++a) {
+    for (NodeId b = a + 1; b < static_cast<NodeId>(n); ++b) {
+      if (ShardOf(a) == ShardOf(b)) continue;
+      min_latency = std::min(min_latency, network_->Latency(a, b));
+      min_latency = std::min(min_latency, network_->Latency(b, a));
+    }
+  }
+  if (min_latency == UINT64_MAX) {
+    // All hosts landed in one shard: any window width is conservative.
+    min_latency = FromMillis(1);
+  }
+  MIND_CHECK_GE(min_latency, 1u)
+      << "zero cross-shard latency leaves no conservative lookahead";
+  lookahead_ = min_latency;
+  lookahead_host_count_ = n;
+}
+
+void ParallelEngine::EnsureWorkers() {
+  if (threads_ <= 1 || !workers_.empty()) return;
+  workers_.reserve(threads_ - 1);
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i]() {
+      uint64_t seen = 0;
+      for (;;) {
+        uint64_t e;
+        while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+          if (stop_.load(std::memory_order_acquire)) return;
+          std::this_thread::yield();
+        }
+        seen = e;
+        RunShardsInWindow(i);
+        done_.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+}
+
+void ParallelEngine::RunShardsInWindow(int executor) {
+  for (int s = executor; s < shard_count(); s += threads_) {
+    tls_shard = s;
+    telemetry::SetShardSlot(s + 1);
+    fired_[s] = queues_[s]->RunUntilBefore(window_end_);
+    telemetry::SetShardSlot(0);
+    tls_shard = -1;
+  }
+}
+
+size_t ParallelEngine::RunWindows(SimTime target, bool bounded, size_t limit) {
+  MIND_CHECK(!in_parallel_phase_) << "re-entrant parallel run";
+  MIND_CHECK(control_->empty())
+      << "events pending on the control queue would never fire under the "
+         "parallel engine; schedule workload via Simulator::ScheduleOn";
+  MIND_CHECK(!network_->has_delay_observer())
+      << "delay observers are a sequential-engine feature";
+  lookahead();  // compute / refresh
+  network_->PresizeLinkTable();  // shard workers must never reallocate it
+  EnsureWorkers();
+  size_t total = 0;
+  while (total < limit) {
+    bool any = false;
+    SimTime next = 0;
+    for (auto& q : queues_) {
+      SimTime qt;
+      if (q->PeekNextTime(&qt) && (!any || qt < next)) {
+        next = qt;
+        any = true;
+      }
+    }
+    if (!any || (bounded && next > target)) break;
+    SimTime wend = next + lookahead_;
+    if (bounded && wend > target) wend = target + 1;  // final (inclusive) window
+
+    window_end_ = wend;
+    done_.store(0, std::memory_order_relaxed);
+    in_parallel_phase_ = true;
+    if (workers_.empty()) {
+      RunShardsInWindow(0);
+    } else {
+      // Release helpers, then execute our own slice: the orchestrator is
+      // executor 0, so a window needs threads-1 cross-thread handoffs, not
+      // threads+1.
+      epoch_.fetch_add(1, std::memory_order_release);
+      RunShardsInWindow(0);
+      while (done_.load(std::memory_order_acquire) < threads_ - 1) {
+        std::this_thread::yield();
+      }
+    }
+    in_parallel_phase_ = false;
+    for (size_t f : fired_) total += f;
+
+    // Exchange cross-shard sends in (source shard, append order). The
+    // destination queue re-checks t >= now, which is exactly the conservative
+    // guarantee: everything sent during [next, wend) arrives at >= wend.
+    for (auto& box : outbox_) {
+      for (auto& p : box) {
+        queues_[p.dst]->ScheduleAtKeyed(p.t, p.band, p.ukey, std::move(p.fn));
+      }
+      box.clear();
+    }
+
+    SimTime clock = bounded ? std::min(wend, target) : wend;
+    for (auto& q : queues_) q->AdvanceTo(clock);
+    control_->AdvanceTo(clock);
+    if (barrier_hook_ && clock >= next_hook_) {
+      barrier_hook_();
+      next_hook_ = clock + barrier_interval_;
+    }
+  }
+  if (bounded) {
+    for (auto& q : queues_) q->AdvanceTo(target);
+    control_->AdvanceTo(target);
+  }
+  return total;
+}
+
+size_t ParallelEngine::Run(size_t limit) { return RunWindows(0, false, limit); }
+
+size_t ParallelEngine::RunUntil(SimTime t) {
+  return RunWindows(t, true, SIZE_MAX);
+}
+
+}  // namespace mind

@@ -1,0 +1,148 @@
+// Sharded parallel discrete-event engine under conservative time windows.
+//
+// Hosts are partitioned into S shards by id (id % S); each shard owns its own
+// EventQueue. A window is the half-open interval [T, T + lookahead) where T is
+// the earliest pending event across all shards and the lookahead is the
+// minimum cross-shard link latency: any message sent during the window
+// arrives at or after the window end, so shards cannot affect each other
+// inside a window and may execute concurrently. Cross-shard sends are
+// buffered per source shard and exchanged at the window barrier in
+// deterministic (source shard, append order) order — and, more importantly,
+// carry engine-independent ordering keys (see EventQueue::ScheduleAtKeyed),
+// so the destination's execution order does not depend on exchange order at
+// all.
+//
+// Determinism strategy: the shard count S is FIXED independently of the
+// worker thread count. Each shard's event sequence is fully determined by its
+// own queue contents plus the keyed cross-shard messages it receives, so any
+// assignment of shards to threads — 1 worker or 8 — executes the identical
+// computation. Cross-thread bit-identity therefore holds by construction; the
+// interesting proof obligation (discharged by tools/check_determinism.sh) is
+// identity against the *sequential* engine running the same discipline, which
+// rests on the keyed event ordering and the counter-based per-link RNG
+// streams (NetworkOptions::discipline).
+//
+// This file is the one place in src/{sim,overlay,mind,space,storage} allowed
+// to use raw threading primitives (see tools/mind_lint.py, rule
+// "concurrency").
+#ifndef MIND_SIM_PARALLEL_ENGINE_H_
+#define MIND_SIM_PARALLEL_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "sim/time.h"
+
+namespace mind {
+
+class Network;
+
+/// \brief Windowed parallel executor over per-shard event queues.
+///
+/// Owned by Simulator when SimulatorOptions::threads > 0; not intended for
+/// standalone construction by user code.
+class ParallelEngine {
+ public:
+  /// Default shard count. Deliberately independent of the thread count and of
+  /// std::thread::hardware_concurrency(): the shard partition is part of the
+  /// simulated world's identity, the thread count is not.
+  static constexpr int kDefaultShards = 8;
+
+  /// `threads` >= 1 workers; `shards` == 0 picks kDefaultShards.
+  ParallelEngine(EventQueue* control, Network* network, int threads,
+                 int shards);
+  ~ParallelEngine();
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  int shard_count() const { return static_cast<int>(queues_.size()); }
+  int threads() const { return threads_; }
+  int ShardOf(NodeId id) const {
+    return static_cast<int>(static_cast<uint32_t>(id) %
+                            static_cast<uint32_t>(queues_.size()));
+  }
+  EventQueue* queue_for(NodeId id) { return queues_[ShardOf(id)].get(); }
+  EventQueue& shard_queue(int s) { return *queues_[s]; }
+  const EventQueue& shard_queue(int s) const { return *queues_[s]; }
+
+  /// True while shard workers are executing a window. Network uses this to
+  /// reject world mutations (SetNodeUp, SetLatency, ...) that would race.
+  bool in_parallel_phase() const { return in_parallel_phase_; }
+
+  /// Shard the calling thread is currently executing, or -1 in serial
+  /// context (the orchestrating thread between windows).
+  static int current_shard();
+
+  /// Schedules a keyed event on `owner`'s shard queue. During a parallel
+  /// phase a cross-shard schedule is buffered in the calling shard's outbox
+  /// and exchanged at the barrier; everything else goes straight in.
+  void ScheduleKeyed(NodeId owner, SimTime t, uint8_t band, uint64_t ukey,
+                     EventFn fn);
+
+  /// Windowed equivalents of EventQueue::Run / RunUntil across all shards.
+  /// Run's `limit` is enforced at window granularity.
+  size_t Run(size_t limit);
+  size_t RunUntil(SimTime t);
+
+  /// Hook invoked in serial context at the first barrier at or after every
+  /// `interval` of virtual time (periodic invariant validation). All shard
+  /// clocks agree when it runs.
+  void set_barrier_hook(std::function<void()> hook, SimTime interval) {
+    barrier_hook_ = std::move(hook);
+    barrier_interval_ = interval;
+    next_hook_ = control_->now() + interval;
+  }
+
+  /// The conservative lookahead: minimum latency between hosts of different
+  /// shards (computed lazily, recomputed if hosts were added).
+  SimTime lookahead();
+
+ private:
+  struct Pending {
+    SimTime t = 0;
+    uint64_t ukey = 0;
+    int dst = 0;
+    uint8_t band = 0;
+    EventFn fn;
+  };
+
+  size_t RunWindows(SimTime target, bool bounded, size_t limit);
+  // Executes this executor's static shard slice {s : s % threads == executor}
+  // for the current window. Executor 0 is the orchestrating thread itself;
+  // 1..threads-1 are the helper threads. The slice assignment is pure
+  // wall-clock policy: any shard-to-executor mapping runs the identical
+  // computation, static slices just keep each shard's working set on one
+  // core and avoid a shared claim counter.
+  void RunShardsInWindow(int executor);
+  void EnsureWorkers();
+  void ComputeLookahead();
+
+  EventQueue* control_;
+  Network* network_;
+  int threads_;
+  std::vector<std::unique_ptr<EventQueue>> queues_;
+  std::vector<std::vector<Pending>> outbox_;  // indexed by source shard
+  std::vector<size_t> fired_;                 // per shard, per window
+  SimTime lookahead_ = 0;
+  size_t lookahead_host_count_ = 0;
+  std::function<void()> barrier_hook_;
+  SimTime barrier_interval_ = 0;
+  SimTime next_hook_ = 0;
+  // Plain fields published to workers via the epoch_ release/acquire pair.
+  bool in_parallel_phase_ = false;
+  SimTime window_end_ = 0;
+  std::vector<std::thread> workers_;  // threads_ - 1 helpers; main is executor 0
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace mind
+
+#endif  // MIND_SIM_PARALLEL_ENGINE_H_

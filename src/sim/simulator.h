@@ -8,7 +8,9 @@
 #include "sim/event_queue.h"
 #include "sim/failure_injector.h"
 #include "sim/network.h"
+#include "sim/parallel_engine.h"
 #include "telemetry/telemetry.h"
+#include "util/digest.h"
 #include "util/rng.h"
 
 namespace mind {
@@ -17,6 +19,20 @@ struct SimulatorOptions {
   NetworkOptions network;
   FailureOptions failures;
   uint64_t seed = 0x5eed;
+  /// > 0 opts in to the sharded parallel engine with that many worker
+  /// threads (which implies the deterministic discipline below). 0 — the
+  /// default — is the sequential engine, byte-for-byte the legacy behavior.
+  int threads = 0;
+  /// Shard count for the parallel engine; 0 picks
+  /// ParallelEngine::kDefaultShards. Fixed independently of `threads`, so
+  /// digests are identical for any thread count over the same shard count.
+  int shards = 0;
+  /// Runs the *sequential* engine under the parallel engine's determinism
+  /// discipline (counter-based per-link RNG, keyed event ordering,
+  /// send-time in-flight-loss resolution). Produces the same StateDigest as
+  /// any threads > 0 configuration with the same seed/shards — the
+  /// cross-engine identity check_determinism.sh proves.
+  bool deterministic_discipline = false;
 };
 
 /// \brief One simulated world.
@@ -40,14 +56,46 @@ class Simulator {
 
   SimTime now() const { return events_.now(); }
 
-  /// Runs until the event queue drains (or `limit` events).
-  size_t Run(size_t limit = SIZE_MAX) { return events_.Run(limit); }
+  /// Runs until the event queue drains (or `limit` events; the parallel
+  /// engine enforces the limit at window granularity).
+  size_t Run(size_t limit = SIZE_MAX) {
+    return engine_ ? engine_->Run(limit) : events_.Run(limit);
+  }
 
   /// Runs all events with timestamp <= t and advances the clock to t.
-  size_t RunUntil(SimTime t) { return events_.RunUntil(t); }
+  size_t RunUntil(SimTime t) {
+    return engine_ ? engine_->RunUntil(t) : events_.RunUntil(t);
+  }
 
   /// Runs `delta` past the current virtual time.
-  size_t RunFor(SimTime delta) { return events_.RunUntil(events_.now() + delta); }
+  size_t RunFor(SimTime delta) { return RunUntil(events_.now() + delta); }
+
+  /// True when the delivery path runs the determinism discipline (threads
+  /// opted in, or deterministic_discipline set).
+  bool discipline() const { return network_->discipline(); }
+
+  /// The parallel engine, or nullptr on the sequential path.
+  ParallelEngine* parallel_engine() { return engine_.get(); }
+  const ParallelEngine* parallel_engine() const { return engine_.get(); }
+
+  /// The queue that owns `id`'s events: its shard queue under the parallel
+  /// engine, the global queue otherwise. Hosts bind to this at construction;
+  /// workload drivers schedule onto it via ScheduleOn.
+  EventQueue* queue_for(NodeId id) {
+    return engine_ ? engine_->queue_for(id) : &events_;
+  }
+
+  /// Schedules `fn` at absolute time `at` on the queue owning `owner`.
+  /// On the sequential path this is exactly events().ScheduleAt.
+  EventId ScheduleOn(NodeId owner, SimTime at, EventFn fn) {
+    return queue_for(owner)->ScheduleAt(at, std::move(fn));
+  }
+
+  /// Mixes the engine-independent (time, band, ukey) triples of every
+  /// pending event — across all shard queues, sorted — into `out`. The
+  /// discipline-mode replacement for events().DigestInto (whose per-queue
+  /// sequence numbers differ between engines).
+  void DigestEventsKeyed(Fnv64* out) const;
 
  private:
   EventQueue events_;
@@ -57,6 +105,7 @@ class Simulator {
   Rng rng_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<FailureInjector> failures_;
+  std::unique_ptr<ParallelEngine> engine_;
 };
 
 }  // namespace mind

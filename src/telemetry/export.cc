@@ -2,15 +2,32 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
 #include "telemetry/json.h"
 
+// Stamped by the top-level CMakeLists at configure time; the fallbacks keep
+// out-of-band compiles (e.g. a bare clang-tidy invocation) building.
+#ifndef MIND_GIT_SHA
+#define MIND_GIT_SHA "unknown"
+#endif
+#ifndef MIND_BUILD_TYPE
+#define MIND_BUILD_TYPE "unknown"
+#endif
+
 namespace mind {
 namespace telemetry {
 
 namespace {
+
+// The run-environment block: everything needed to judge whether two exports
+// are comparable (same build shape, same duty cycle, same engine config).
+std::string DutyEnv() {
+  const char* env = std::getenv("MIND_BENCH_DUTY");
+  return env != nullptr ? env : "";
+}
 
 JsonValue HistogramJson(const SimHistogram& h) {
   JsonValue v = JsonValue::Object();
@@ -60,6 +77,13 @@ std::string JsonExporter::Export(const MetricsRegistry& registry,
   for (const auto& [k, v] : meta.extra) m.Set(k, JsonValue::Str(v));
   doc.Set("meta", std::move(m));
 
+  JsonValue run = JsonValue::Object();
+  run.Set("threads", JsonValue::Number(meta.threads));
+  run.Set("duty", JsonValue::Str(DutyEnv()));
+  run.Set("build_type", JsonValue::Str(MIND_BUILD_TYPE));
+  run.Set("git_sha", JsonValue::Str(MIND_GIT_SHA));
+  doc.Set("run", std::move(run));
+
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, c] : registry.counters()) {
     counters.Set(name, JsonValue::Number(static_cast<double>(c->value())));
@@ -100,6 +124,10 @@ std::string CsvExporter::Export(const MetricsRegistry& registry,
   for (const auto& [k, v] : meta.extra) {
     out << "meta," << meta.bench << "," << k << "," << v << "\n";
   }
+  out << "run," << meta.bench << ",threads," << meta.threads << "\n";
+  out << "run," << meta.bench << ",duty," << DutyEnv() << "\n";
+  out << "run," << meta.bench << ",build_type," << MIND_BUILD_TYPE << "\n";
+  out << "run," << meta.bench << ",git_sha," << MIND_GIT_SHA << "\n";
   for (const auto& [name, c] : registry.counters()) {
     out << "counter," << name << ",value," << c->value() << "\n";
   }

@@ -8,6 +8,8 @@
 //     "schema_version": 1,
 //     "bench": "<name>",
 //     "meta": {"seed": ..., "topology": "...", "nodes": ..., ...extra},
+//     "run": {"threads": ..., "duty": "...", "build_type": "...",
+//             "git_sha": "..."},
 //     "counters": {"overlay.join.attempts": 42, ...},
 //     "gauges": {"bench.fig16.success_pct.f10": 98.5, ...},
 //     "histograms": {
@@ -39,6 +41,8 @@ struct RunMeta {
   uint64_t seed = 0;
   std::string topology;   // e.g. "transit_stub", "flat"
   int nodes = 0;
+  /// Worker threads of the parallel engine (0 = sequential engine).
+  int threads = 0;
   std::map<std::string, std::string> extra;  // free-form key/values
 };
 

@@ -12,6 +12,7 @@
 #ifndef MIND_TELEMETRY_METRICS_H_
 #define MIND_TELEMETRY_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -25,27 +26,60 @@ namespace telemetry {
 
 class MetricsRegistry;
 
+/// Shard slot recording calls on this thread attribute to: 0 is the serial
+/// context; the parallel engine sets 1 + shard while a worker executes a
+/// shard. Sharded instruments route each write to its slot, so concurrent
+/// shard workers never touch the same memory, and reads aggregate — sums and
+/// min/max merges commute, so the aggregate is independent of thread count.
+void SetShardSlot(int slot);
+int ShardSlot();
+
 /// Monotonically increasing event count.
 class Counter {
  public:
   void Inc(uint64_t delta = 1) {
 #ifndef MIND_TELEMETRY_DISABLED
-    if (*enabled_) value_ += delta;
+    if (*enabled_) {
+      if (slots_ == nullptr) {
+        value_ += delta;
+      } else {
+        (*slots_)[static_cast<size_t>(ShardSlot()) * kSlotStride] += delta;
+      }
+    }
 #else
     (void)delta;
 #endif
   }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  uint64_t value() const {
+    uint64_t v = value_;
+    if (slots_ != nullptr) {
+      for (size_t i = 0; i < slots_->size(); i += kSlotStride) v += (*slots_)[i];
+    }
+    return v;
+  }
+  void Reset() {
+    value_ = 0;
+    if (slots_ != nullptr) std::fill(slots_->begin(), slots_->end(), 0);
+  }
 
  private:
   friend class MetricsRegistry;
+  // One cache line per slot so shard workers do not false-share.
+  static constexpr size_t kSlotStride = 8;
   explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  void EnableSharding(int slots) {
+    slots_ = std::make_unique<std::vector<uint64_t>>(
+        static_cast<size_t>(slots) * kSlotStride, 0);
+  }
   uint64_t value_ = 0;
   const bool* enabled_;
+  std::unique_ptr<std::vector<uint64_t>> slots_;
 };
 
 /// Last-write-wins numeric level (queue depths, fractions, sizes).
+/// Serial-context instrument: last-write-wins has no commutative merge, so
+/// gauges are not sharded — set them from the orchestrating thread between
+/// windows (all in-tree writers already do).
 class Gauge {
  public:
   void Set(double v) {
@@ -89,17 +123,21 @@ class SimHistogram {
  public:
   void Record(double v);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ ? min_ : 0; }
-  double max() const { return count_ ? max_ : 0; }
+  uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
   double Mean() const {
-    return count_ ? sum_ / static_cast<double>(count_) : 0;
+    uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0;
   }
   /// p in [0, 100]; interpolated inside the covering bucket and clamped to
   /// the observed [min, max].
   double Percentile(double p) const;
 
+  /// Raw bucket arrays of the serial slot (shard slots, if any, are merged
+  /// by the accessors above, not here; no in-tree caller needs raw merged
+  /// buckets).
   const std::vector<uint64_t>& bucket_counts() const { return counts_; }
   const std::vector<double>& bucket_bounds() const { return bounds_; }
   void Reset();
@@ -107,6 +145,16 @@ class SimHistogram {
  private:
   friend class MetricsRegistry;
   SimHistogram(const bool* enabled, const HistogramOptions& opts);
+  void EnableSharding(int slots) { shards_.resize(slots > 1 ? slots - 1 : 0); }
+  // Per-shard-slot state (slot i >= 1 maps to shards_[i - 1]; slot 0 uses
+  // the base fields). Bucket arrays allocate lazily on first record.
+  struct Shard {
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
 
   std::vector<double> bounds_;   // upper edges, size B
   std::vector<uint64_t> counts_; // size B + 1 (last = overflow)
@@ -115,6 +163,7 @@ class SimHistogram {
   double min_ = 0;
   double max_ = 0;
   const bool* enabled_;
+  std::vector<Shard> shards_;
 };
 
 /// Owner of all named instruments of one run (usually one per Simulator;
@@ -153,12 +202,20 @@ class MetricsRegistry {
   /// Zeroes every instrument (names and references survive).
   void Reset();
 
+  /// Switches counters and histograms to per-shard-slot recording with
+  /// `slots` slots (serial slot 0 + one per shard). Called once by the
+  /// parallel engine's Simulator before any worker records; instruments
+  /// created later inherit the mode. Reads aggregate across slots.
+  void EnableSharding(int slots);
+  int shard_slots() const { return shard_slots_; }
+
  private:
 #ifdef MIND_TELEMETRY_DISABLED
   bool enabled_ = false;
 #else
   bool enabled_ = true;
 #endif
+  int shard_slots_ = 0;  // 0 = unsharded
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<SimHistogram>> histograms_;

@@ -115,6 +115,38 @@ double Rng::LogNormal(double mu, double sigma) {
   return std::exp(Normal(mu, sigma));
 }
 
+uint64_t CounterMix(uint64_t seed, uint64_t stream, uint64_t counter) {
+  // Three SplitMix64 finalization rounds over a seed/stream/counter blend.
+  // Not cryptographic; the goal is full avalanche so that adjacent counters
+  // and adjacent streams are statistically independent.
+  uint64_t x = seed ^ Rotl(stream, 24) ^ 0x9e3779b97f4a7c15ull;
+  x += counter * 0xd1342543de82ef95ull;
+  for (int round = 0; round < 3; ++round) {
+    x ^= stream + 0x2545f4914f6cdd1dull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+  }
+  return x;
+}
+
+double CounterUniformDouble(uint64_t seed, uint64_t stream, uint64_t counter) {
+  // 53-bit mantissa, shifted into (0, 1] so log() is always finite.
+  uint64_t bits = CounterMix(seed, stream, counter) >> 11;
+  return (static_cast<double>(bits) + 1.0) * 0x1.0p-53;
+}
+
+double CounterLogNormal(uint64_t seed, uint64_t stream, uint64_t counter,
+                        double mu, double sigma) {
+  // Two lanes of the same (stream, counter) draw feed Box-Muller; the cos
+  // branch is used and the sin branch discarded (no cross-call cache, so the
+  // value cannot depend on who drew before us).
+  double u1 = CounterUniformDouble(seed, stream, counter * 2);
+  double u2 = CounterUniformDouble(seed, stream, counter * 2 + 1);
+  double normal = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return std::exp(mu + sigma * normal);
+}
+
 Rng Rng::Fork(uint64_t stream_id) const {
   // Derive a child seed from the parent seed and stream id; independent of
   // how much of the parent stream has been consumed.

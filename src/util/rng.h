@@ -69,6 +69,21 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Counter-based (stateless) random draws, philox-style: each value is a pure
+/// function of (seed, stream, counter) rather than of how many draws other
+/// components have made. Used for per-directed-link jitter streams so the
+/// delivery path is deterministic under any event interleaving — sequential or
+/// sharded-parallel — as long as each link counts its own sends.
+uint64_t CounterMix(uint64_t seed, uint64_t stream, uint64_t counter);
+
+/// Uniform double in (0, 1] from a counter draw (never 0, safe for log()).
+double CounterUniformDouble(uint64_t seed, uint64_t stream, uint64_t counter);
+
+/// Log-normal sample from two lanes of the (seed, stream, counter) draw via
+/// Box-Muller; `mu`/`sigma` parameterize the underlying normal.
+double CounterLogNormal(uint64_t seed, uint64_t stream, uint64_t counter,
+                        double mu, double sigma);
+
 /// Zipf(n, s) sampler over ranks {0, .., n-1} with exponent s, using the
 /// inverse-CDF table method (O(n) setup, O(log n) per sample). Used for
 /// popularity of prefixes/ports in traffic generation.

@@ -299,6 +299,14 @@ TEST(JsonExporterTest, SchemaRoundTrip) {
   ASSERT_NE(v.Get("gauges"), nullptr);
   ASSERT_NE(v.Get("histograms"), nullptr);
 
+  // Run-environment block: every export says what machine-shape produced it.
+  for (const char* key : {"threads", "duty", "build_type", "git_sha"}) {
+    ASSERT_NE(v.GetPath((std::string("run.") + key).c_str()), nullptr)
+        << "missing run field " << key;
+  }
+  EXPECT_DOUBLE_EQ(v.GetPath("run.threads")->as_number(), 0.0);
+  EXPECT_NE(v.GetPath("run.git_sha")->as_string(), "");
+
   // Metric names contain dots, so index them with plain Get, not GetPath.
   const JsonValue* hj = v.Get("histograms")->Get("a.wait_ms");
   ASSERT_NE(hj, nullptr);

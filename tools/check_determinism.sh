@@ -7,7 +7,17 @@
 #   (a) two runs of the same binary disagree (nondeterminism within a build:
 #       wall-clock leak, unseeded randomness, unordered-container ordering), or
 #   (b) the telemetry-ON and telemetry-OFF digests disagree (telemetry
-#       recording changed simulation behaviour).
+#       recording changed simulation behaviour), or
+#   (c) the sequential engine under the determinism discipline
+#       (`--discipline`) and the sharded parallel engine at worker thread
+#       counts 1, 2, 4 and 8 (`--threads=N`) disagree with each other
+#       (engine identity: the parallel engine must compute the exact same
+#       world as the sequential discipline it refines).
+#
+# The flagless (legacy-mode) digest is intentionally distinct from the
+# discipline digest: the discipline switches jitter to counter-based per-link
+# RNG streams and keyed event ordering. Checks (a)/(b) pin the legacy digest;
+# check (c) pins the engine family to one another.
 #
 # Usage: tools/check_determinism.sh [build-dir]   (default: build-determinism)
 set -euo pipefail
@@ -15,11 +25,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build-determinism}"
 
-digest() {  # digest <binary>  -> prints the hex digest, fails loudly otherwise
+digest() {  # digest <binary> [flags...]  -> prints the hex digest
+  local bin="$1"; shift
   local out
-  out="$("$1" | grep '^state_digest ' | awk '{print $2}')"
+  out="$("${bin}" "$@" | grep '^state_digest ' | awk '{print $2}')"
   if [[ -z "${out}" ]]; then
-    echo "error: $1 printed no state_digest" >&2
+    echo "error: ${bin} $* printed no state_digest" >&2
     exit 1
   fi
   echo "${out}"
@@ -52,7 +63,24 @@ if [[ "${run1}" != "${run_off}" ]]; then
        "changes simulation state (telemetry must be observation-only)" >&2
   fail=1
 fi
+echo
+echo "== engine identity (sequential discipline vs parallel thread counts) =="
+probe="${BUILD}/on/tools/determinism_probe"
+disc="$(digest "${probe}" --discipline)"
+echo "discipline (serial): ${disc}"
+for t in 1 2 4 8; do
+  dt="$(digest "${probe}" --threads="${t}")"
+  echo "threads=${t}:           ${dt}"
+  if [[ "${dt}" != "${disc}" ]]; then
+    echo "FAIL: parallel engine at ${t} thread(s) diverged from the" \
+         "sequential discipline digest -- a shard executed something the" \
+         "conservative window should have forbidden" >&2
+    fail=1
+  fi
+done
+
 if [[ "${fail}" -ne 0 ]]; then
   exit 1
 fi
-echo "OK: deterministic replay verified (digest ${run1})"
+echo
+echo "OK: deterministic replay verified (legacy ${run1}, engine ${disc})"

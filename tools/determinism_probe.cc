@@ -8,14 +8,38 @@
 // and across MIND_TELEMETRY settings) and fails on any digest mismatch. The
 // digest covers logical state only (overlay codes, stored tuples, pending
 // events, version chains), so telemetry ON and OFF builds must agree.
+//
+// Flags:
+//   --discipline    run the sequential engine under the determinism
+//                   discipline (counter RNG + keyed event ordering)
+//   --threads=N     run the sharded parallel engine with N worker threads
+//                   (implies the discipline)
+// The script asserts that --discipline and every --threads=N value print the
+// SAME digest (engine identity), and that the flagless legacy digest is
+// unchanged across builds (no regression of historical replay digests).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/common.h"
 
 using namespace mind;
 using namespace mind::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 0;
+  bool discipline = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--discipline") == 0) {
+      discipline = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--discipline] [--threads=N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   Topology topo = Topology::AbileneGeant();
   FlowGeneratorOptions gopts;
   gopts.peak_flows_per_router_sec = 40;
@@ -24,6 +48,8 @@ int main() {
 
   MindNetOptions mopts;
   mopts.sim.seed = 4242;
+  mopts.sim.threads = threads;
+  mopts.sim.deterministic_discipline = discipline;
   mopts.overlay.heartbeat_interval = FromSeconds(5);
   mopts.mind.replication = 1;
   mopts.positions = topo.Positions();

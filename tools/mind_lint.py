@@ -20,10 +20,17 @@ this lint bans them in the simulation-facing directories:
                   src/telemetry. Simulation logic must behave identically
                   whether telemetry is compiled in or not; only the telemetry
                   subsystem itself may test the flag.
+  concurrency  -- raw threading primitives (std::thread, std::mutex,
+                  std::atomic, <thread>/<mutex>/<atomic> includes, ...) outside
+                  src/sim/parallel_engine.*. The parallel engine is the single
+                  place where threads exist; everywhere else determinism rests
+                  on single-threaded shard execution, and an ad-hoc lock or
+                  atomic would hide a cross-shard ordering dependency the
+                  engine cannot see.
 
 Suppress a finding with `// mind-lint: allow(<rule>)` on the offending line
 or the line above it, where <rule> is one of: wall-clock, libc-rand,
-unordered-emit, telemetry-divergence.
+unordered-emit, telemetry-divergence, concurrency.
 
 Exit status: 0 when clean, 1 with one "file:line: [rule] message" per finding.
 """
@@ -35,6 +42,9 @@ import sys
 
 LINT_DIRS = ["src/sim", "src/overlay", "src/mind", "src/space", "src/storage"]
 TELEMETRY_EXEMPT = "src/telemetry"
+# The one engine boundary allowed to hold threading primitives (matches
+# parallel_engine.h and parallel_engine.cc).
+CONCURRENCY_EXEMPT = "src/sim/parallel_engine"
 
 TOKEN_RULES = [
     ("wall-clock", re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
@@ -47,6 +57,26 @@ TOKEN_RULES = [
      "libc randomness is forbidden; use the seeded mind::Rng"),
     ("libc-rand", re.compile(r"\brandom_device\b"),
      "std::random_device is unseedable; use the seeded mind::Rng"),
+]
+
+# Applied everywhere in LINT_DIRS except CONCURRENCY_EXEMPT files.
+CONCURRENCY_RULES = [
+    ("concurrency",
+     re.compile(r"#\s*include\s*<(thread|mutex|shared_mutex|atomic|"
+                r"condition_variable|future|semaphore|barrier|latch|"
+                r"stop_token)>"),
+     "threading headers are confined to src/sim/parallel_engine.*; "
+     "simulation code runs single-threaded within its shard"),
+    ("concurrency",
+     re.compile(r"std::(jthread|thread|mutex|shared_mutex|recursive_mutex|"
+                r"timed_mutex|recursive_timed_mutex|condition_variable\w*|"
+                r"atomic\w*|future|shared_future|promise|async|"
+                r"counting_semaphore|binary_semaphore|barrier|latch|"
+                r"lock_guard|unique_lock|scoped_lock|shared_lock|call_once|"
+                r"once_flag|memory_order\w*|this_thread)\b"),
+     "threading primitives are confined to src/sim/parallel_engine.*; "
+     "an ad-hoc lock or atomic would hide a cross-shard ordering "
+     "dependency the engine cannot see"),
 ]
 
 UNORDERED_MEMBER = re.compile(
@@ -121,8 +151,12 @@ def lint_file(path, relpath, findings):
         raw = f.read().splitlines()
     code = [strip_comments_and_strings(ln) for ln in raw]
 
+    relpath_norm = relpath.replace(os.sep, "/")
+    rules = list(TOKEN_RULES)
+    if CONCURRENCY_EXEMPT not in relpath_norm:
+        rules += CONCURRENCY_RULES
     for idx, line in enumerate(code):
-        for rule, rx, msg in TOKEN_RULES:
+        for rule, rx, msg in rules:
             if rx.search(line) and not allowed(raw, idx, rule):
                 findings.append(f"{relpath}:{idx + 1}: [{rule}] {msg}")
         if TELEMETRY_EXEMPT not in relpath.replace(os.sep, "/"):
