@@ -1,0 +1,54 @@
+#include "frontend/batcher.h"
+
+namespace mind {
+namespace frontend {
+
+Batcher::Offer Batcher::Push(Tuple* tuple, SimTime now) {
+  if (queued_tuples_ >= options_.queue_max_tuples) {
+    return options_.policy == OverflowPolicy::kDropNewest ? Offer::kDropped
+                                                          : Offer::kDeferred;
+  }
+  if (open_.empty()) open_since_ = now;
+  open_bytes_ += tuple->WireBytes();
+  open_.push_back(std::move(*tuple));
+  ++queued_tuples_;
+  if (open_.size() >= options_.batch_max_tuples ||
+      open_bytes_ >= options_.batch_max_bytes) {
+    CloseOpen();
+  }
+  return Offer::kAccepted;
+}
+
+void Batcher::CloseOpen() {
+  if (open_.empty()) return;
+  ready_.push_back(std::move(open_));
+  open_.clear();
+  open_bytes_ = 0;
+}
+
+void Batcher::FlushOpen() { CloseOpen(); }
+
+bool Batcher::HasReady(SimTime now) const {
+  if (!ready_.empty()) return true;
+  return !open_.empty() && now >= open_since_ + options_.flush_deadline;
+}
+
+std::vector<Tuple> Batcher::TakeReady(SimTime now) {
+  if (ready_.empty() && !open_.empty() &&
+      now >= open_since_ + options_.flush_deadline) {
+    CloseOpen();
+  }
+  if (ready_.empty()) return {};
+  std::vector<Tuple> batch = std::move(ready_.front());
+  ready_.pop_front();
+  queued_tuples_ -= batch.size();
+  return batch;
+}
+
+std::optional<SimTime> Batcher::NextDeadline() const {
+  if (open_.empty()) return std::nullopt;
+  return open_since_ + options_.flush_deadline;
+}
+
+}  // namespace frontend
+}  // namespace mind

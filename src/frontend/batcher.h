@@ -1,0 +1,91 @@
+// Batcher: coalesces a lane's tuples into InsertBatch trains under a
+// byte/latency budget, with a bounded queue and an explicit overflow policy.
+//
+// This is a passive state machine — it never touches the simulator. The
+// ingest pipeline owns one Batcher per (monitor, index) lane, offers tuples
+// as the trace replays, and flushes whatever is ready on each pump tick; unit
+// tests drive it directly with synthetic clocks.
+//
+// Semantics:
+//   * An *open* batch accumulates offers. It closes (becomes ready to send)
+//     when it reaches batch_max_tuples, when its wire size reaches
+//     batch_max_bytes (high-water: the closing tuple rides along, so a batch
+//     may exceed the byte budget by one tuple), or when flush_deadline has
+//     passed since its first tuple — whichever comes first.
+//   * queue_max_tuples bounds everything buffered (closed + open). At the
+//     bound, kDropNewest discards the offered tuple; kDefer refuses it, which
+//     the pipeline turns into back-pressure on the trace source.
+#ifndef MIND_FRONTEND_BATCHER_H_
+#define MIND_FRONTEND_BATCHER_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/time.h"
+#include "storage/tuple.h"
+
+namespace mind {
+namespace frontend {
+
+enum class OverflowPolicy {
+  kDropNewest,  ///< discard the offered tuple (lossy, bounded latency)
+  kDefer,       ///< refuse the offer; caller must retry (lossless, stalls)
+};
+
+struct BatcherOptions {
+  /// Tuple-count budget per batch.
+  size_t batch_max_tuples = 64;
+  /// Wire-size budget per batch (Tuple::WireBytes sum; high-water mark).
+  size_t batch_max_bytes = 4096;
+  /// An under-budget open batch is flushed once it is this old.
+  SimTime flush_deadline = FromMillis(500);
+  /// Bound on buffered tuples (closed batches + the open one).
+  size_t queue_max_tuples = 4096;
+  OverflowPolicy policy = OverflowPolicy::kDropNewest;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatcherOptions options) : options_(options) {}
+
+  enum class Offer { kAccepted, kDropped, kDeferred };
+
+  /// Offers one tuple at virtual time `now`. The tuple is moved from only
+  /// on kAccepted; on kDeferred it stays with the caller for a later retry
+  /// (kDefer is lossless), and on kDropped the caller discards it.
+  Offer Push(Tuple* tuple, SimTime now);
+
+  /// True when a batch can be taken: a closed batch is queued, or the open
+  /// batch has passed its flush deadline.
+  bool HasReady(SimTime now) const;
+
+  /// Takes the oldest ready batch (empty if none).
+  std::vector<Tuple> TakeReady(SimTime now);
+
+  /// Closes the open batch regardless of budget (end-of-trace drain).
+  void FlushOpen();
+
+  /// Deadline at which the open batch becomes ready by age, if one is open.
+  std::optional<SimTime> NextDeadline() const;
+
+  size_t queued_tuples() const { return queued_tuples_; }
+  size_t ready_batches() const { return ready_.size(); }
+  bool empty() const { return queued_tuples_ == 0; }
+
+ private:
+  void CloseOpen();
+
+  BatcherOptions options_;
+  std::deque<std::vector<Tuple>> ready_;
+  std::vector<Tuple> open_;
+  size_t open_bytes_ = 0;
+  SimTime open_since_ = 0;
+  size_t queued_tuples_ = 0;
+};
+
+}  // namespace frontend
+}  // namespace mind
+
+#endif  // MIND_FRONTEND_BATCHER_H_

@@ -1,0 +1,60 @@
+// Frontend: the facade bundling the live front-end's two halves — the
+// streaming ingest pipeline and the concurrent query service — over one
+// MindNet deployment (DESIGN.md §12).
+//
+// Construction wires ingest into the service's cost model (every emitted
+// tuple feeds the per-index selectivity histograms) and leaves both halves
+// reachable for direct configuration. Everything is opt-in: deployments that
+// never construct a Frontend are byte-for-byte unaffected.
+#ifndef MIND_FRONTEND_FRONTEND_H_
+#define MIND_FRONTEND_FRONTEND_H_
+
+#include <memory>
+#include <utility>
+
+#include "frontend/ingest_pipeline.h"
+#include "frontend/query_service.h"
+#include "frontend/trace_source.h"
+
+namespace mind {
+namespace frontend {
+
+struct FrontendOptions {
+  IngestOptions ingest;
+  QueryServiceOptions query;
+  /// Feed ingest tuples into the query service's selectivity histograms
+  /// (the admission controller's cost estimates stay 0 without it).
+  bool wire_cost_observer = true;
+};
+
+class Frontend {
+ public:
+  /// Owns the source; the net must outlive the Frontend.
+  Frontend(MindNet* net, std::unique_ptr<TraceSource> source,
+           FrontendOptions options = {})
+      : source_(std::move(source)),
+        service_(net, options.query),
+        ingest_(net, source_.get(), options.ingest) {
+    if (options.wire_cost_observer) {
+      ingest_.set_on_tuple([this](const std::string& index, const Tuple& t) {
+        service_.ObserveInsert(index, t.point);
+      });
+    }
+  }
+
+  /// Begins trace replay (see IngestPipeline::Start).
+  void Start() { ingest_.Start(); }
+
+  IngestPipeline& ingest() { return ingest_; }
+  QueryService& queries() { return service_; }
+
+ private:
+  std::unique_ptr<TraceSource> source_;
+  QueryService service_;
+  IngestPipeline ingest_;
+};
+
+}  // namespace frontend
+}  // namespace mind
+
+#endif  // MIND_FRONTEND_FRONTEND_H_

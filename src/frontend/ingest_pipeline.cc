@@ -1,0 +1,182 @@
+#include "frontend/ingest_pipeline.h"
+
+#include "util/logging.h"
+
+namespace mind {
+namespace frontend {
+
+IngestPipeline::IngestPipeline(MindNet* net, TraceSource* source,
+                               IngestOptions options)
+    : net_(net), source_(source), options_(options),
+      aggregator_(options.agg) {
+  auto& m = net_->sim().metrics();
+  tm_.records = &m.counter("frontend.ingest.records");
+  tm_.aggregates = &m.counter("frontend.ingest.aggregates");
+  tm_.tuples = &m.counter("frontend.ingest.tuples");
+  tm_.dropped = &m.counter("frontend.ingest.dropped");
+  tm_.deferrals = &m.counter("frontend.ingest.deferrals");
+  tm_.batches = &m.counter("frontend.ingest.batches");
+  tm_.batch_tuples = &m.histogram("frontend.ingest.batch_tuples");
+  tm_.queue_depth = &m.histogram("frontend.ingest.queue_depth");
+}
+
+void IngestPipeline::Start() {
+  MIND_CHECK(!started_);
+  started_ = true;
+  epoch_ = net_->sim().now();
+  if (options_.t0_sec < 0) {
+    // Derive the replay origin from the first record.
+    FlowRecord r;
+    auto more = source_->Next(&r);
+    if (!more.ok()) {
+      source_status_ = more.status();
+      source_done_ = true;
+    } else if (!more.value()) {
+      source_done_ = true;
+    } else {
+      lookahead_ = r;
+      have_lookahead_ = true;
+      options_.t0_sec = r.time_sec;
+    }
+    if (source_done_) options_.t0_sec = 0;
+  }
+  net_->sim().events().Schedule(0, [this] { Pump(); });
+}
+
+void IngestPipeline::PullUpTo(double trace_now) {
+  while (true) {
+    if (!have_lookahead_) {
+      FlowRecord r;
+      auto more = source_->Next(&r);
+      if (!more.ok()) {
+        // A malformed trace stops ingest at the corruption point; what was
+        // already pulled still drains normally.
+        source_status_ = more.status();
+        source_done_ = true;
+        return;
+      }
+      if (!more.value()) {
+        source_done_ = true;
+        return;
+      }
+      lookahead_ = r;
+      have_lookahead_ = true;
+    }
+    if (lookahead_.time_sec > trace_now) return;
+    aggregator_.Add(lookahead_);
+    have_lookahead_ = false;
+    ++records_in_;
+    tm_.records->Inc();
+  }
+}
+
+bool IngestPipeline::OfferTuple(int monitor, const std::string& index,
+                                Tuple tuple) {
+  SimTime now = net_->sim().now();
+  Batcher& lane = lanes_.try_emplace(LaneKey{monitor, index},
+                                     Batcher(options_.batcher))
+                      .first->second;
+  switch (lane.Push(&tuple, now)) {
+    case Batcher::Offer::kAccepted:
+      return true;
+    case Batcher::Offer::kDropped:
+      ++tuples_dropped_;
+      tm_.dropped->Inc();
+      return true;
+    case Batcher::Offer::kDeferred:
+      holdover_.emplace_back(LaneKey{monitor, index}, std::move(tuple));
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void IngestPipeline::EmitAggregates(std::vector<AggregateRecord> aggregates) {
+  for (const auto& rec : aggregates) {
+    tm_.aggregates->Inc();
+    const int monitor = rec.router;
+    auto emit = [&](const char* index, std::optional<Tuple> tup) {
+      if (!tup.has_value()) return;
+      ++tuples_out_;
+      tm_.tuples->Inc();
+      if (on_tuple_) on_tuple_(index, *tup);
+      OfferTuple(monitor, index, std::move(*tup));
+    };
+    if (options_.feed_index1) {
+      emit("index1_fanout", ToIndex1Tuple(rec, ++seq_, options_.index_opts));
+    }
+    if (options_.feed_index2) {
+      emit("index2_octets", ToIndex2Tuple(rec, ++seq_, options_.index_opts));
+    }
+    if (options_.feed_index3) {
+      emit("index3_flowsize", ToIndex3Tuple(rec, ++seq_, options_.index_opts));
+    }
+  }
+}
+
+void IngestPipeline::FlushLanes(SimTime now, bool force) {
+  for (auto& [key, lane] : lanes_) {
+    if (force) lane.FlushOpen();
+    while (lane.HasReady(now)) {
+      std::vector<Tuple> batch = lane.TakeReady(now);
+      if (batch.empty()) break;
+      ++batches_sent_;
+      tm_.batches->Inc();
+      tm_.batch_tuples->Record(static_cast<double>(batch.size()));
+      (void)net_->node(static_cast<size_t>(key.first))
+          .InsertBatch(key.second, std::move(batch));
+    }
+  }
+  tm_.queue_depth->Record(static_cast<double>(queued_tuples()));
+}
+
+size_t IngestPipeline::queued_tuples() const {
+  size_t total = holdover_.size();
+  for (const auto& [key, lane] : lanes_) total += lane.queued_tuples();
+  return total;
+}
+
+void IngestPipeline::Pump() {
+  if (done_) return;
+  const SimTime now = net_->sim().now();
+  const double trace_now =
+      options_.t0_sec +
+      ToSeconds(now - epoch_) * options_.rate_multiplier;
+
+  // Re-offer deferred tuples first; while any remain, back-pressure holds
+  // and no new trace records are pulled (the replay falls behind).
+  if (!holdover_.empty()) {
+    ++defer_rounds_;
+    tm_.deferrals->Inc();
+    std::vector<std::pair<LaneKey, Tuple>> pending;
+    pending.swap(holdover_);
+    for (auto& [key, tup] : pending) {
+      OfferTuple(key.first, key.second, std::move(tup));
+    }
+  }
+
+  const bool pulling = holdover_.empty() && !source_done_;
+  if (pulling) PullUpTo(trace_now);
+
+  // Close aggregation windows only up to the fully-ingested watermark: when
+  // deferring, records older than trace_now may still be un-pulled.
+  const bool source_drained = source_done_ && !have_lookahead_;
+  if (source_drained) {
+    EmitAggregates(aggregator_.DrainAll());
+  } else if (pulling) {
+    EmitAggregates(aggregator_.DrainCompleted(trace_now));
+  }
+
+  const bool drained = source_drained &&
+                       aggregator_.buffered_windows() == 0 &&
+                       holdover_.empty();
+  FlushLanes(now, /*force=*/drained);
+
+  if (drained && queued_tuples() == 0) {
+    done_ = true;
+    return;
+  }
+  net_->sim().events().Schedule(options_.pump_interval, [this] { Pump(); });
+}
+
+}  // namespace frontend
+}  // namespace mind

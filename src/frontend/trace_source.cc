@@ -1,0 +1,52 @@
+#include "frontend/trace_source.h"
+
+#include <algorithm>
+
+namespace mind {
+namespace frontend {
+
+Result<bool> VectorTraceSource::Next(FlowRecord* out) {
+  if (next_ == flows_.size()) return false;
+  *out = flows_[next_++];
+  return true;
+}
+
+Result<bool> BinaryTraceSource::Next(FlowRecord* out) {
+  if (failed_) return false;
+  if (!opened_) {
+    Status st = reader_.Open();
+    if (!st.ok()) {
+      failed_ = true;
+      return st;
+    }
+    opened_ = true;
+  }
+  auto more = reader_.Next(out);
+  if (!more.ok()) failed_ = true;
+  return more;
+}
+
+void GeneratorTraceSource::Refill() {
+  while (buffer_.empty() && next_t_ < t1_) {
+    double t_end = std::min(next_t_ + window_, t1_);
+    std::vector<FlowRecord> window = gen_->GenerateVec(day_, next_t_, t_end);
+    next_t_ = t_end;
+    // Stable: ties keep generation order, which is itself deterministic.
+    std::stable_sort(window.begin(), window.end(),
+                     [](const FlowRecord& a, const FlowRecord& b) {
+                       return a.time_sec < b.time_sec;
+                     });
+    buffer_.assign(window.begin(), window.end());
+  }
+}
+
+Result<bool> GeneratorTraceSource::Next(FlowRecord* out) {
+  Refill();
+  if (buffer_.empty()) return false;
+  *out = buffer_.front();
+  buffer_.pop_front();
+  return true;
+}
+
+}  // namespace frontend
+}  // namespace mind

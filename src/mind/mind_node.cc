@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/ordered.h"
 #include "util/validate.h"
 
 namespace mind {
@@ -129,6 +130,9 @@ void MindNode::ApplyCreateIndex(const CreateIndexMsg& m) {
   MIND_CHECK(inserted);
   MIND_CHECK_OK(it->second.primary.AddVersion(m.version, m.cuts, m.start));
   MIND_CHECK_OK(it->second.replicas.AddVersion(m.version, m.cuts, m.start));
+  if (on_version_opened_) {
+    on_version_opened_(m.def.name, m.version, it->second.primary.epoch());
+  }
 }
 
 void MindNode::ApplyInstallCuts(const InstallCutsMsg& m) {
@@ -139,6 +143,9 @@ void MindNode::ApplyInstallCuts(const InstallCutsMsg& m) {
   Status s = st->primary.AddVersion(m.version, m.cuts, m.start);
   if (s.ok()) {
     MIND_CHECK_OK(st->replicas.AddVersion(m.version, m.cuts, m.start));
+    if (on_version_opened_) {
+      on_version_opened_(m.name, m.version, st->primary.epoch());
+    }
   } else {
     MIND_LOG(Warning) << "node " << id() << ": cannot install cuts v"
                       << m.version << " on " << m.name << ": " << s.ToString();
@@ -491,6 +498,12 @@ Result<uint64_t> MindNode::Query(const std::string& index, const Rect& rect,
   return query_id;
 }
 
+bool MindNode::CancelQuery(uint64_t query_id) {
+  if (queries_.find(query_id) == queries_.end()) return false;
+  FinalizeQuery(query_id, /*complete=*/false);
+  return true;
+}
+
 void MindNode::NoteQueryVisit(uint64_t query_id) {
   if (on_query_visit_) on_query_visit_(query_id, id());
 }
@@ -796,14 +809,19 @@ void MindNode::RequestIndexSync() {
 
 void MindNode::Crash() {
   overlay_.Crash();
+  // Pending queries this node originated are abandoned by the crash. Finalize
+  // them (complete=false) rather than just dropping the map: the Query()
+  // contract is that the callback fires exactly once, and a front-end holding
+  // per-query state on top of us would otherwise leak it until ITS timeout.
+  // Sorted ids — finalization runs callbacks, an ordered-emit hazard.
+  for (uint64_t qid : SortedKeys(queries_)) {
+    FinalizeQuery(qid, /*complete=*/false);
+  }
+  queries_.clear();  // anything a finalization callback re-submitted mid-crash
   // Volatile state is lost. Cached covers pin their cut trees, so dropping
   // the stores here would otherwise keep those trees alive via the cache.
   indices_.clear();
   cover_cache_.Invalidate();
-  for (auto& [qid, pq] : queries_) {
-    if (pq.timeout_event) events_->Cancel(pq.timeout_event);
-  }
-  queries_.clear();
   collections_.clear();
   dac_busy_until_ = 0;
   data_sibling_ = kInvalidNode;
@@ -944,6 +962,10 @@ const MindNode::IndexState* MindNode::FindIndex(const std::string& name) const {
 const IndexDef* MindNode::GetIndexDef(const std::string& name) const {
   const IndexState* st = FindIndex(name);
   return st ? &st->def : nullptr;
+}
+
+std::vector<std::string> MindNode::IndexNames() const {
+  return SortedKeys(indices_);
 }
 
 size_t MindNode::PrimaryTupleCount(const std::string& name) const {

@@ -121,9 +121,16 @@ class MindNode {
   using QueryCallback = std::function<void(const QueryResult&)>;
 
   /// Issues a multi-dimensional range query. Returns the query id; the
-  /// callback fires exactly once (completion or timeout).
+  /// callback fires exactly once (completion, timeout or cancellation).
   Result<uint64_t> Query(const std::string& index, const Rect& rect,
                          QueryCallback callback);
+
+  /// Cancels a pending query this node originated, reclaiming its trackers
+  /// immediately instead of waiting for the 45 s timeout sweep. The callback
+  /// fires (once) with complete=false and whatever tuples arrived; counted
+  /// under `mind.query.timeouts` like any other abandoned query. Returns
+  /// false if the query is unknown or already finalized.
+  bool CancelQuery(uint64_t query_id);
 
   // ---- failure control (benches / churn) ----------------------------------
 
@@ -135,12 +142,16 @@ class MindNode {
   // ---- introspection -------------------------------------------------------
 
   bool HasIndex(const std::string& name) const { return indices_.count(name) > 0; }
+  /// Names of the indices this node knows, in lexicographic order.
+  std::vector<std::string> IndexNames() const;
   const IndexDef* GetIndexDef(const std::string& name) const;
   /// Tuples held for an index (primary copies only).
   size_t PrimaryTupleCount(const std::string& name) const;
   /// Tuples held as replicas.
   size_t ReplicaTupleCount(const std::string& name) const;
   const IndexVersions* PrimaryVersions(const std::string& name) const;
+  /// Queries originated here that are still awaiting completion/timeout.
+  size_t pending_query_count() const { return queries_.size(); }
 
   /// Fired at the *storing* node when a tuple commits (primary copy).
   struct StoredInfo {
@@ -159,6 +170,17 @@ class MindNode {
   /// resolving); benches use it to measure the paper's query cost.
   using QueryVisitFn = std::function<void(uint64_t query_id, NodeId node)>;
   void set_on_query_visit(QueryVisitFn fn) { on_query_visit_ = std::move(fn); }
+
+  /// Fired whenever this node opens a new index version (index creation or a
+  /// re-balanced cut installation), with the primary chain's new epoch. The
+  /// front-end's standing queries hang off this to re-execute against fresh
+  /// cuts. Observational only — must never feed back into simulation state.
+  using VersionOpenedFn =
+      std::function<void(const std::string& index, VersionId version,
+                         uint64_t epoch)>;
+  void set_on_version_opened(VersionOpenedFn fn) {
+    on_version_opened_ = std::move(fn);
+  }
 
   // ---- histogram / balancing service (§3.7) --------------------------------
 
@@ -284,6 +306,7 @@ class MindNode {
 
   StoredFn on_stored_;
   QueryVisitFn on_query_visit_;
+  VersionOpenedFn on_version_opened_;
 
   // Registry instruments (`mind.*`, `storage.scan.*`), aggregated across all
   // nodes of one Simulator. Cached at construction; never null.

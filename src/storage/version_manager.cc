@@ -30,6 +30,7 @@ Status IndexVersions::AddVersion(VersionId id, CutTreeRef cuts, SimTime start) {
   e.cuts = cuts;
   e.store = std::make_unique<TupleStore>(std::move(cuts), config_);
   entries_.push_back(std::move(e));
+  ++epoch_;
   return Status::OK();
 }
 

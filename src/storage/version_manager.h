@@ -52,6 +52,12 @@ class IndexVersions {
   /// Latest version id, or nullopt if none.
   std::optional<VersionId> LatestVersion() const;
 
+  /// Monotonic count of versions ever opened on this chain. The front-end's
+  /// standing queries snapshot this to detect that re-balanced cuts were
+  /// installed since their last execution (a cheap "did anything change"
+  /// check that never touches the stores).
+  uint64_t epoch() const { return epoch_; }
+
   /// All versions with their validity start times, in order.
   struct VersionInfo {
     VersionId id;
@@ -88,6 +94,7 @@ class IndexVersions {
 
   TupleStoreConfig config_;
   std::vector<Entry> entries_;  // sorted by (id, start)
+  uint64_t epoch_ = 0;          // versions ever opened (see epoch())
 };
 
 }  // namespace mind

@@ -1,5 +1,7 @@
 #include "traffic/trace_io.h"
 
+#include <cmath>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <iomanip>
@@ -142,6 +144,169 @@ Result<std::vector<AggregateRecord>> ReadAggregatesCsv(std::istream& in) {
     MIND_ASSIGN_OR_RETURN(uint64_t r, ParseU64(fields[9]));
     a.router = static_cast<int>(r);
     out.push_back(a);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- binary (MFT1)
+
+namespace {
+
+constexpr uint32_t kBinMagic = 0x3154464Du;  // "MFT1" little-endian
+constexpr uint16_t kBinVersion = 1;
+constexpr uint16_t kBinRecordBytes = 36;
+constexpr size_t kBinHeaderBytes = 16;
+
+// Explicit little-endian packing so files travel between hosts.
+void PutU16(unsigned char* p, uint16_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+void PutU32(unsigned char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void PutU64(unsigned char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+uint16_t GetU16(const unsigned char* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void EncodeRecord(const FlowRecord& f, unsigned char* p) {
+  PutU32(p + 0, f.src_ip);
+  PutU32(p + 4, f.dst_ip);
+  PutU16(p + 8, f.src_port);
+  PutU16(p + 10, f.dst_port);
+  PutU32(p + 12, f.packets);
+  PutU64(p + 16, f.bytes);
+  uint64_t bits;
+  std::memcpy(&bits, &f.time_sec, sizeof(bits));
+  PutU64(p + 24, bits);
+  PutU32(p + 32, static_cast<uint32_t>(static_cast<int32_t>(f.router)));
+}
+
+// Field-level bounds checks shared by the batch and streaming readers;
+// `which` is the zero-based record index for the error message.
+Status DecodeRecord(const unsigned char* p, uint64_t which, FlowRecord* out) {
+  FlowRecord f;
+  f.src_ip = GetU32(p + 0);
+  f.dst_ip = GetU32(p + 4);
+  f.src_port = GetU16(p + 8);
+  f.dst_port = GetU16(p + 10);
+  f.packets = GetU32(p + 12);
+  f.bytes = GetU64(p + 16);
+  uint64_t bits = GetU64(p + 24);
+  std::memcpy(&f.time_sec, &bits, sizeof(f.time_sec));
+  f.router = static_cast<int>(static_cast<int32_t>(GetU32(p + 32)));
+  if (!std::isfinite(f.time_sec) || f.time_sec < 0) {
+    return Status::InvalidArgument(
+        "binary flow trace: record " + std::to_string(which) +
+        " has a non-finite or negative time_sec");
+  }
+  if (f.router < -1) {
+    return Status::InvalidArgument("binary flow trace: record " +
+                                   std::to_string(which) +
+                                   " has router < -1");
+  }
+  *out = f;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFlowsBinary(std::ostream& out,
+                        const std::vector<FlowRecord>& flows) {
+  unsigned char hdr[kBinHeaderBytes];
+  PutU32(hdr + 0, kBinMagic);
+  PutU16(hdr + 4, kBinVersion);
+  PutU16(hdr + 6, kBinRecordBytes);
+  PutU64(hdr + 8, static_cast<uint64_t>(flows.size()));
+  out.write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
+  unsigned char rec[kBinRecordBytes];
+  for (const auto& f : flows) {
+    EncodeRecord(f, rec);
+    out.write(reinterpret_cast<const char*>(rec), sizeof(rec));
+  }
+  if (!out.good()) return Status::Internal("binary flow trace write failed");
+  return Status::OK();
+}
+
+Status BinaryFlowReader::Open() {
+  unsigned char hdr[kBinHeaderBytes];
+  in_->read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+  if (in_->gcount() != static_cast<std::streamsize>(sizeof(hdr))) {
+    return Status::InvalidArgument(
+        "binary flow trace: stream shorter than the 16-byte header (got " +
+        std::to_string(in_->gcount()) + " bytes)");
+  }
+  if (GetU32(hdr + 0) != kBinMagic) {
+    return Status::InvalidArgument(
+        "binary flow trace: bad magic (not an MFT1 file)");
+  }
+  uint16_t version = GetU16(hdr + 4);
+  if (version != kBinVersion) {
+    return Status::InvalidArgument(
+        "binary flow trace: unsupported version " + std::to_string(version) +
+        " (reader supports " + std::to_string(kBinVersion) + ")");
+  }
+  uint16_t record_bytes = GetU16(hdr + 6);
+  if (record_bytes != kBinRecordBytes) {
+    return Status::InvalidArgument(
+        "binary flow trace: header declares " + std::to_string(record_bytes) +
+        "-byte records, reader expects " + std::to_string(kBinRecordBytes));
+  }
+  record_count_ = GetU64(hdr + 8);
+  opened_ = true;
+  return Status::OK();
+}
+
+Result<bool> BinaryFlowReader::Next(FlowRecord* out) {
+  if (!opened_) return Status::Internal("BinaryFlowReader: Next before Open");
+  if (records_read_ == record_count_) {
+    // Clean end: the declared count is consumed. Trailing bytes mean the
+    // header lied about the count — surface that rather than ignoring data.
+    char extra;
+    if (in_->read(&extra, 1), in_->gcount() != 0) {
+      return Status::InvalidArgument(
+          "binary flow trace: trailing bytes after the declared " +
+          std::to_string(record_count_) + " records");
+    }
+    return false;
+  }
+  unsigned char rec[kBinRecordBytes];
+  in_->read(reinterpret_cast<char*>(rec), sizeof(rec));
+  if (in_->gcount() != static_cast<std::streamsize>(sizeof(rec))) {
+    return Status::InvalidArgument(
+        "binary flow trace: truncated at record " +
+        std::to_string(records_read_) + " of " +
+        std::to_string(record_count_) + " (short read of " +
+        std::to_string(in_->gcount()) + " bytes)");
+  }
+  MIND_RETURN_NOT_OK(DecodeRecord(rec, records_read_, out));
+  ++records_read_;
+  return true;
+}
+
+Result<std::vector<FlowRecord>> ReadFlowsBinary(std::istream& in) {
+  BinaryFlowReader reader(&in);
+  MIND_RETURN_NOT_OK(reader.Open());
+  std::vector<FlowRecord> out;
+  out.reserve(reader.record_count());
+  FlowRecord f;
+  while (true) {
+    MIND_ASSIGN_OR_RETURN(bool more, reader.Next(&f));
+    if (!more) break;
+    out.push_back(f);
   }
   return out;
 }

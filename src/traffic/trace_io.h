@@ -1,14 +1,26 @@
-// CSV import/export of raw flow records and aggregate records, so generated
+// Import/export of raw flow records and aggregate records, so generated
 // traces can be persisted, inspected with standard tools, or replaced by
 // real NetFlow exports converted to the same format.
 //
-// Formats (one record per line, header row included):
+// Text formats (one record per line, header row included):
 //   flows:      src_ip,dst_ip,src_port,dst_port,bytes,packets,time_sec,router
 //   aggregates: src_prefix,dst_prefix,window_start,octets,fanout,
 //               distinct_dsts,flows,avg_flow_size,top_dst_port,router
+//
+// Binary flow-trace format "MFT1" (the live front-end's ingest format,
+// little-endian, streamable):
+//   file header (16 bytes): magic "MFT1", version u16 (= 1),
+//                           record_bytes u16 (= 36), record_count u64
+//   then record_count records of exactly record_bytes each:
+//     src_ip u32, dst_ip u32, src_port u16, dst_port u16, packets u32,
+//     bytes u64, time_sec f64 (IEEE bits), router i32
+// Every header field is validated on open and every record on read —
+// corruption yields a precise InvalidArgument (which record, what is wrong)
+// rather than a silently truncated trace.
 #ifndef MIND_TRAFFIC_TRACE_IO_H_
 #define MIND_TRAFFIC_TRACE_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
@@ -22,6 +34,41 @@ Status WriteFlowsCsv(std::ostream& out, const std::vector<FlowRecord>& flows);
 
 /// Reads raw flow records from CSV (header required).
 Result<std::vector<FlowRecord>> ReadFlowsCsv(std::istream& in);
+
+/// Writes raw flow records in the MFT1 binary format described above.
+Status WriteFlowsBinary(std::ostream& out, const std::vector<FlowRecord>& flows);
+
+/// Reads a whole MFT1 stream (validating header and every record).
+Result<std::vector<FlowRecord>> ReadFlowsBinary(std::istream& in);
+
+/// \brief Streaming MFT1 reader: validates the file header up front, then
+/// yields one record per Next() call so multi-hour traces never need to be
+/// materialized. The live front-end's TraceSource wraps this.
+class BinaryFlowReader {
+ public:
+  /// Does not take ownership; `in` must outlive the reader.
+  explicit BinaryFlowReader(std::istream* in) : in_(in) {}
+
+  /// Reads and validates the file header. Must be called (once) before
+  /// Next(); returns a precise InvalidArgument on any malformed field.
+  Status Open();
+
+  /// Reads the next record into `*out`. Returns false at a clean end of
+  /// stream (exactly record_count records consumed); a short read, a record
+  /// past the declared count, or an out-of-bounds field is an error naming
+  /// the offending record.
+  Result<bool> Next(FlowRecord* out);
+
+  /// Declared record count (valid after Open()).
+  uint64_t record_count() const { return record_count_; }
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  std::istream* in_;
+  bool opened_ = false;
+  uint64_t record_count_ = 0;
+  uint64_t records_read_ = 0;
+};
 
 /// Writes aggregate records as CSV.
 Status WriteAggregatesCsv(std::ostream& out,

@@ -485,5 +485,83 @@ TEST_F(MindNetTest, AnomalyByProductListsObservingMonitors) {
   EXPECT_EQ(monitors, (std::set<int>{0, 1, 2, 3}));
 }
 
+// --------------------------------------------- Query lifecycle reclamation
+
+TEST_F(MindNetTest, CancelQueryFinalizesIncompleteAndReclaims) {
+  Start(8);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(net_->node(rng.Uniform(8))
+                    .Insert("test_idx", MakeTuple(rng.Uniform(10000), 1000 + i,
+                                                  rng.Uniform(10000), 0, i))
+                    .ok());
+    net_->sim().RunFor(FromMillis(30));
+  }
+  net_->sim().RunFor(FromSeconds(20));
+
+#ifndef MIND_TELEMETRY_DISABLED
+  const uint64_t timeouts_before =
+      net_->sim().metrics().counter("mind.query.timeouts").value();
+#endif
+  std::optional<QueryResult> out;
+  auto qid = net_->node(2).Query(
+      "test_idx", Rect({{0, 9999}, {0, UINT64_MAX}, {0, 9999}}),
+      [&](const QueryResult& r) { out = r; });
+  ASSERT_TRUE(qid.ok());
+  EXPECT_EQ(net_->node(2).pending_query_count(), 1u);
+
+  // Cancel while the query is still fanning out: the callback must fire
+  // exactly once (complete=false), the tracker state must be reclaimed, and
+  // the cancellation must be counted with the timeouts.
+  EXPECT_TRUE(net_->node(2).CancelQuery(qid.value()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->complete);
+  EXPECT_EQ(net_->node(2).pending_query_count(), 0u);
+#ifndef MIND_TELEMETRY_DISABLED
+  EXPECT_EQ(net_->sim().metrics().counter("mind.query.timeouts").value(),
+            timeouts_before + 1);
+#endif
+
+  // A second cancel (and a cancel of a never-issued id) is a no-op.
+  EXPECT_FALSE(net_->node(2).CancelQuery(qid.value()));
+  EXPECT_FALSE(net_->node(2).CancelQuery(0xdeadbeef));
+
+  // Straggler replies to the finalized query must be ignored, not crash or
+  // re-fire the callback.
+  out.reset();
+  net_->sim().RunFor(FromSeconds(60));
+  EXPECT_FALSE(out.has_value());
+  EXPECT_TRUE(net_->ValidateInvariants(/*quiescent=*/true).ok());
+}
+
+TEST_F(MindNetTest, CrashFiresPendingQueryCallbacksIncomplete) {
+  Start(8);
+  ASSERT_TRUE(net_->node(0).Insert("test_idx", MakeTuple(5, 2000, 5, 0, 1)).ok());
+  net_->sim().RunFor(FromSeconds(10));
+
+  int fired = 0;
+  int complete = 0;
+  Rect everything({{0, 9999}, {0, UINT64_MAX}, {0, 9999}});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(net_->node(4)
+                    .Query("test_idx", everything,
+                           [&](const QueryResult& r) {
+                             ++fired;
+                             if (r.complete) ++complete;
+                           })
+                    .ok());
+  }
+  EXPECT_EQ(net_->node(4).pending_query_count(), 3u);
+
+  // A crash must not leak pending queries: every outstanding callback fires
+  // (incomplete), so callers blocked on the node learn their fate.
+  net_->node(4).Crash();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(complete, 0);
+  EXPECT_EQ(net_->node(4).pending_query_count(), 0u);
+  net_->sim().RunFor(FromSeconds(30));
+  EXPECT_EQ(fired, 3);  // stragglers never re-fire a finalized callback
+}
+
 }  // namespace
 }  // namespace mind

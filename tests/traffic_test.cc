@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "space/histogram.h"
 #include "space/mismatch.h"
@@ -12,6 +14,7 @@
 #include "traffic/flow_generator.h"
 #include "traffic/indices.h"
 #include "traffic/topology.h"
+#include "traffic/trace_io.h"
 
 namespace mind {
 namespace {
@@ -480,6 +483,150 @@ TEST(AnomalyInjectorTest, EmptyOutsideEventWindow) {
   ev.magnitude = 10000;
   EXPECT_TRUE(inj.Generate(ev, 0, 900).empty());
   EXPECT_TRUE(inj.Generate(ev, 1100, 2000).empty());
+}
+
+// ------------------------------------------------- Binary trace I/O (MFT1)
+
+std::vector<FlowRecord> SampleFlows() {
+  std::vector<FlowRecord> flows;
+  for (int i = 0; i < 5; ++i) {
+    FlowRecord f;
+    f.src_ip = 0x0a000001u + static_cast<uint32_t>(i);
+    f.dst_ip = 0xc0a80001u + static_cast<uint32_t>(7 * i);
+    f.src_port = static_cast<uint16_t>(1024 + i);
+    f.dst_port = static_cast<uint16_t>(80 + i);
+    f.bytes = 1'000'000'000ull * static_cast<uint64_t>(i + 1);
+    f.packets = static_cast<uint32_t>(40 + i);
+    f.time_sec = 39600.0 + 0.125 * i;
+    f.router = i % 2 ? -1 : i;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+/// Serializes SampleFlows(), hands the bytes to `corrupt` for mutation, and
+/// returns the whole-stream read result.
+Result<std::vector<FlowRecord>> ReadCorrupted(
+    const std::function<void(std::string*)>& corrupt) {
+  std::ostringstream out;
+  EXPECT_TRUE(WriteFlowsBinary(out, SampleFlows()).ok());
+  std::string bytes = out.str();
+  corrupt(&bytes);
+  std::istringstream in(bytes);
+  return ReadFlowsBinary(in);
+}
+
+TEST(BinaryTraceIoTest, RoundTripPreservesEveryField) {
+  auto flows = SampleFlows();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteFlowsBinary(out, flows).ok());
+  // Header 16 bytes + 36 bytes per record, exactly.
+  EXPECT_EQ(out.str().size(), 16u + 36u * flows.size());
+  std::istringstream in(out.str());
+  auto got = ReadFlowsBinary(in);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().size(), flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(got.value()[i].src_ip, flows[i].src_ip);
+    EXPECT_EQ(got.value()[i].dst_ip, flows[i].dst_ip);
+    EXPECT_EQ(got.value()[i].src_port, flows[i].src_port);
+    EXPECT_EQ(got.value()[i].dst_port, flows[i].dst_port);
+    EXPECT_EQ(got.value()[i].bytes, flows[i].bytes);
+    EXPECT_EQ(got.value()[i].packets, flows[i].packets);
+    EXPECT_EQ(got.value()[i].time_sec, flows[i].time_sec);  // exact: f64 bits
+    EXPECT_EQ(got.value()[i].router, flows[i].router);
+  }
+}
+
+TEST(BinaryTraceIoTest, RejectsShortHeader) {
+  auto got = ReadCorrupted([](std::string* b) { b->resize(10); });
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("shorter than the 16-byte header"),
+            std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(BinaryTraceIoTest, RejectsBadMagic) {
+  auto got = ReadCorrupted([](std::string* b) { (*b)[0] = 'X'; });
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("bad magic"), std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(BinaryTraceIoTest, RejectsUnsupportedVersion) {
+  auto got = ReadCorrupted([](std::string* b) { (*b)[4] = 9; });
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("unsupported version 9"),
+            std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(BinaryTraceIoTest, RejectsRecordSizeMismatch) {
+  auto got = ReadCorrupted([](std::string* b) { (*b)[6] = 40; });
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("40-byte records, reader expects 36"),
+            std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(BinaryTraceIoTest, ReportsTruncatedRecord) {
+  // Chop the file mid-way through record 3 (zero-based).
+  auto got = ReadCorrupted([](std::string* b) { b->resize(16 + 36 * 3 + 20); });
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find(
+                "truncated at record 3 of 5 (short read of 20 bytes)"),
+            std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(BinaryTraceIoTest, ReportsTrailingBytes) {
+  auto got = ReadCorrupted([](std::string* b) { b->append("junk"); });
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find(
+                "trailing bytes after the declared 5 records"),
+            std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(BinaryTraceIoTest, RejectsCorruptTimeAndRouter) {
+  // time_sec sits at record offset 24; flip its sign bit (byte 7 of the f64).
+  auto got = ReadCorrupted(
+      [](std::string* b) { (*b)[16 + 36 * 2 + 24 + 7] |= '\x80'; });
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find(
+                "record 2 has a non-finite or negative time_sec"),
+            std::string::npos)
+      << got.status().ToString();
+
+  // router sits at record offset 32; -5 as little-endian i32.
+  got = ReadCorrupted([](std::string* b) {
+    const size_t off = 16 + 36 * 4 + 32;
+    (*b)[off] = static_cast<char>(0xFB);
+    (*b)[off + 1] = (*b)[off + 2] = (*b)[off + 3] = static_cast<char>(0xFF);
+  });
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("record 4 has router < -1"),
+            std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(BinaryTraceIoTest, StreamingReaderCountsRecords) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteFlowsBinary(out, SampleFlows()).ok());
+  std::istringstream in(out.str());
+  BinaryFlowReader reader(&in);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.record_count(), 5u);
+  FlowRecord f;
+  size_t n = 0;
+  while (true) {
+    auto more = reader.Next(&f);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.value()) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(reader.records_read(), 5u);
 }
 
 }  // namespace

@@ -12,7 +12,10 @@
 #       (`--discipline`) and the sharded parallel engine at worker thread
 #       counts 1, 2, 4 and 8 (`--threads=N`) disagree with each other
 #       (engine identity: the parallel engine must compute the exact same
-#       world as the sequential discipline it refines).
+#       world as the sequential discipline it refines), or
+#   (d) the front-end-driven scenario (`--frontend`: streaming ingest +
+#       admission-controlled query service) disagrees run to run or across
+#       MIND_TELEMETRY settings.
 #
 # The flagless (legacy-mode) digest is intentionally distinct from the
 # discipline digest: the discipline switches jitter to counter-based per-link
@@ -63,6 +66,25 @@ if [[ "${run1}" != "${run_off}" ]]; then
        "changes simulation state (telemetry must be observation-only)" >&2
   fail=1
 fi
+echo
+echo "== front-end replay (ingest pipeline + admission-controlled queries) =="
+fe1="$(digest "${BUILD}/on/tools/determinism_probe" --frontend)"
+fe2="$(digest "${BUILD}/on/tools/determinism_probe" --frontend)"
+fe_off="$(digest "${BUILD}/off/tools/determinism_probe" --frontend)"
+echo "frontend run 1 (telemetry on):  ${fe1}"
+echo "frontend run 2 (telemetry on):  ${fe2}"
+echo "frontend run 3 (telemetry off): ${fe_off}"
+if [[ "${fe1}" != "${fe2}" ]]; then
+  echo "FAIL: two front-end runs diverged -- src/frontend leaked" \
+       "nondeterminism (unordered lane/queue iteration?)" >&2
+  fail=1
+fi
+if [[ "${fe1}" != "${fe_off}" ]]; then
+  echo "FAIL: front-end digests differ across MIND_TELEMETRY settings --" \
+       "a frontend.* recording call changes simulation state" >&2
+  fail=1
+fi
+
 echo
 echo "== engine identity (sequential discipline vs parallel thread counts) =="
 probe="${BUILD}/on/tools/determinism_probe"

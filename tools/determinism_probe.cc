@@ -14,28 +14,106 @@
 //                   discipline (counter RNG + keyed event ordering)
 //   --threads=N     run the sharded parallel engine with N worker threads
 //                   (implies the discipline)
+//   --frontend      drive inserts and queries through the live front-end
+//                   (src/frontend) instead of the closed-loop harness:
+//                   streaming ingest with batching plus the admission-
+//                   controlled query service with standing queries and
+//                   deadline cancellations
 // The script asserts that --discipline and every --threads=N value print the
-// SAME digest (engine identity), and that the flagless legacy digest is
-// unchanged across builds (no regression of historical replay digests).
+// SAME digest (engine identity), that the flagless legacy digest is
+// unchanged across builds (no regression of historical replay digests), and
+// that the --frontend digest is reproducible run to run and across
+// MIND_TELEMETRY settings.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "bench/common.h"
+#include "frontend/frontend.h"
 
 using namespace mind;
 using namespace mind::bench;
 
+namespace {
+
+// Frontend-driven scenario: the same 34-node deployment, but the two-minute
+// trace slice streams through the ingest pipeline (batched InsertBatch
+// trains, drop/defer back-pressure) and the queries go through admission
+// control — standing queries included, so version epochs and service
+// deadlines are all on the digested path.
+int RunFrontendScenario(MindNet& net, const Topology& topo) {
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 40;
+  gopts.seed = 707;
+  FlowGenerator gen(topo, gopts);
+  auto source = std::make_unique<frontend::GeneratorTraceSource>(
+      &gen, /*day=*/0, 39600.0, 39600.0 + 120.0);
+
+  frontend::FrontendOptions fopts;
+  fopts.ingest.batcher.batch_max_tuples = 8;
+  fopts.ingest.batcher.queue_max_tuples = 64;
+  fopts.query.max_inflight = 4;
+  fopts.query.max_queue = 8;
+  fopts.query.per_client_quota = 3;
+  fopts.query.default_deadline = FromSeconds(10);
+  frontend::Frontend fe(&net, std::move(source), fopts);
+
+  const IndexDef def = MakeIndex1({});
+  frontend::ClientId c0 = fe.queries().RegisterClient(0);
+  frontend::ClientId c1 = fe.queries().RegisterClient(7);
+  auto sink = [](const frontend::Delivery&) {};
+  Rng srng(41);
+  (void)fe.queries().AddStanding(c0, "index1_fanout",
+                                 RandomMonitoringQuery(&srng, def, 39720),
+                                 FromSeconds(20), sink);
+  Rng qrng(99);
+  for (int i = 0; i < 12; ++i) {
+    Rect rect = RandomMonitoringQuery(&qrng, def, 39600 + 120);
+    net.sim().events().Schedule(
+        FromSeconds(5 + 9 * i), [&fe, c0, c1, i, rect, &sink] {
+          (void)fe.queries().Submit(i % 2 ? c0 : c1, "index1_fanout", rect,
+                                    sink, i % 3 == 0 ? FromMillis(50) : 0);
+        });
+  }
+
+  fe.Start();
+  net.sim().RunFor(FromSeconds(150));
+  for (int i = 0; i < 40 && !fe.ingest().done(); ++i) {
+    net.sim().RunFor(FromSeconds(5));
+  }
+  net.sim().RunFor(FromSeconds(30));
+  if (!fe.ingest().source_status().ok()) {
+    std::fprintf(stderr, "frontend trace error: %s\n",
+                 fe.ingest().source_status().ToString().c_str());
+    return 1;
+  }
+
+  Status st = net.ValidateInvariants(/*quiescent=*/true);
+  if (!st.ok()) {
+    std::fprintf(stderr, "final validation failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("state_digest %s\n", DigestToHex(net.StateDigest()).c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int threads = 0;
   bool discipline = false;
+  bool use_frontend = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--discipline") == 0) {
       discipline = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--frontend") == 0) {
+      use_frontend = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--discipline] [--threads=N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--discipline] [--threads=N] [--frontend]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -64,6 +142,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   CreatePaperIndices(net);
+
+  if (use_frontend) return RunFrontendScenario(net, topo);
 
   TraceDriveOptions topts;
   topts.day = 0;

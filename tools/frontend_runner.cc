@@ -1,0 +1,219 @@
+// frontend_runner: drives the live front-end end to end on one deployment —
+// trace replay through the streaming ingest pipeline plus a concurrent query
+// workload through the admission-controlled query service — and prints a
+// run summary (README "Front-end quick start").
+//
+// Modes:
+//   --dump-trace=FILE   generate a synthetic flow trace and write it as an
+//                       MFT1 binary file (see src/traffic/trace_io.h), then
+//                       exit. Pairs with --minutes.
+//   (default)           replay a trace into the paper's three indices on an
+//                       Abilene+GEANT deployment while clients submit
+//                       on-demand and standing range queries.
+//
+// Flags:
+//   --trace=FILE    replay this MFT1 file instead of generating traffic
+//   --minutes=M     trace window length (default 3)
+//   --rate=X        replay rate multiplier (default 1.0; 2 = twice as fast)
+//   --clients=N     query clients (default 8)
+//   --defer         lossless back-pressure (default: drop-newest)
+//
+// Everything runs on the deterministic sequential engine: rerunning the same
+// command reproduces the same numbers exactly.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "bench/common.h"
+#include "frontend/frontend.h"
+
+using namespace mind;
+using namespace mind::bench;
+
+namespace {
+
+struct Args {
+  std::string dump_trace;
+  std::string trace;
+  double minutes = 3.0;
+  double rate = 1.0;
+  size_t clients = 8;
+  bool defer = false;
+};
+
+bool Parse(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--dump-trace=", 13) == 0) {
+      out->dump_trace = a + 13;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      out->trace = a + 8;
+    } else if (std::strncmp(a, "--minutes=", 10) == 0) {
+      out->minutes = std::atof(a + 10);
+    } else if (std::strncmp(a, "--rate=", 7) == 0) {
+      out->rate = std::atof(a + 7);
+    } else if (std::strncmp(a, "--clients=", 10) == 0) {
+      out->clients = static_cast<size_t>(std::atoi(a + 10));
+    } else if (std::strcmp(a, "--defer") == 0) {
+      out->defer = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--dump-trace=FILE] [--trace=FILE] "
+                   "[--minutes=M] [--rate=X] [--clients=N] [--defer]\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return out->minutes > 0 && out->rate > 0 && out->clients > 0;
+}
+
+constexpr double kT0Sec = 39600;  // trace window starts at 11:00
+
+int DumpTrace(const Args& args) {
+  Topology topo = Topology::AbileneGeant();
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 40;
+  gopts.seed = 0xF10F21;
+  FlowGenerator gen(topo, gopts);
+  frontend::GeneratorTraceSource source(&gen, /*day=*/0, kT0Sec,
+                                        kT0Sec + args.minutes * 60.0);
+  std::vector<FlowRecord> flows;
+  FlowRecord r;
+  while (true) {
+    auto more = source.Next(&r);
+    if (!more.ok() || !more.value()) break;
+    flows.push_back(r);
+  }
+  std::ofstream out(args.dump_trace, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 args.dump_trace.c_str());
+    return 1;
+  }
+  Status st = WriteFlowsBinary(out, flows);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records (%.1f trace minutes) to %s\n", flows.size(),
+              args.minutes, args.dump_trace.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return 2;
+  if (!args.dump_trace.empty()) return DumpTrace(args);
+
+  Topology topo = Topology::AbileneGeant();
+  DeploymentOptions dopts;
+  dopts.seed = 0xF0E21;
+  auto net = MakeDeployment(topo, dopts);
+  CreatePaperIndices(*net);
+
+  // Source: the MFT1 file if given, synthetic generation otherwise.
+  std::ifstream trace_file;
+  FlowGeneratorOptions gopts;
+  gopts.peak_flows_per_router_sec = 40;
+  gopts.seed = 0xF10F21;
+  FlowGenerator gen(topo, gopts);
+  std::unique_ptr<frontend::TraceSource> source;
+  if (!args.trace.empty()) {
+    trace_file.open(args.trace, std::ios::binary);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open trace %s\n", args.trace.c_str());
+      return 1;
+    }
+    source = std::make_unique<frontend::BinaryTraceSource>(&trace_file);
+  } else {
+    source = std::make_unique<frontend::GeneratorTraceSource>(
+        &gen, /*day=*/0, kT0Sec, kT0Sec + args.minutes * 60.0);
+  }
+
+  frontend::FrontendOptions fopts;
+  fopts.ingest.rate_multiplier = args.rate;
+  fopts.ingest.batcher.policy = args.defer
+                                    ? frontend::OverflowPolicy::kDefer
+                                    : frontend::OverflowPolicy::kDropNewest;
+  fopts.query.max_inflight = 16;
+  fopts.query.per_client_quota = 4;
+  fopts.query.max_cost_tuples = 1000;
+  frontend::Frontend fe(net.get(), std::move(source), fopts);
+
+  std::vector<frontend::ClientId> clients;
+  for (size_t c = 0; c < args.clients; ++c) {
+    clients.push_back(
+        fe.queries().RegisterClient(static_cast<NodeId>(c % net->size())));
+  }
+
+  const IndexDef defs[3] = {MakeIndex1({}), MakeIndex2({}), MakeIndex3({})};
+  const char* names[3] = {"index1_fanout", "index2_octets", "index3_flowsize"};
+  uint64_t delivered = 0;
+  auto sink = [&delivered](const frontend::Delivery& d) {
+    delivered += d.tuples.size();
+  };
+
+  // One standing query per index from client 0, plus a steady on-demand
+  // stream: every client submits one monitoring query per replayed second.
+  for (int i = 0; i < 3; ++i) {
+    Rng srng(0x5741 + static_cast<uint64_t>(i));
+    (void)fe.queries().AddStanding(
+        clients[0], names[i],
+        RandomMonitoringQuery(&srng, defs[i], kT0Sec + args.minutes * 60.0),
+        FromSeconds(10), sink);
+  }
+  Rng qrng(0x9021);
+  const double drive_sec = args.minutes * 60.0 / args.rate;
+  for (double t = 1.0; t < drive_sec; t += 1.0) {
+    for (size_t c = 0; c < clients.size(); ++c) {
+      const int which = static_cast<int>((static_cast<size_t>(t) + c) % 3);
+      Rect rect = RandomMonitoringQuery(
+          &qrng, defs[which], static_cast<uint64_t>(kT0Sec + t * args.rate));
+      net->sim().events().Schedule(
+          FromSeconds(t + 0.03 * static_cast<double>(c)),
+          [&fe, &clients, c, which, rect, &names, &sink] {
+            (void)fe.queries().Submit(clients[c], names[which], rect, sink);
+          });
+    }
+  }
+
+  fe.Start();
+  net->sim().RunFor(FromSeconds(drive_sec));
+  for (int i = 0; i < 200 && !fe.ingest().done(); ++i) {
+    net->sim().RunFor(FromSeconds(5));
+  }
+  net->sim().RunFor(FromSeconds(45));  // settle in-flight queries
+
+  if (!fe.ingest().source_status().ok()) {
+    std::fprintf(stderr, "trace error: %s\n",
+                 fe.ingest().source_status().ToString().c_str());
+  }
+
+  auto& sm = net->sim().metrics();
+  const auto& qs = fe.queries();
+  const auto& ig = fe.ingest();
+  std::printf("=== frontend_runner: %.1f trace minutes at %.1fx on %zu nodes ===\n",
+              args.minutes, args.rate, net->size());
+  std::printf("ingest:  %llu records -> %llu tuples, %llu batches "
+              "(%llu dropped, %llu defer rounds)\n",
+              static_cast<unsigned long long>(ig.records_in()),
+              static_cast<unsigned long long>(ig.tuples_out()),
+              static_cast<unsigned long long>(ig.batches_sent()),
+              static_cast<unsigned long long>(ig.tuples_dropped()),
+              static_cast<unsigned long long>(ig.defer_rounds()));
+  std::printf("queries: admitted=%llu rejected=%llu completed=%llu "
+              "deadline-cancels=%llu, %llu tuples delivered\n",
+              static_cast<unsigned long long>(qs.admitted_total()),
+              static_cast<unsigned long long>(qs.rejected_total()),
+              static_cast<unsigned long long>(qs.completed_total()),
+              static_cast<unsigned long long>(qs.deadline_cancels()),
+              static_cast<unsigned long long>(delivered));
+  PrintLatencyRowHist("service latency",
+                      sm.histogram("frontend.query.latency_ms"));
+  return fe.ingest().source_status().ok() ? 0 : 1;
+}

@@ -40,7 +40,8 @@ import os
 import re
 import sys
 
-LINT_DIRS = ["src/sim", "src/overlay", "src/mind", "src/space", "src/storage"]
+LINT_DIRS = ["src/sim", "src/overlay", "src/mind", "src/space", "src/storage",
+             "src/frontend"]
 TELEMETRY_EXEMPT = "src/telemetry"
 # The one engine boundary allowed to hold threading primitives (matches
 # parallel_engine.h and parallel_engine.cc).
