@@ -2,23 +2,46 @@
 // omits for space: query latency is qualitatively similar to insertion
 // latency, ~90% of queries visit fewer than 5 nodes, and no query visits
 // more than 12.
+//
+// Runs once per index backend (sorted runs / hierarchical bitmaps /
+// adaptive). Backends are digest-transparent physical layout
+// (docs/BACKENDS.md): every run must produce identical latencies, costs and
+// deployment digest, asserted here with a nonzero exit on divergence.
+// Per-backend instruments export as bench.fig15.<backend>.*; the unprefixed
+// names stay on the sorted run for continuity.
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "bench/common.h"
 
 using namespace mind;
 using namespace mind::bench;
 
-int main() {
+namespace {
+
+struct Fig15Outcome {
+  std::vector<double> lat;
+  std::map<size_t, size_t> cost_hist;
+  size_t le5 = 0, total = 0, max_cost = 0;
+  size_t stored = 0;
+  uint64_t digest = 0;
+};
+
+Fig15Outcome RunFig15(IndexBackendKind backend,
+                      telemetry::MetricsRegistry& bench_metrics,
+                      bool legacy_names) {
+  const std::string prefix =
+      std::string("bench.fig15.") + IndexBackendKindName(backend) + ".";
   const size_t kNodes = 102;
   MindNetOptions mopts;
   mopts.sim.seed = 15150;
   mopts.sim.network.jitter_mu_ln_ms = 4.0;
   mopts.sim.network.jitter_sigma_ln = 1.0;
   mopts.mind.replication = 1;
+  mopts.mind.store_backend = backend;
   MindNet net(kNodes, mopts);
-  if (!net.Build().ok()) return 1;
+  if (!net.Build().ok()) std::abort();
   CreatePaperIndices(net, {}, true, false, false);
 
   // Load Index-1 with trace-derived points from every node.
@@ -48,55 +71,107 @@ int main() {
   const IndexDef* def = net.node(0).GetIndexDef("index1_fanout");
   Rng rng(15);
   // Table and BENCH_*.json read the same instruments (fig10 convention).
-  telemetry::MetricsRegistry bench_metrics;
-  auto& latency_ms = bench_metrics.histogram("bench.fig15.query_latency_ms");
-  auto& cost_h = bench_metrics.histogram("bench.fig15.resolver_cost_nodes");
-  std::vector<double> lat;
-  std::map<size_t, size_t> cost_hist;
-  size_t le5 = 0, total = 0, max_cost = 0;
+  auto& latency_ms = bench_metrics.histogram(prefix + "query_latency_ms");
+  auto& cost_h = bench_metrics.histogram(prefix + "resolver_cost_nodes");
+  Fig15Outcome out;
   for (int iter = 0; iter < 200; ++iter) {
     Rect q = RandomMonitoringQuery(&rng, *def, 43200);
     auto result = RunQueryBlocking(net, rng.Uniform(kNodes), "index1_fanout", q);
     if (!result || !result->complete) continue;
-    lat.push_back(ToSeconds(result->latency));
+    out.lat.push_back(ToSeconds(result->latency));
     latency_ms.Record(ToSeconds(result->latency) * 1e3);
     // The paper's metric: nodes involved while retrieving the results.
     size_t cost = result->responders;
-    cost_hist[cost]++;
+    out.cost_hist[cost]++;
     cost_h.Record(static_cast<double>(cost));
-    max_cost = std::max(max_cost, net.QueryVisitCount(result->query_id));
-    if (cost < 5) ++le5;
-    ++total;
+    if (legacy_names) {
+      bench_metrics.histogram("bench.fig15.query_latency_ms")
+          .Record(ToSeconds(result->latency) * 1e3);
+      bench_metrics.histogram("bench.fig15.resolver_cost_nodes")
+          .Record(static_cast<double>(cost));
+    }
+    out.max_cost = std::max(out.max_cost, net.QueryVisitCount(result->query_id));
+    if (cost < 5) ++out.le5;
+    ++out.total;
   }
+  out.stored = net.TotalPrimaryTuples("index1_fanout");
+  out.digest = net.StateDigest();
+
+  const double denom = static_cast<double>(out.total);
+  bench_metrics.gauge(prefix + "lt5_resolver_pct")
+      .Set(100.0 * static_cast<double>(out.le5) / denom);
+  bench_metrics.gauge(prefix + "max_nodes_visited")
+      .Set(static_cast<double>(out.max_cost));
+  bench_metrics.counter(prefix + "queries_complete")
+      .Inc(static_cast<uint64_t>(out.total));
+  if (legacy_names) {
+    bench_metrics.gauge("bench.fig15.lt5_resolver_pct")
+        .Set(100.0 * static_cast<double>(out.le5) / denom);
+    bench_metrics.gauge("bench.fig15.max_nodes_visited")
+        .Set(static_cast<double>(out.max_cost));
+    bench_metrics.counter("bench.fig15.queries_complete")
+        .Inc(static_cast<uint64_t>(out.total));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  telemetry::MetricsRegistry bench_metrics;
+  const IndexBackendKind kBackends[] = {IndexBackendKind::kSortedRuns,
+                                        IndexBackendKind::kBitmap,
+                                        IndexBackendKind::kAdaptive};
+  std::map<IndexBackendKind, Fig15Outcome> runs;
+  for (IndexBackendKind b : kBackends) {
+    runs[b] = RunFig15(b, bench_metrics,
+                       /*legacy_names=*/b == IndexBackendKind::kSortedRuns);
+  }
+  const Fig15Outcome& base = runs[IndexBackendKind::kSortedRuns];
 
   std::printf("=== Figure 15 (§4.3): query cost & latency at 102-node scale ===\n");
-  std::printf("stored tuples: %zu; completed queries: %zu\n\n",
-              net.TotalPrimaryTuples("index1_fanout"), total);
+  std::printf("stored tuples: %zu; completed queries: %zu\n\n", base.stored,
+              base.total);
   std::printf("query cost (resolver nodes, incl. negative replies):\n");
   size_t cum = 0;
-  for (const auto& [cost, count] : cost_hist) {
+  for (const auto& [cost, count] : base.cost_hist) {
     cum += count;
     std::printf("  %2zu nodes: %5zu  (cum %.1f%%)\n", cost, count,
-                100.0 * static_cast<double>(cum) / static_cast<double>(total));
+                100.0 * static_cast<double>(cum) /
+                    static_cast<double>(base.total));
   }
   std::printf("queries resolved by < 5 nodes: %.1f%%  (paper: ~90%%); max "
               "overlay nodes touched: %zu (paper: <= 12 visited)\n\n",
-              100.0 * static_cast<double>(le5) / static_cast<double>(total),
-              max_cost);
-  PrintLatencyRow("query latency", lat);
+              100.0 * static_cast<double>(base.le5) /
+                  static_cast<double>(base.total),
+              base.max_cost);
+  PrintLatencyRow("query latency", base.lat);
+  std::printf("\n");
 
-  bench_metrics.gauge("bench.fig15.lt5_resolver_pct")
-      .Set(100.0 * static_cast<double>(le5) / static_cast<double>(total));
-  bench_metrics.gauge("bench.fig15.max_nodes_visited")
-      .Set(static_cast<double>(max_cost));
-  bench_metrics.counter("bench.fig15.queries_complete")
-      .Inc(static_cast<uint64_t>(total));
+  // Backend transparency: identical latencies, costs and deployment digest.
+  bool diverged = false;
+  for (IndexBackendKind b : kBackends) {
+    const Fig15Outcome& o = runs[b];
+    std::printf("backend %-7s: %zu queries complete, digest %016llx\n",
+                IndexBackendKindName(b), o.total,
+                static_cast<unsigned long long>(o.digest));
+    if (o.lat != base.lat || o.cost_hist != base.cost_hist ||
+        o.le5 != base.le5 || o.total != base.total ||
+        o.max_cost != base.max_cost || o.stored != base.stored ||
+        o.digest != base.digest) {
+      std::fprintf(stderr, "FAIL: backend %s diverged from sorted baseline\n",
+                   IndexBackendKindName(b));
+      diverged = true;
+    }
+  }
+
   telemetry::RunMeta meta;
   meta.bench = "fig15_scale_query";
-  meta.seed = mopts.sim.seed;
+  meta.seed = 15150;
   meta.topology = "flat";
-  meta.nodes = static_cast<int>(kNodes);
+  meta.nodes = 102;
   meta.extra["queries"] = "200";
+  meta.extra["backends"] = "sorted,bitmap,adaptive";
   ExportBench(bench_metrics, meta);
-  return 0;
+  return diverged ? 1 : 0;
 }

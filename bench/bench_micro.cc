@@ -102,9 +102,14 @@ void BM_BalancedCutConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_BalancedCutConstruction)->Arg(6)->Arg(10);
 
+// arg 0 selects the index backend: 0 = sorted runs, 1 = bitmap
+// (docs/BACKENDS.md) — same workload, different physical layout.
 void BM_TupleStoreInsert(benchmark::State& state) {
   auto cuts = std::make_shared<CutTree>(CutTree::Even(Schema3()));
-  TupleStore store(cuts, 32);
+  TupleStoreConfig cfg;
+  cfg.code_len = 32;
+  cfg.options.backend = static_cast<IndexBackendKind>(state.range(0));
+  TupleStore store(cuts, cfg);
   auto pts = RandomPoints(4096, 7);
   size_t i = 0;
   for (auto _ : state) {
@@ -114,11 +119,18 @@ void BM_TupleStoreInsert(benchmark::State& state) {
     store.Insert(std::move(t));
   }
 }
-BENCHMARK(BM_TupleStoreInsert);
+BENCHMARK(BM_TupleStoreInsert)
+    ->ArgNames({"backend"})
+    ->Arg(0)
+    ->Arg(1);
 
+// args: {stored rows, backend (0 = sorted, 1 = bitmap)}
 void BM_TupleStoreQuery(benchmark::State& state) {
   auto cuts = std::make_shared<CutTree>(CutTree::Even(Schema3()));
-  TupleStore store(cuts, 32);
+  TupleStoreConfig cfg;
+  cfg.code_len = 32;
+  cfg.options.backend = static_cast<IndexBackendKind>(state.range(1));
+  TupleStore store(cuts, cfg);
   for (const auto& p : RandomPoints(static_cast<size_t>(state.range(0)), 8)) {
     Tuple t;
     t.point = p;
@@ -129,7 +141,12 @@ void BM_TupleStoreQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(store.Count(q));
   }
 }
-BENCHMARK(BM_TupleStoreQuery)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_TupleStoreQuery)
+    ->ArgNames({"rows", "backend"})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 
 // ------------------------------------------------------------ event queue
 //

@@ -70,6 +70,10 @@ struct DeploymentOptions {
   /// Heartbeats on for failure experiments; off keeps static runs light.
   SimTime heartbeat_interval = FromSeconds(5);
   uint64_t seed = 0x5eed;
+  /// Physical index layout for every per-node store. Digest-transparent
+  /// (docs/BACKENDS.md), so sweeping it changes wall-clock cost only; the
+  /// default honours MIND_BACKEND like any other run.
+  IndexBackendKind backend = DefaultIndexBackendKind();
 };
 
 /// A MindNet whose node i is co-located with topology router i (the paper's
@@ -80,6 +84,7 @@ inline std::unique_ptr<MindNet> MakeDeployment(const Topology& topo,
   mopts.sim.seed = opts.seed;
   mopts.overlay.heartbeat_interval = opts.heartbeat_interval;
   mopts.mind.replication = opts.replication;
+  mopts.mind.store_backend = opts.backend;
   mopts.positions = topo.Positions();
   auto net = std::make_unique<MindNet>(topo.size(), mopts);
   Status st = net->Build();
@@ -97,6 +102,7 @@ inline std::unique_ptr<MindNet> MakeFlatDeployment(size_t n,
   mopts.sim.seed = opts.seed;
   mopts.overlay.heartbeat_interval = opts.heartbeat_interval;
   mopts.mind.replication = opts.replication;
+  mopts.mind.store_backend = opts.backend;
   auto net = std::make_unique<MindNet>(n, mopts);
   Status st = net->Build();
   if (!st.ok()) {

@@ -118,6 +118,7 @@ TupleStoreConfig MindNode::StoreConfig() {
   TupleStoreConfig config;
   config.code_len = options_.insert_code_len;
   config.options.compaction = options_.store_compaction;
+  config.options.backend = options_.store_backend;
   config.metrics = &sim_->metrics();
   config.cover_cache = options_.cover_cache ? &cover_cache_ : nullptr;
   return config;

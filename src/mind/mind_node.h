@@ -59,6 +59,11 @@ struct MindOptions {
   /// Per-node cover cache memoizing CutTree::Cover for store scans. Pure
   /// memoization: results, timings and digests are identical on or off.
   bool cover_cache = true;
+  /// Index backend behind every store this node opens (DESIGN.md §13):
+  /// kSortedRuns, kBitmap, or kAdaptive (per-store choice from the previous
+  /// version's workload). Digest-transparent: results, timings and digests
+  /// are identical for every choice. Defaults from MIND_BACKEND when set.
+  IndexBackendKind store_backend = DefaultIndexBackendKind();
   uint64_t seed = 0x31337;
 };
 

@@ -1,0 +1,168 @@
+// The per-store index-backend seam (DESIGN.md §13, docs/BACKENDS.md).
+//
+// A TupleStore owns exactly one IndexBackend: the physical layout holding its
+// rows. The facade keeps everything layout-independent — cover computation
+// (and the shared CoverCache), rectangle filtering, scan-efficiency counters,
+// digests, histograms, byte accounting — while the backend answers one
+// question fast: "which stored rows have keys inside this range?".
+//
+// The contract every backend must honor (docs/BACKENDS.md spells out the
+// obligations in full):
+//
+//   * ScanRange(kr) visits each row whose key lies in [kr.lo, kr.hi] exactly
+//     once, and no row outside it. Visit ORDER is backend-private: everything
+//     downstream (reply assembly, digests, histogram mass, query-processing
+//     latency) is order-independent by construction, so a backend may emit
+//     key order, arrival order, or bucket order.
+//   * ScanAllRows visits every row exactly once (fallback scans, digests,
+//     histograms).
+//   * Compact() is layout-only: results, counts and digests are identical
+//     whether or not it ever runs.
+//   * Digest transparency: because the facade folds digests from ScanAllRows
+//     with an order-independent accumulator, swapping backends must leave
+//     MindNet::StateDigest and every replay digest bit-identical. The
+//     StorePathIntegrationTest.BackendsAreTransparent sweep enforces this.
+#ifndef MIND_STORAGE_INDEX_BACKEND_H_
+#define MIND_STORAGE_INDEX_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "space/cut_tree.h"
+#include "storage/cover_cache.h"
+#include "storage/tuple.h"
+
+namespace mind {
+
+namespace telemetry {
+class MetricsRegistry;
+}  // namespace telemetry
+
+struct TupleStoreOptions;
+
+/// Physical layouts a store can run on. kAdaptive is a *selection policy*,
+/// not a layout: the store resolves it to one of the concrete kinds at
+/// construction from the previous version's workload stats (DGFIndex-style
+/// cost estimate, see ChooseIndexBackend).
+enum class IndexBackendKind {
+  kSortedRuns = 0,  // two sorted runs, LSM-style (the PR 4 layout; default)
+  kBitmap = 1,      // hierarchical word-aligned RLE bitmaps over key buckets
+  kAdaptive = 2,    // pick kSortedRuns or kBitmap per store from ingest stats
+};
+
+/// Short stable name ("sorted", "bitmap", "adaptive") — used in telemetry
+/// counter names and bench export keys, so changing one is a schema change.
+const char* IndexBackendKindName(IndexBackendKind kind);
+
+/// The session-wide default: MIND_BACKEND=sorted|bitmap|adaptive when set
+/// (read once, cached — the env must not change mid-run), else kSortedRuns.
+/// Applied only to MindOptions::store_backend; a TupleStore constructed
+/// directly always defaults to kSortedRuns regardless of the environment.
+IndexBackendKind DefaultIndexBackendKind();
+
+/// A stored tuple and its left-aligned data-space code key — the unit every
+/// backend stores and every scan visits.
+struct StoredRow {
+  uint64_t key;  // left-aligned code bits (CodeKey of the insert code)
+  Tuple tuple;
+};
+
+/// Fixed per-row overhead charged to approx_bytes() on top of the tuple's
+/// wire size (key + bookkeeping; backend-independent so byte accounting and
+/// capacity gauges never depend on the layout choice).
+inline constexpr uint64_t kRowOverheadBytes = 16;
+
+/// Ingest/query tallies a closing store hands to its successor at version
+/// freeze — the evidence base for the adaptive backend choice. All fields are
+/// sim-deterministic (no telemetry, no wall clock), so the choice replays
+/// bit-identically.
+struct BackendWorkloadStats {
+  uint64_t rows = 0;           // tuples inserted
+  uint64_t queries = 0;        // store scans served
+  uint64_t cover_ranges = 0;   // merged key ranges across all scans
+  uint64_t rows_examined = 0;  // rows visited by those scans
+  uint64_t rows_matched = 0;   // rows that passed the rectangle filter
+  bool cold() const { return rows == 0 && queries == 0; }
+};
+
+/// Estimated total workload cost (abstract units) of running the observed
+/// workload on each concrete backend — the DGFIndex-style model documented
+/// in docs/BACKENDS.md §"Adaptive cost model".
+struct BackendCostEstimate {
+  double sorted = 0;
+  double bitmap = 0;
+};
+BackendCostEstimate EstimateBackendCosts(const BackendWorkloadStats& stats);
+
+/// The concrete kind kAdaptive resolves to: the cheaper estimate, kSortedRuns
+/// on cold stats or a tie. Pure and deterministic; never returns kAdaptive.
+IndexBackendKind ChooseIndexBackend(const BackendWorkloadStats& stats);
+
+/// Type-erased per-row visitor. Implemented by a stack adapter in the facade
+/// (RowConsumerAdapter) so the scan hot path pays one virtual call per row
+/// and never allocates.
+class RowConsumer {
+ public:
+  virtual void Consume(const StoredRow& row) = 0;
+
+ protected:
+  ~RowConsumer() = default;
+};
+
+template <typename Fn>
+class RowConsumerAdapter final : public RowConsumer {
+ public:
+  explicit RowConsumerAdapter(Fn& fn) : fn_(fn) {}
+  void Consume(const StoredRow& row) override { fn_(row); }
+
+ private:
+  Fn& fn_;
+};
+
+/// One physical layout. See the file comment for the contract; see
+/// docs/BACKENDS.md for the checklist a third backend must satisfy.
+class IndexBackend {
+ public:
+  virtual ~IndexBackend() = default;
+
+  virtual IndexBackendKind kind() const = 0;
+  const char* name() const { return IndexBackendKindName(kind()); }
+
+  /// Adds one row. Keys arrive in any order; amortized O(1) is the target.
+  virtual void Append(StoredRow row) = 0;
+
+  /// Version-freeze / maintenance hook. Layout-only by contract.
+  virtual void Compact() = 0;
+
+  virtual size_t size() const = 0;
+
+  /// Bytes of index structure beyond the tuples themselves (bitmap words,
+  /// bucket directories, ...). Telemetry-facing only: never part of
+  /// approx_bytes(), digests, or anything the sim's timing can see.
+  virtual uint64_t overhead_bytes() const = 0;
+
+  /// Visits exactly the rows whose key lies in [kr.lo, kr.hi], each once.
+  virtual void ScanRange(const KeyRange& kr, RowConsumer& out) const = 0;
+
+  /// Visits every row exactly once.
+  virtual void ScanAllRows(RowConsumer& out) const = 0;
+
+  /// Backend-structure invariants (run order, bitmap shape, bucket
+  /// membership), plus the shared obligations: every row's key equals its
+  /// point's code under `cuts` at `code_len` bits, and the rows' wire bytes
+  /// (+ kRowOverheadBytes each) sum to `expect_bytes`. Returns OK trivially
+  /// when MIND_VALIDATORS is off.
+  virtual Status ValidateInvariants(const CutTree& cuts, int code_len,
+                                    uint64_t expect_bytes) const = 0;
+};
+
+/// Constructs a concrete backend. `kind` must not be kAdaptive (resolve it
+/// first with ChooseIndexBackend). `metrics` may be null; backends register
+/// their storage.* counters against it otherwise.
+std::unique_ptr<IndexBackend> MakeIndexBackend(
+    IndexBackendKind kind, const TupleStoreOptions& options,
+    telemetry::MetricsRegistry* metrics);
+
+}  // namespace mind
+
+#endif  // MIND_STORAGE_INDEX_BACKEND_H_

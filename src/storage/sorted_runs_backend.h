@@ -1,0 +1,68 @@
+// The two-sorted-run (LSM-style) backend — the PR 4 layout, now behind the
+// IndexBackend seam.
+//
+// A large *base* run that is always in key order absorbs compactions; a small
+// *delta* run absorbs inserts and is sorted lazily, so an insert between
+// queries costs a delta re-sort of a few rows, never a full re-sort. A range
+// scan binary-searches both runs. Compaction merges the delta into the base
+// when it exceeds a size ratio of the base, and at daily version freeze
+// (IndexVersions::AddVersion → TupleStore::Compact).
+#ifndef MIND_STORAGE_SORTED_RUNS_BACKEND_H_
+#define MIND_STORAGE_SORTED_RUNS_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/index_backend.h"
+
+namespace mind {
+
+namespace telemetry {
+class Counter;
+}  // namespace telemetry
+
+class SortedRunsBackend final : public IndexBackend {
+ public:
+  /// `compaction` gates the automatic ratio trigger; an explicit Compact()
+  /// call always merges (the facade's compaction_enabled knob decides who
+  /// calls it at version freeze). Layout-only either way.
+  SortedRunsBackend(bool compaction, size_t compact_min_delta,
+                    size_t compact_ratio, telemetry::MetricsRegistry* metrics);
+
+  IndexBackendKind kind() const override {
+    return IndexBackendKind::kSortedRuns;
+  }
+  void Append(StoredRow row) override;
+  void Compact() override;
+  size_t size() const override { return base_.size() + delta_.size(); }
+  uint64_t overhead_bytes() const override { return 0; }
+  void ScanRange(const KeyRange& kr, RowConsumer& out) const override;
+  void ScanAllRows(RowConsumer& out) const override;
+  Status ValidateInvariants(const CutTree& cuts, int code_len,
+                            uint64_t expect_bytes) const override;
+
+  size_t base_size() const { return base_.size(); }
+  size_t delta_size() const { return delta_.size(); }
+
+ private:
+  friend class TupleStoreTestPeek;  // corruption injection in validator tests
+
+  void MaybeCompact();
+  void EnsureDeltaSorted() const;
+  void ScanRun(const std::vector<StoredRow>& run, const KeyRange& kr,
+               RowConsumer& out) const;
+
+  bool compaction_;
+  size_t compact_min_delta_;
+  size_t compact_ratio_;
+  mutable std::vector<StoredRow> base_;   // always key-sorted
+  mutable std::vector<StoredRow> delta_;  // recent; sorted iff delta_sorted_
+  mutable bool delta_sorted_ = true;
+  // storage.compaction.* counters; null without a registry.
+  telemetry::Counter* compactions_ = nullptr;
+  telemetry::Counter* compaction_rows_ = nullptr;
+};
+
+}  // namespace mind
+
+#endif  // MIND_STORAGE_SORTED_RUNS_BACKEND_H_

@@ -1,7 +1,9 @@
 #include "storage/tuple_store.h"
 
 #include <algorithm>
+#include <string>
 
+#include "storage/sorted_runs_backend.h"
 #include "telemetry/metrics.h"
 #include "util/logging.h"
 #include "util/validate.h"
@@ -16,91 +18,75 @@ TupleStore::TupleStore(CutTreeRef cuts, TupleStoreConfig config)
   MIND_CHECK(cuts_ != nullptr);
   MIND_CHECK(code_len_ > 0 && code_len_ <= BitCode::kMaxLen);
   MIND_CHECK(opts_.compact_ratio > 0);
+  IndexBackendKind kind = opts_.backend;
+  if (kind == IndexBackendKind::kAdaptive) {
+    kind = ChooseIndexBackend(config.adaptive_stats);
+    if (config.metrics != nullptr) {
+      config.metrics
+          ->counter(std::string("storage.backend.adaptive.chose_") +
+                    IndexBackendKindName(kind))
+          .Inc();
+    }
+  }
+  backend_ = MakeIndexBackend(kind, opts_, config.metrics);
   if (config.metrics != nullptr) {
-    compactions_ = &config.metrics->counter("storage.compaction.count");
-    compaction_rows_ = &config.metrics->counter("storage.compaction.rows");
+    config.metrics
+        ->counter(std::string("storage.backend.") + backend_->name() +
+                  ".opens")
+        .Inc();
     cover_fallbacks_ = &config.metrics->counter("storage.cover.fallback");
   }
 }
 
 TupleStore::TupleStore(CutTreeRef cuts, int code_len)
-    : TupleStore(std::move(cuts), TupleStoreConfig{code_len, {}, nullptr,
-                                                   nullptr}) {}
+    : TupleStore(std::move(cuts),
+                 TupleStoreConfig{code_len, {}, nullptr, nullptr, {}}) {}
 
 void TupleStore::Insert(Tuple tuple) {
   BitCode code = cuts_->CodeForPoint(tuple.point, code_len_);
-  InsertRow(Row{CodeKey(code), std::move(tuple)});
+  InsertRow(StoredRow{CodeKey(code), std::move(tuple)});
 }
 
 void TupleStore::InsertCoded(Tuple tuple, const BitCode& code) {
   MIND_CHECK(code.length() >= code_len_);
-  InsertRow(Row{CodeKey(code.Prefix(code_len_)), std::move(tuple)});
+  InsertRow(StoredRow{CodeKey(code.Prefix(code_len_)), std::move(tuple)});
 }
 
-void TupleStore::InsertRow(Row row) {
-  approx_bytes_ += row.tuple.WireBytes() + 16;
-  // An append that keeps key order keeps the delta sorted (time-correlated
-  // inserts often do); only a true inversion forces the lazy re-sort.
-  if (!delta_.empty() && delta_.back().key > row.key) delta_sorted_ = false;
-  delta_.push_back(std::move(row));
-  MaybeCompact();
+void TupleStore::InsertRow(StoredRow row) {
+  approx_bytes_ += row.tuple.WireBytes() + kRowOverheadBytes;
+  backend_->Append(std::move(row));
 }
 
-void TupleStore::MaybeCompact() {
-  if (!opts_.compaction) return;
-  if (delta_.size() < opts_.compact_min_delta) return;
-  if (delta_.size() * opts_.compact_ratio <= base_.size()) return;
-  Compact();
+void TupleStore::Compact() { backend_->Compact(); }
+
+size_t TupleStore::base_size() const {
+  if (backend_->kind() == IndexBackendKind::kSortedRuns) {
+    return static_cast<const SortedRunsBackend*>(backend_.get())->base_size();
+  }
+  return backend_->size();
 }
 
-void TupleStore::Compact() {
-  if (delta_.empty()) return;
-  EnsureDeltaSorted();
-  const size_t merged = delta_.size();
-  const size_t mid = base_.size();
-  base_.insert(base_.end(), std::make_move_iterator(delta_.begin()),
-               std::make_move_iterator(delta_.end()));
-  std::inplace_merge(base_.begin(), base_.begin() + static_cast<long>(mid),
-                     base_.end(),
-                     [](const Row& a, const Row& b) { return a.key < b.key; });
-  delta_.clear();
-  delta_sorted_ = true;
-  if (compactions_ != nullptr) compactions_->Inc();
-  if (compaction_rows_ != nullptr) compaction_rows_->Inc(merged);
+size_t TupleStore::delta_size() const {
+  if (backend_->kind() == IndexBackendKind::kSortedRuns) {
+    return static_cast<const SortedRunsBackend*>(backend_.get())->delta_size();
+  }
+  return 0;
 }
 
-void TupleStore::EnsureDeltaSorted() const {
-  if (delta_sorted_) return;
-  std::sort(delta_.begin(), delta_.end(),
-            [](const Row& a, const Row& b) { return a.key < b.key; });
-  delta_sorted_ = true;
+BackendWorkloadStats TupleStore::workload_stats() const {
+  BackendWorkloadStats s;
+  s.rows = backend_->size();
+  s.queries = scan_queries_;
+  s.cover_ranges = scan_cover_ranges_;
+  s.rows_examined = scan_rows_examined_;
+  s.rows_matched = scan_rows_matched_;
+  return s;
 }
 
 template <typename Fn>
-void TupleStore::ScanAll(const std::vector<Row>& run, const Rect& rect,
-                         Fn& fn) const {
-  for (const Row& r : run) {
-    ++scan_rows_examined_;
-    if (rect.Contains(r.tuple.point)) {
-      ++scan_rows_matched_;
-      fn(r.tuple);
-    }
-  }
-}
-
-template <typename Fn>
-void TupleStore::ScanRange(const std::vector<Row>& run, const KeyRange& kr,
-                           const Rect& rect, Fn& fn) const {
-  auto first = std::lower_bound(
-      run.begin(), run.end(), kr.lo,
-      [](const Row& r, uint64_t k) { return r.key < k; });
-  for (auto it = first; it != run.end() && it->key <= kr.hi; ++it) {
-    ++scan_rows_examined_;
-    if (rect.Contains(it->tuple.point)) {
-      ++scan_rows_matched_;
-      fn(it->tuple);
-    }
-  }
+void TupleStore::ForEachRow(Fn&& fn) const {
+  RowConsumerAdapter<Fn> sink(fn);
+  backend_->ScanAllRows(sink);
 }
 
 template <typename Fn>
@@ -114,19 +100,25 @@ void TupleStore::Scan(const Rect& rect, Fn&& fn) const {
     local = ComputeCoverRanges(*cuts_, rect, len, opts_.max_cover_codes);
     cover = &local;
   }
+  ++scan_queries_;
+  auto visit = [&](const StoredRow& r) {
+    ++scan_rows_examined_;
+    if (rect.Contains(r.tuple.point)) {
+      ++scan_rows_matched_;
+      fn(r.tuple);
+    }
+  };
+  RowConsumerAdapter<decltype(visit)> sink(visit);
   if (cover->fallback) {
-    // Pathologically wide query: walk every row of both runs as they sit —
-    // a scan that visits everything gains nothing from restored key order.
+    // Pathologically wide query: walk every row as it sits — a scan that
+    // visits everything gains nothing from key pruning.
     if (cover_fallbacks_ != nullptr) cover_fallbacks_->Inc();
-    ScanAll(base_, rect, fn);
-    ScanAll(delta_, rect, fn);
+    ++scan_cover_ranges_;  // the full scan counts as one maximal range
+    backend_->ScanAllRows(sink);
     return;
   }
-  EnsureDeltaSorted();
-  for (const KeyRange& kr : cover->ranges) {
-    ScanRange(base_, kr, rect, fn);
-    ScanRange(delta_, kr, rect, fn);
-  }
+  scan_cover_ranges_ += cover->ranges.size();
+  for (const KeyRange& kr : cover->ranges) backend_->ScanRange(kr, sink);
 }
 
 std::vector<Tuple> TupleStore::Query(const Rect& rect) const {
@@ -147,35 +139,8 @@ size_t TupleStore::Count(const Rect& rect) const {
 
 Status TupleStore::ValidateInvariants() const {
 #if MIND_VALIDATORS_ENABLED
-  uint64_t bytes = 0;
-  auto check_run = [&](const std::vector<Row>& run, bool claims_sorted,
-                       const char* name) -> Status {
-    for (size_t i = 0; i < run.size(); ++i) {
-      const Row& r = run[i];
-      MIND_VALIDATE(!claims_sorted || i == 0 || run[i - 1].key <= r.key,
-                    "tuple-store: " << name << " run claims sorted but row " << i
-                                    << " (key " << r.key << ") is below row "
-                                    << i - 1 << " (key " << run[i - 1].key
-                                    << ")");
-      const BitCode code = cuts_->CodeForPoint(r.tuple.point, code_len_);
-      const uint64_t expect =
-          code.empty() ? 0 : code.bits() << (64 - code.length());
-      MIND_VALIDATE(r.key == expect,
-                    "tuple-store: " << name << " row " << i << " (origin "
-                                    << r.tuple.origin << " seq " << r.tuple.seq
-                                    << ") keyed " << r.key
-                                    << " but its point codes to " << expect
-                                    << " under the installed cut tree");
-      bytes += r.tuple.WireBytes() + 16;
-    }
-    return Status::OK();
-  };
-  // The base run's order is unconditional; the delta's only when claimed.
-  MIND_RETURN_NOT_OK(check_run(base_, true, "base"));
-  MIND_RETURN_NOT_OK(check_run(delta_, delta_sorted_, "delta"));
-  MIND_VALIDATE(bytes == approx_bytes_,
-                "tuple-store: approx_bytes_ is "
-                    << approx_bytes_ << " but base+delta rows sum to " << bytes);
+  MIND_RETURN_NOT_OK(
+      backend_->ValidateInvariants(*cuts_, code_len_, approx_bytes_));
   MIND_RETURN_NOT_OK(cuts_->ValidateInvariants());
 #endif  // MIND_VALIDATORS_ENABLED
   return Status::OK();
@@ -183,21 +148,17 @@ Status TupleStore::ValidateInvariants() const {
 
 void TupleStore::DigestInto(Fnv64* out) const {
   OrderIndependentAccumulator acc;
-  auto fold_run = [&acc](const std::vector<Row>& run) {
-    for (const Row& r : run) {
-      Fnv64 h;
-      h.Mix(r.key);
-      h.Mix(static_cast<uint64_t>(static_cast<int64_t>(r.tuple.origin)));
-      h.Mix(r.tuple.seq);
-      h.Mix(static_cast<uint64_t>(r.tuple.point.size()));
-      for (Value v : r.tuple.point) h.Mix(v);
-      h.Mix(static_cast<uint64_t>(r.tuple.extra.size()));
-      for (Value v : r.tuple.extra) h.Mix(v);
-      acc.Add(h.value());
-    }
-  };
-  fold_run(base_);
-  fold_run(delta_);
+  ForEachRow([&acc](const StoredRow& r) {
+    Fnv64 h;
+    h.Mix(r.key);
+    h.Mix(static_cast<uint64_t>(static_cast<int64_t>(r.tuple.origin)));
+    h.Mix(r.tuple.seq);
+    h.Mix(static_cast<uint64_t>(r.tuple.point.size()));
+    for (Value v : r.tuple.point) h.Mix(v);
+    h.Mix(static_cast<uint64_t>(r.tuple.extra.size()));
+    for (Value v : r.tuple.extra) h.Mix(v);
+    acc.Add(h.value());
+  });
   acc.DigestInto(out);
 }
 
@@ -205,20 +166,17 @@ Histogram TupleStore::BuildHistogram(int bins_per_dim, int time_attr,
                                      Value time_shift) const {
   Histogram h(cuts_->schema(), bins_per_dim);
   if (time_attr < 0 || time_shift == 0) {
-    for (const Row& r : base_) h.Add(r.tuple.point);
-    for (const Row& r : delta_) h.Add(r.tuple.point);
+    ForEachRow([&h](const StoredRow& r) { h.Add(r.tuple.point); });
     return h;
   }
   const Value max = cuts_->schema().attr(time_attr).max;
   Point p;
-  auto add_shifted = [&](const Row& r) {
+  ForEachRow([&](const StoredRow& r) {
     p = r.tuple.point;
     Value shifted = p[time_attr] + time_shift;
     p[time_attr] = (shifted < p[time_attr] || shifted > max) ? max : shifted;
     h.Add(p);
-  };
-  for (const Row& r : base_) add_shifted(r);
-  for (const Row& r : delta_) add_shifted(r);
+  });
   return h;
 }
 

@@ -1,24 +1,28 @@
 // Per-node, per-(index, version) tuple storage with rectangle queries.
 //
 // Replaces the paper's MySQL/JDBC backend (DESIGN.md §2). Tuples are keyed by
-// their data-space code (left-aligned in 64 bits) and held in two sorted
-// runs, LSM-style: a large *base* run that is always in key order and a
-// small *delta* run that absorbs inserts and is sorted lazily. A rectangle
-// query narrows to the merged key ranges of its covering codes (optionally
-// through a shared CoverCache) and binary-searches both runs — so an insert
-// between queries costs a delta re-sort of a few rows, never a full re-sort.
-// Compaction merges the delta into the base when it exceeds a size ratio of
-// the base, and at daily version freeze (IndexVersions::AddVersion).
+// their data-space code (left-aligned in 64 bits) and held in one pluggable
+// IndexBackend (DESIGN.md §13, docs/BACKENDS.md): two sorted runs LSM-style
+// (kSortedRuns, the default), hierarchical compressed bitmaps over key
+// buckets (kBitmap), or a per-store adaptive choice between the two from the
+// previous version's workload stats (kAdaptive). A rectangle query narrows to
+// the merged key ranges of its covering codes (optionally through a shared
+// CoverCache) and asks the backend for each range. The backend choice is
+// digest-transparent: results, counts, timings and replay digests are
+// bit-identical across every backend (the facade owns everything a digest or
+// the simulation can see; the backend only owns the physical layout).
 #ifndef MIND_STORAGE_TUPLE_STORE_H_
 #define MIND_STORAGE_TUPLE_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "space/cut_tree.h"
 #include "space/histogram.h"
 #include "space/rect.h"
 #include "storage/cover_cache.h"
+#include "storage/index_backend.h"
 #include "storage/tuple.h"
 #include "util/digest.h"
 
@@ -27,17 +31,23 @@ namespace mind {
 struct TupleStoreOptions {
   /// Merge the delta run into the base run at the size-ratio trigger (and at
   /// version freeze). Off leaves every insert in the delta run. Layout-only:
-  /// query results, counts and digests are identical either way.
+  /// query results, counts and digests are identical either way. Ignored by
+  /// backends without a compaction concept (kBitmap).
   bool compaction = true;
   /// Compaction triggers once the delta holds at least this many rows...
   size_t compact_min_delta = 64;
   /// ...and delta * ratio exceeds the base size (amortizes the merge).
   size_t compact_ratio = 4;
   /// Query cover granularity: fine enough to prune, coarse enough to bound
-  /// the number of ranges.
+  /// the number of ranges. The default matches the bitmap backend's fine
+  /// bucket grid, keeping cover ranges bucket-aligned.
   int cover_len = 12;
   /// Cover() code budget; overflow takes the full-scan fallback path.
   size_t max_cover_codes = 4096;
+  /// Physical layout behind the store (DESIGN.md §13). kAdaptive resolves to
+  /// kSortedRuns or kBitmap at construction from
+  /// TupleStoreConfig::adaptive_stats. Digest-transparent by contract.
+  IndexBackendKind backend = IndexBackendKind::kSortedRuns;
 };
 
 /// Everything a store needs besides its cut tree: key precision, layout
@@ -48,6 +58,10 @@ struct TupleStoreConfig {
   TupleStoreOptions options;
   telemetry::MetricsRegistry* metrics = nullptr;  // storage.* counters
   CoverCache* cover_cache = nullptr;              // shared, owned by the node
+  /// Workload evidence for options.backend == kAdaptive: IndexVersions copies
+  /// the closing store's workload_stats() here before opening the next
+  /// version, so each day's choice follows that index's observed mix.
+  BackendWorkloadStats adaptive_stats;
 };
 
 class TupleStore {
@@ -58,7 +72,7 @@ class TupleStore {
   /// Default config with the given key precision (tests, standalone use).
   TupleStore(CutTreeRef cuts, int code_len);
 
-  /// Adds a tuple (O(1) amortized; appends to the delta run).
+  /// Adds a tuple (O(1) amortized; appends into the backend).
   void Insert(Tuple tuple);
 
   /// Adds a tuple whose data-space code is already known (the insert message
@@ -66,15 +80,26 @@ class TupleStore {
   /// equal `cuts()->CodeForPoint(tuple.point, n)` for some n >= code_len.
   void InsertCoded(Tuple tuple, const BitCode& code);
 
-  /// Merges the delta run into the base run now (the version-freeze hook;
-  /// inserts trigger it automatically per TupleStoreOptions). Layout-only.
+  /// Backend maintenance now (the version-freeze hook; the sorted-runs
+  /// backend merges its delta down, the bitmap backend has nothing to do).
+  /// Layout-only.
   void Compact();
 
-  size_t size() const { return base_.size() + delta_.size(); }
-  size_t base_size() const { return base_.size(); }
-  size_t delta_size() const { return delta_.size(); }
+  size_t size() const { return backend_->size(); }
+  /// Sorted-runs layout detail, kept for tests and capacity introspection:
+  /// other backends report size()/0 (everything "base", nothing pending).
+  size_t base_size() const;
+  size_t delta_size() const;
   uint64_t approx_bytes() const { return approx_bytes_; }
   bool compaction_enabled() const { return opts_.compaction; }
+
+  /// The resolved physical layout (never kAdaptive) and its stable name.
+  IndexBackendKind backend_kind() const { return backend_->kind(); }
+  const char* backend_name() const { return backend_->name(); }
+
+  /// Ingest/query tallies since construction — handed to the next version's
+  /// store as kAdaptive evidence. Sim-deterministic (telemetry-independent).
+  BackendWorkloadStats workload_stats() const;
 
   /// All tuples whose point lies inside `rect`.
   std::vector<Tuple> Query(const Rect& rect) const;
@@ -103,51 +128,41 @@ class TupleStore {
   uint64_t scan_rows_examined() const { return scan_rows_examined_; }
   uint64_t scan_rows_matched() const { return scan_rows_matched_; }
 
-  /// Checks storage consistency: the base run always in key order, the delta
-  /// run in key order when delta_sorted_ claims so, every row's key equal to
-  /// its point's code under the installed cut tree, the byte accounting
-  /// matching the rows of both runs, and the cut tree itself well-formed.
-  /// Returns OK trivially when MIND_VALIDATORS is off.
+  /// Checks storage consistency: the backend's structural invariants (run
+  /// order for sorted runs; bucket membership, cardinalities and word shape
+  /// for bitmaps), every row's key equal to its point's code under the
+  /// installed cut tree, the byte accounting matching the stored rows, and
+  /// the cut tree itself well-formed. Returns OK trivially when
+  /// MIND_VALIDATORS is off.
   Status ValidateInvariants() const;
 
   /// Folds the stored tuples into `out`, independent of row order *and* of
-  /// the base/delta split (the digest must not see compaction timing).
+  /// the physical layout (the digest must see neither compaction timing nor
+  /// the backend choice).
   void DigestInto(Fnv64* out) const;
 
  private:
   friend class TupleStoreTestPeek;  // corruption injection in validator tests
 
-  struct Row {
-    uint64_t key;  // left-aligned code bits
-    Tuple tuple;
-  };
-
-  void InsertRow(Row row);
-  void MaybeCompact();
-  void EnsureDeltaSorted() const;
+  void InsertRow(StoredRow row);
   // Invokes fn on every tuple inside rect.
   template <typename Fn>
   void Scan(const Rect& rect, Fn&& fn) const;
-  // Every match within one run / one key range of one run.
+  // Invokes fn on every stored row, layout order (digests, histograms).
   template <typename Fn>
-  void ScanAll(const std::vector<Row>& run, const Rect& rect, Fn& fn) const;
-  template <typename Fn>
-  void ScanRange(const std::vector<Row>& run, const KeyRange& kr,
-                 const Rect& rect, Fn& fn) const;
+  void ForEachRow(Fn&& fn) const;
 
   CutTreeRef cuts_;
   int code_len_;
   TupleStoreOptions opts_;
-  mutable std::vector<Row> base_;   // always key-sorted
-  mutable std::vector<Row> delta_;  // recent inserts; sorted iff delta_sorted_
-  mutable bool delta_sorted_ = true;
+  std::unique_ptr<IndexBackend> backend_;
   mutable uint64_t scan_rows_examined_ = 0;
   mutable uint64_t scan_rows_matched_ = 0;
+  mutable uint64_t scan_queries_ = 0;
+  mutable uint64_t scan_cover_ranges_ = 0;
   uint64_t approx_bytes_ = 0;
   CoverCache* cover_cache_ = nullptr;
-  // storage.compaction.* / storage.cover.* counters; null without a registry.
-  telemetry::Counter* compactions_ = nullptr;
-  telemetry::Counter* compaction_rows_ = nullptr;
+  // storage.cover.* counters; null without a registry.
   telemetry::Counter* cover_fallbacks_ = nullptr;
 };
 

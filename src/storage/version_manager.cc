@@ -23,6 +23,12 @@ Status IndexVersions::AddVersion(VersionId id, CutTreeRef cuts, SimTime start) {
     if (entries_.back().store->compaction_enabled()) {
       entries_.back().store->Compact();
     }
+    // Adaptive backend hand-off: the closing store's observed ingest/query
+    // mix is the evidence the next version's store resolves kAdaptive with
+    // (a cold chain starts on kSortedRuns; see ChooseIndexBackend).
+    if (config_.options.backend == IndexBackendKind::kAdaptive) {
+      config_.adaptive_stats = entries_.back().store->workload_stats();
+    }
   }
   Entry e;
   e.id = id;

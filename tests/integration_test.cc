@@ -373,16 +373,21 @@ struct StorePathRunOutcome {
   uint64_t digest = 0;
   uint64_t compactions = 0;
   uint64_t cover_hits = 0;
+  uint64_t bitmap_bits = 0;
 };
 
-// One fixed insert+crash+revive+query scenario with store compaction and the
-// cover cache toggled. Enough inserts that the compaction ratio trigger
-// fires, plus a crash/revive leg to exercise cache invalidation.
-StorePathRunOutcome RunStorePathScenario(bool compaction, bool cover_cache) {
+// One fixed insert+crash+revive+query scenario with store compaction, the
+// cover cache and the index backend toggled. Enough inserts that the
+// compaction ratio trigger fires, plus a crash/revive leg to exercise cache
+// invalidation.
+StorePathRunOutcome RunStorePathScenario(
+    bool compaction, bool cover_cache,
+    IndexBackendKind backend = IndexBackendKind::kSortedRuns) {
   MindNetOptions mopts;
   mopts.sim.seed = 515151;
   mopts.mind.store_compaction = compaction;
   mopts.mind.cover_cache = cover_cache;
+  mopts.mind.store_backend = backend;
   MindNet net(12, mopts);
   EXPECT_TRUE(net.Build().ok());
   IndexDef def;
@@ -421,6 +426,8 @@ StorePathRunOutcome RunStorePathScenario(bool compaction, bool cover_cache) {
   out.compactions = net.sim().metrics().counter("storage.compaction.count").value();
   out.cover_hits =
       net.sim().metrics().counter("storage.cover_cache.hits").value();
+  out.bitmap_bits =
+      net.sim().metrics().counter("storage.backend.bitmap.set_bits").value();
   return out;
 }
 
@@ -442,6 +449,38 @@ TEST(StorePathIntegrationTest, LayoutKnobsAreTransparent) {
   EXPECT_EQ(plain.cover_hits, 0u);
 #endif
   for (const StorePathRunOutcome* o : {&no_compact, &no_cache, &plain}) {
+    EXPECT_EQ(base.tuple_seqs, o->tuple_seqs);
+    EXPECT_EQ(base.complete, o->complete);
+    EXPECT_EQ(base.latency, o->latency);
+    EXPECT_EQ(base.end_time, o->end_time);
+    EXPECT_EQ(base.digest, o->digest);
+  }
+}
+
+// The index backend is pure physical layout (docs/BACKENDS.md): sorted runs,
+// hierarchical bitmaps and the adaptive chooser must all yield bit-identical
+// tuples, latencies, sim clock and whole-net digest, with or without the
+// cover cache — while the bitmap runs demonstrably index through bitmaps.
+TEST(StorePathIntegrationTest, BackendsAreTransparent) {
+  StorePathRunOutcome base =
+      RunStorePathScenario(true, true, IndexBackendKind::kSortedRuns);
+  StorePathRunOutcome bitmap =
+      RunStorePathScenario(true, true, IndexBackendKind::kBitmap);
+  StorePathRunOutcome adaptive =
+      RunStorePathScenario(true, true, IndexBackendKind::kAdaptive);
+  StorePathRunOutcome bitmap_plain =
+      RunStorePathScenario(true, false, IndexBackendKind::kBitmap);
+  StorePathRunOutcome adaptive_plain =
+      RunStorePathScenario(true, false, IndexBackendKind::kAdaptive);
+  EXPECT_FALSE(base.tuple_seqs.empty());
+#ifndef MIND_TELEMETRY_DISABLED
+  EXPECT_EQ(base.bitmap_bits, 0u);
+  EXPECT_GT(bitmap.bitmap_bits, 0u);
+  EXPECT_GT(bitmap_plain.bitmap_bits, 0u);
+  EXPECT_EQ(bitmap.compactions, 0u);  // bitmaps never merge runs
+#endif
+  for (const StorePathRunOutcome* o :
+       {&bitmap, &adaptive, &bitmap_plain, &adaptive_plain}) {
     EXPECT_EQ(base.tuple_seqs, o->tuple_seqs);
     EXPECT_EQ(base.complete, o->complete);
     EXPECT_EQ(base.latency, o->latency);

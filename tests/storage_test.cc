@@ -5,6 +5,7 @@
 
 #include "sim/time.h"
 #include "space/cut_tree.h"
+#include "storage/bitmap_backend.h"
 #include "storage/cover_cache.h"
 #include "storage/tuple_store.h"
 #include "storage/version_manager.h"
@@ -311,6 +312,180 @@ TEST(CoverCacheTest, CoverOverflowTakesFallbackAndStaysCorrect) {
 #ifndef MIND_TELEMETRY_DISABLED
   EXPECT_GE(metrics.counter("storage.cover.fallback").value(), 1u);
 #endif
+}
+
+// ---------------------------------------------------------- index backends
+
+TupleStoreConfig BackendConfig(IndexBackendKind kind) {
+  TupleStoreConfig cfg;
+  cfg.code_len = 24;
+  cfg.options.backend = kind;
+  return cfg;
+}
+
+// Every backend must answer every query identically — same matches, same
+// rows examined (the sim's latency model never sees the layout) — and fold
+// to the same digest (docs/BACKENDS.md digest-transparency rule).
+TEST(IndexBackendTest, BackendsAnswerIdentically) {
+  Rng rng(53);
+  auto cuts = EvenCuts();
+  TupleStore sorted(cuts, BackendConfig(IndexBackendKind::kSortedRuns));
+  TupleStore bitmap(cuts, BackendConfig(IndexBackendKind::kBitmap));
+  TupleStore adaptive(cuts, BackendConfig(IndexBackendKind::kAdaptive));
+  EXPECT_EQ(sorted.backend_kind(), IndexBackendKind::kSortedRuns);
+  EXPECT_EQ(bitmap.backend_kind(), IndexBackendKind::kBitmap);
+  // Cold adaptive stats resolve to the sorted default.
+  EXPECT_EQ(adaptive.backend_kind(), IndexBackendKind::kSortedRuns);
+  std::vector<Tuple> all;
+  for (int i = 0; i < 5000; ++i) {
+    Value x = rng.Bernoulli(0.7) ? rng.Uniform(100) : rng.Uniform(10000);
+    Tuple t = MakeTuple(x, rng.Uniform(10000), 0, i);
+    all.push_back(t);
+    sorted.Insert(t);
+    bitmap.Insert(t);
+    adaptive.Insert(t);
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    Value x1 = rng.Uniform(10000), x2 = rng.Uniform(10000);
+    Value y1 = rng.Uniform(10000), y2 = rng.Uniform(10000);
+    Rect q({{std::min(x1, x2), std::max(x1, x2)},
+            {std::min(y1, y2), std::max(y1, y2)}});
+    size_t expected = 0;
+    for (const auto& t : all) {
+      if (q.Contains(t.point)) ++expected;
+    }
+    EXPECT_EQ(sorted.Count(q), expected) << q.ToString();
+    EXPECT_EQ(bitmap.Count(q), expected) << q.ToString();
+    EXPECT_EQ(adaptive.Count(q), expected) << q.ToString();
+  }
+  // Same pruning power: with bucket-aligned covers (default cover_len) the
+  // bitmap visits exactly the rows the sorted runs binary-search to.
+  EXPECT_EQ(bitmap.scan_rows_examined(), sorted.scan_rows_examined());
+  EXPECT_EQ(bitmap.scan_rows_matched(), sorted.scan_rows_matched());
+  Fnv64 d_sorted, d_bitmap, d_adaptive;
+  sorted.DigestInto(&d_sorted);
+  bitmap.DigestInto(&d_bitmap);
+  adaptive.DigestInto(&d_adaptive);
+  EXPECT_EQ(d_sorted.value(), d_bitmap.value());
+  EXPECT_EQ(d_sorted.value(), d_adaptive.value());
+  EXPECT_DOUBLE_EQ(sorted.BuildHistogram(8).total_mass(),
+                   bitmap.BuildHistogram(8).total_mass());
+  EXPECT_TRUE(bitmap.ValidateInvariants().ok());
+}
+
+TEST(RleBitmapTest, SparsePositionsRoundTrip) {
+  RleBitmap bm;
+  std::vector<uint64_t> expect = {0, 1, 5, 62, 63, 64, 200, 6299, 6300, 100000};
+  for (uint64_t p : expect) bm.Set(p);
+  EXPECT_EQ(bm.cardinality(), expect.size());
+  std::vector<uint64_t> got;
+  bm.ForEachSet([&](uint64_t p) { got.push_back(p); });
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(bm.Validate("test", 0).ok());
+}
+
+TEST(RleBitmapTest, FillWordsMergeAcrossChunks) {
+  RleBitmap bm;
+  // Two complete all-ones chunks (bits 0..125) followed by a long zero gap.
+  for (uint64_t p = 0; p < 126; ++p) bm.Set(p);
+  bm.Set(63 * 1000);
+  // Encoding: one merged ones-fill (run 2), one zero-fill (run 998), plus
+  // the active chunk — adjacent compatible fills must coalesce.
+  EXPECT_EQ(bm.words(), 3u);
+  EXPECT_EQ(bm.cardinality(), 127u);
+  uint64_t seen = 0, last = 0;
+  bm.ForEachSet([&](uint64_t p) {
+    ++seen;
+    last = p;
+  });
+  EXPECT_EQ(seen, 127u);
+  EXPECT_EQ(last, 63u * 1000);
+  EXPECT_TRUE(bm.Validate("test", 0).ok());
+}
+
+TEST(RleBitmapTest, MixedLiteralsBetweenFills) {
+  RleBitmap bm;
+  bm.Set(1);            // chunk 0: literal (not all ones)
+  bm.Set(70);           // chunk 1: literal
+  for (uint64_t p = 126; p < 189; ++p) bm.Set(p);  // chunk 2: ones fill
+  bm.Set(63 * 50 + 3);  // zero-fill gap then new active chunk
+  std::vector<uint64_t> got;
+  bm.ForEachSet([&](uint64_t p) { got.push_back(p); });
+  std::vector<uint64_t> expect = {1, 70};
+  for (uint64_t p = 126; p < 189; ++p) expect.push_back(p);
+  expect.push_back(63 * 50 + 3);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(bm.cardinality(), expect.size());
+  EXPECT_TRUE(bm.Validate("test", 0).ok());
+}
+
+TEST(IndexBackendTest, BitmapEmptyBucketAndFullRangeEdges) {
+  TupleStore store(EvenCuts(), BackendConfig(IndexBackendKind::kBitmap));
+  Rect all({{0, 9999}, {0, 9999}});
+  // Empty store: no buckets to walk at all.
+  EXPECT_EQ(store.Count(all), 0u);
+  store.Compact();  // a no-op for bitmaps, never an error
+  // Two far-apart clusters leave the buckets between them empty; a query
+  // spanning the gap must skip the empty buckets and still see both sides.
+  for (int i = 0; i < 40; ++i) {
+    store.Insert(MakeTuple(5, 5, 0, i));
+    store.Insert(MakeTuple(9990, 9990, 0, 1000 + i));
+  }
+  EXPECT_EQ(store.Count(all), 80u);  // full-domain rect: root-cover fast path
+  EXPECT_EQ(store.Count(Rect({{0, 99}, {0, 99}})), 40u);
+  EXPECT_EQ(store.Count(Rect({{9900, 9999}, {9900, 9999}})), 40u);
+  // Entirely inside the empty middle: hits only absent buckets.
+  EXPECT_EQ(store.Count(Rect({{4000, 6000}, {4000, 6000}})), 0u);
+  EXPECT_EQ(store.base_size(), store.size());  // non-sorted layout reporting
+  EXPECT_EQ(store.delta_size(), 0u);
+  EXPECT_TRUE(store.ValidateInvariants().ok());
+}
+
+TEST(IndexBackendTest, AdaptiveCostModelPicksByWorkloadMix) {
+  // Cold chain: no evidence, stay on the default.
+  EXPECT_EQ(ChooseIndexBackend(BackendWorkloadStats{}),
+            IndexBackendKind::kSortedRuns);
+  // Ingest-heavy, queries rare: append-only bitmaps dodge the merge tax.
+  BackendWorkloadStats ingest;
+  ingest.rows = 200000;
+  ingest.queries = 10;
+  ingest.cover_ranges = 40;
+  ingest.rows_examined = 2000;
+  ingest.rows_matched = 1500;
+  EXPECT_EQ(ChooseIndexBackend(ingest), IndexBackendKind::kBitmap);
+  // Query-heavy with wide scans: the per-row visit premium dominates.
+  BackendWorkloadStats scans;
+  scans.rows = 1000;
+  scans.queries = 5000;
+  scans.cover_ranges = 20000;
+  scans.rows_examined = 4000000;
+  scans.rows_matched = 3000000;
+  EXPECT_EQ(ChooseIndexBackend(scans), IndexBackendKind::kSortedRuns);
+  const BackendCostEstimate ci = EstimateBackendCosts(ingest);
+  EXPECT_LT(ci.bitmap, ci.sorted);
+  const BackendCostEstimate cs = EstimateBackendCosts(scans);
+  EXPECT_LT(cs.sorted, cs.bitmap);
+}
+
+TEST(IndexBackendTest, AdaptiveHandsWorkloadStatsAcrossVersionFreeze) {
+  TupleStoreConfig cfg = BackendConfig(IndexBackendKind::kAdaptive);
+  IndexVersions v(cfg);
+  ASSERT_TRUE(v.AddVersion(1, EvenCuts(), 0).ok());
+  // Day 1 opens cold -> sorted, and sees an ingest-heavy day.
+  EXPECT_EQ(v.Store(1)->backend_kind(), IndexBackendKind::kSortedRuns);
+  for (int i = 0; i < 5000; ++i) {
+    v.Store(1)->Insert(MakeTuple(i % 10000, (i * 7) % 10000, 0, i));
+  }
+  ASSERT_TRUE(v.AddVersion(2, EvenCuts(), kUsPerDay).ok());
+  // Day 2 inherits day 1's evidence and flips to the bitmap layout.
+  EXPECT_EQ(v.Store(2)->backend_kind(), IndexBackendKind::kBitmap);
+  // Day 2 is query-hammered; day 3 flips back.
+  Rect narrow({{0, 9}, {0, 9999}});
+  v.Store(2)->Insert(MakeTuple(5, 5, 0, 0));
+  for (int i = 0; i < 20000; ++i) (void)v.Store(2)->Count(narrow);
+  ASSERT_TRUE(v.AddVersion(3, EvenCuts(), 2 * kUsPerDay).ok());
+  EXPECT_EQ(v.Store(3)->backend_kind(), IndexBackendKind::kSortedRuns);
+  EXPECT_TRUE(v.ValidateInvariants().ok());
 }
 
 // ---------------------------------------------------------------- Versions

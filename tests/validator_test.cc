@@ -17,6 +17,8 @@
 #include "sim/event_queue.h"
 #include "space/cut_tree.h"
 #include "space/histogram.h"
+#include "storage/bitmap_backend.h"
+#include "storage/sorted_runs_backend.h"
 #include "storage/tuple_store.h"
 #include "storage/version_manager.h"
 #include "util/validate.h"
@@ -40,10 +42,23 @@ class CutTreeTestPeek {
 
 class TupleStoreTestPeek {
  public:
-  static auto& base(TupleStore& s) { return s.base_; }
-  static auto& delta(TupleStore& s) { return s.delta_; }
-  static bool& delta_sorted(TupleStore& s) { return s.delta_sorted_; }
+  static SortedRunsBackend& sorted(TupleStore& s) {
+    EXPECT_EQ(s.backend_kind(), IndexBackendKind::kSortedRuns);
+    return static_cast<SortedRunsBackend&>(*s.backend_);
+  }
+  static BitmapIndexBackend& bitmap(TupleStore& s) {
+    EXPECT_EQ(s.backend_kind(), IndexBackendKind::kBitmap);
+    return static_cast<BitmapIndexBackend&>(*s.backend_);
+  }
+  static auto& base(TupleStore& s) { return sorted(s).base_; }
+  static auto& delta(TupleStore& s) { return sorted(s).delta_; }
+  static bool& delta_sorted(TupleStore& s) { return sorted(s).delta_sorted_; }
   static uint64_t& approx_bytes(TupleStore& s) { return s.approx_bytes_; }
+  static auto& rows(BitmapIndexBackend& b) { return b.rows_; }
+  static auto& fine(BitmapIndexBackend& b) { return b.fine_; }
+  static auto& summary(BitmapIndexBackend& b) { return b.summary_; }
+  static auto& bitmap_words(RleBitmap& bm) { return bm.words_; }
+  static uint64_t& bitmap_count(RleBitmap& bm) { return bm.count_; }
 };
 
 class VersionManagerTestPeek {
@@ -234,6 +249,101 @@ TEST(TupleStoreValidatorTest, DetectsByteAccountingDrift) {
   store.Insert(TwoDimTuple(100, 200, 1));
   TupleStoreTestPeek::approx_bytes(store) += 8;
   ExpectViolation(store.ValidateInvariants(), "approx_bytes_");
+}
+
+// -------------------------------------------------------- bitmap backend
+
+TupleStoreConfig BitmapConfig() {
+  TupleStoreConfig cfg;
+  cfg.code_len = 24;
+  cfg.options.backend = IndexBackendKind::kBitmap;
+  return cfg;
+}
+
+void FillStore(TupleStore& store, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    store.Insert(TwoDimTuple(static_cast<Value>(i * 199 % 10000),
+                             static_cast<Value>(i * 53 % 10000), i));
+  }
+}
+
+TEST(BitmapBackendValidatorTest, CleanStorePasses) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())),
+                   BitmapConfig());
+  FillStore(store, 80);
+  ASSERT_EQ(store.backend_kind(), IndexBackendKind::kBitmap);
+  ASSERT_GT(TupleStoreTestPeek::bitmap(store).fine_buckets(), 1u);
+  EXPECT_TRUE(store.ValidateInvariants().ok());
+}
+
+TEST(BitmapBackendValidatorTest, DetectsKeyPointMismatch) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())),
+                   BitmapConfig());
+  FillStore(store, 4);
+  auto& rows = TupleStoreTestPeek::rows(TupleStoreTestPeek::bitmap(store));
+  rows[2].key ^= uint64_t{1} << 40;
+  ExpectViolation(store.ValidateInvariants(), "under the installed cut tree");
+}
+
+// 70 rows at one point share one fine bucket; their ids 0..69 cross the
+// 63-bit chunk boundary, so the bucket's bitmap provably encodes a
+// ones-fill word (chunk 0 is all ones) ahead of the active chunk.
+void FillOneBucket(TupleStore& store, uint64_t n = 70) {
+  for (uint64_t i = 0; i < n; ++i) store.Insert(TwoDimTuple(100, 200, i));
+}
+
+TEST(BitmapBackendValidatorTest, DetectsCorruptedBitmapWord) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())),
+                   BitmapConfig());
+  FillOneBucket(store);
+  auto& fine = TupleStoreTestPeek::fine(TupleStoreTestPeek::bitmap(store));
+  ASSERT_EQ(fine.size(), 1u);
+  auto& words = TupleStoreTestPeek::bitmap_words(fine.begin()->second);
+  ASSERT_FALSE(words.empty());
+  ASSERT_EQ(words[0] >> 63, 1u) << "expected a fill word for chunk 0";
+  words[0] ^= uint64_t{1} << 62;  // ones-fill -> zero-fill: 63 bits vanish
+  ExpectViolation(store.ValidateInvariants(),
+                  "set bits but its cardinality counter");
+}
+
+TEST(BitmapBackendValidatorTest, DetectsZeroLengthFillWord) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())),
+                   BitmapConfig());
+  FillOneBucket(store);
+  auto& fine = TupleStoreTestPeek::fine(TupleStoreTestPeek::bitmap(store));
+  ASSERT_EQ(fine.size(), 1u);
+  auto& words = TupleStoreTestPeek::bitmap_words(fine.begin()->second);
+  ASSERT_FALSE(words.empty());
+  ASSERT_EQ(words[0] >> 63, 1u) << "expected a fill word for chunk 0";
+  words[0] &= ~((uint64_t{1} << 62) - 1);  // zero its run length
+  ExpectViolation(store.ValidateInvariants(), "zero-length fill");
+}
+
+TEST(BitmapBackendValidatorTest, DetectsRowInForeignFineBucket) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())),
+                   BitmapConfig());
+  FillStore(store, 80);
+  auto& fine = TupleStoreTestPeek::fine(TupleStoreTestPeek::bitmap(store));
+  ASSERT_GT(fine.size(), 1u);
+  // Relabel one bucket's bitmap under a bucket id none of its rows hash to.
+  auto node = fine.extract(fine.begin());
+  node.key() ^= 1u;
+  while (fine.count(node.key())) node.key() ^= 2u;
+  fine.insert(std::move(node));
+  ExpectViolation(store.ValidateInvariants(), "that buckets to");
+}
+
+TEST(BitmapBackendValidatorTest, DetectsSummaryCardinalityDrift) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())),
+                   BitmapConfig());
+  FillStore(store, 80);
+  auto& summary =
+      TupleStoreTestPeek::summary(TupleStoreTestPeek::bitmap(store));
+  ASSERT_FALSE(summary.empty());
+  TupleStoreTestPeek::bitmap_count(summary.begin()->second) += 1;
+  // The summary bitmap's decoded bits no longer match its counter, and the
+  // counter no longer matches the fine children: either diagnostic is precise.
+  ExpectViolation(store.ValidateInvariants(), "bitmap-index: summary bucket");
 }
 
 // ------------------------------------------------------- version manager

@@ -15,7 +15,11 @@
 #       world as the sequential discipline it refines), or
 #   (d) the front-end-driven scenario (`--frontend`: streaming ingest +
 #       admission-controlled query service) disagrees run to run or across
-#       MIND_TELEMETRY settings.
+#       MIND_TELEMETRY settings, or
+#   (e) any index backend (MIND_BACKEND=sorted|bitmap|adaptive) disagrees
+#       with the default run, or the legacy digest drifts from its pinned
+#       value -- backends are physical layout only (docs/BACKENDS.md) and
+#       must be invisible to the simulation.
 #
 # The flagless (legacy-mode) digest is intentionally distinct from the
 # discipline digest: the discipline switches jitter to counter-based per-link
@@ -84,6 +88,27 @@ if [[ "${fe1}" != "${fe_off}" ]]; then
        "a frontend.* recording call changes simulation state" >&2
   fail=1
 fi
+
+echo
+echo "== backend identity (MIND_BACKEND replay legs) =="
+# The refactor that introduced the backend seam must never move the legacy
+# digest: pin it, then replay once per backend and require bit-identity.
+PINNED="5a64d0dabbca0731"
+if [[ "${run1}" != "${PINNED}" ]]; then
+  echo "FAIL: legacy digest ${run1} != pinned ${PINNED} -- the default" \
+       "replay changed behaviour (not just layout)" >&2
+  fail=1
+fi
+for b in sorted bitmap adaptive; do
+  db="$(MIND_BACKEND="${b}" digest "${BUILD}/on/tools/determinism_probe")"
+  echo "MIND_BACKEND=${b}:  ${db}"
+  if [[ "${db}" != "${run1}" ]]; then
+    echo "FAIL: backend '${b}' diverged from the default replay digest --" \
+         "an IndexBackend leaked layout into simulation-visible state" \
+         "(scan counters, reply content, or digest folds)" >&2
+    fail=1
+  fi
+done
 
 echo
 echo "== engine identity (sequential discipline vs parallel thread counts) =="
