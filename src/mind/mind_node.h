@@ -285,15 +285,19 @@ class MindNode {
 
   Simulator* sim_;
   EventQueue* events_;
+  // mind-digest: skip(construction-time config, not evolving state)
   MindOptions options_;
+  // mind-digest: skip(RNG cursor; its draws shape state that is digested)
   Rng rng_;
   OverlayNode overlay_;
   /// One cover cache per node, shared by all of its stores (primary and
   /// replica chains of every index); keyed by cuts identity, so distinct
   /// versions never collide. Excluded from DigestInto by design.
+  // mind-digest: skip(pure cache; hits and misses produce identical results)
   CoverCache cover_cache_;
 
   std::map<std::string, IndexState> indices_;
+  // mind-digest: skip(in-flight bookkeeping; completions land in digested state)
   std::unordered_map<uint64_t, PendingQuery> queries_;
   uint64_t query_seq_ = 0;
   uint64_t insert_seq_ = 0;  // local insert counter, forms insert trace ids
@@ -306,7 +310,9 @@ class MindNode {
   NodeId data_sibling_ = kInvalidNode;
   SimTime join_time_ = 0;
 
+  // mind-digest: skip(in-flight bookkeeping; completions land in digested state)
   std::unordered_map<uint64_t, PendingCollection> collections_;
+  // mind-digest: skip(request id allocator; ids are local and never stored)
   uint64_t collection_seq_ = 0;
 
   StoredFn on_stored_;

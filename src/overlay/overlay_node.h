@@ -228,7 +228,9 @@ class OverlayNode : public Host {
   Simulator* sim_;
   Network* net_;
   EventQueue* events_;
+  // mind-digest: skip(construction-time config, not evolving state)
   OverlayOptions options_;
+  // mind-digest: skip(RNG cursor; its draws shape state that is digested)
   Rng rng_;
   NodeId id_ = kInvalidNode;
 
@@ -238,13 +240,22 @@ class OverlayNode : public Host {
   std::unordered_map<NodeId, BitCode> peers_;
 
   // join: joiner side
+  // Transient join-protocol state: the outcome a digest cares about lands in
+  // joined_/code_/peers_, all folded above.
   enum class JoinState { kIdle, kWaitCandidate, kWaitCommit };
+  // mind-digest: skip(transient join-protocol state; outcome lands in joined_)
   JoinState join_state_ = JoinState::kIdle;
+  // mind-digest: skip(transient join-protocol state; outcome lands in joined_)
   NodeId bootstrap_ = kInvalidNode;
+  // mind-digest: skip(transient join-protocol state; outcome lands in joined_)
   NodeId join_candidate_ = kInvalidNode;
+  // mind-digest: skip(transient join-protocol state; outcome lands in joined_)
   NodeId join_proposer_ = kInvalidNode;
+  // mind-digest: skip(transient join-protocol state; outcome lands in joined_)
   NodeId join_parent_ = kInvalidNode;
+  // mind-digest: skip(pending-timer handle; cancelled/fired before quiesce)
   EventId join_timer_ = 0;
+  // mind-digest: skip(retry backoff counter; resets once the join commits)
   int join_failures_ = 0;  // consecutive, drives retry backoff
 
   // join: parent side
@@ -256,7 +267,9 @@ class OverlayNode : public Host {
     std::unordered_set<NodeId> awaiting_acks;
     EventId timeout_event = 0;
   };
+  // mind-digest: skip(transient parent-side join state; commit folds into peers_)
   std::optional<PendingJoin> pending_join_;
+  // mind-digest: skip(join id allocator; ids are local and never stored)
   uint64_t join_seq_ = 0;
 
   // join: peer side (staged neighbor additions)
@@ -268,23 +281,29 @@ class OverlayNode : public Host {
     BitCode parent_new_code;
     EventId expiry_event = 0;
   };
+  // mind-digest: skip(staged additions expire or commit into digested peers_)
   std::unordered_map<uint64_t, StagedAdd> staged_adds_;
 
   // failure detection / reliable send
+  // mind-digest: skip(liveness observations; failure handling edits peers_)
   std::unordered_map<NodeId, SimTime> last_seen_;
   struct RetryState {
     std::deque<MessagePtr> queue;
     int attempts = 0;
     EventId timer = 0;
   };
+  // mind-digest: skip(reliable-send queue; drains or fails into peers_ edits)
   std::unordered_map<NodeId, RetryState> retry_;
+  // mind-digest: skip(routing penalty box; expires without lasting state)
   std::unordered_map<NodeId, SimTime> avoid_until_;
+  // mind-digest: skip(pending-timer handle; cancelled/fired before quiesce)
   EventId heartbeat_timer_ = 0;
 
   // Routing cache: target prefix -> BestNextHop answer. `route_epoch_` is
   // bumped at every peers_/code_/avoid_until_ mutation; the cache clears
   // itself lazily on the next lookup when its epoch is behind. Mutable
   // because BestNextHop is logically const.
+  // mind-digest: skip(cache invalidation epoch for the mutable cache below)
   uint64_t route_epoch_ = 0;
   mutable uint64_t route_cache_epoch_ = ~uint64_t{0};
   mutable int route_cache_keylen_ = 0;
@@ -296,8 +315,11 @@ class OverlayNode : public Host {
     int ttl = 0;
     EventId timeout_event = 0;
   };
+  // mind-digest: skip(in-flight search state; results land in digested peers_)
   std::unordered_map<uint64_t, RingSearch> ring_searches_;
+  // mind-digest: skip(dedup memory for in-flight searches, drains at quiesce)
   std::unordered_set<uint64_t> ring_seen_;
+  // mind-digest: skip(search id allocator; ids are local and never stored)
   uint64_t ring_seq_ = 0;
 
   // vacancy probes in flight at this node (probe_id -> region)
@@ -305,6 +327,7 @@ class OverlayNode : public Host {
     BitCode region;
     EventId timeout_event = 0;
   };
+  // mind-digest: skip(in-flight probe state; outcomes fold into joined_/code_)
   std::unordered_map<uint64_t, VacancyProbe> vacancy_probes_;
 
   // detector-side vacancy watches (probe_id -> state)
@@ -314,12 +337,17 @@ class OverlayNode : public Host {
     bool recheck_phase = false;
     EventId timeout_event = 0;
   };
+  // mind-digest: skip(in-flight watch state; escalations fold into peers_)
   std::unordered_map<uint64_t, VacancyWatch> watches_;
+  // mind-digest: skip(dedup memory for in-flight probes, drains at quiesce)
   std::unordered_set<uint64_t> probed_regions_;  // hashes, dedup in flight
+  // mind-digest: skip(probe id allocator; ids are local and never stored)
   uint64_t probe_seq_ = 0;
 
   // broadcast dedup
+  // mind-digest: skip(dedup memory; delivery effects land in digested state)
   std::unordered_set<uint64_t> bcast_seen_;
+  // mind-digest: skip(broadcast id allocator; ids are local and never stored)
   uint64_t bcast_seq_ = 0;
 
   // callbacks

@@ -188,13 +188,18 @@ class EventQueue {
   }
 
   SimTime now_ = 0;
+  // mind-digest: skip(tie-break allocator; its order is visible via heap_/slots_)
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
+  // mind-digest: skip(lazy-deletion accounting; heap_/slots_ carry the events)
   size_t dead_in_heap_ = 0;
+  // mind-digest: skip(slot free-list head; storage recycling, not sim state)
   uint32_t free_head_ = kNone;
   telemetry::Counter* run_counter_ = nullptr;
   std::function<void()> validation_hook_;
+  // mind-digest: skip(validator cadence config; diagnostics, not sim state)
   SimTime validation_interval_ = 0;
+  // mind-digest: skip(validator cadence cursor; diagnostics, not sim state)
   SimTime next_validation_ = 0;
   std::vector<uint32_t> heap_;
   std::vector<Slot> slots_;

@@ -105,6 +105,16 @@ bool Network::InParallelPhase() const {
   return engine_ != nullptr && engine_->in_parallel_phase();
 }
 
+void Network::set_parallel_engine(ParallelEngine* engine) {
+  MIND_CHECK(!InParallelPhase()) << "set_parallel_engine during a parallel phase";
+  engine_ = engine;
+}
+
+void Network::SetDelayObserver(DelayObserver obs) {
+  MIND_CHECK(!InParallelPhase()) << "SetDelayObserver during a parallel phase";
+  delay_observer_ = std::move(obs);
+}
+
 EventQueue* Network::queue_for(NodeId id) const {
   return engine_ != nullptr ? engine_->queue_for(id) : events_;
 }
@@ -192,6 +202,9 @@ void Network::SendDiscipline(NodeId from, NodeId to, MessagePtr msg) {
   if (from == to) {
     if (loopback_counter_ != nullptr) loopback_counter_->Inc();
     SimTime arrival = now + options_.loopback_delay;
+    // loopback_count is written only by its owning sender, and a shard's
+    // senders run on exactly one worker — no cross-shard write is possible.
+    // mind-lint: allow(phase-safety): sender-owned field, shard-exclusive
     uint64_t ukey = PackUkey(from, hosts_[from].loopback_count++);
     // Loopback never crosses a shard; liveness is re-checked at delivery
     // against the sender's own flag and the immutable plan.

@@ -124,8 +124,8 @@ class Network {
 
   /// Wires the parallel engine in (Simulator does this); discipline-mode
   /// sends then route to the destination's shard queue, buffering across
-  /// shard boundaries during a parallel phase.
-  void set_parallel_engine(ParallelEngine* engine) { engine_ = engine; }
+  /// shard boundaries during a parallel phase. Serial context only.
+  void set_parallel_engine(ParallelEngine* engine);
   /// The queue that owns `id`'s events: its shard queue under the parallel
   /// engine, the global queue otherwise.
   EventQueue* queue_for(NodeId id) const;
@@ -149,8 +149,10 @@ class Network {
 
   /// Observer invoked on each delivery with (from, to, total one-way delay).
   /// Used by the Fig 8 bench to trace per-link transmission delays.
+  /// Serial context only: every shard consults the observer on delivery, so
+  /// swapping it mid-phase would race (and unobserved swaps would not replay).
   using DelayObserver = std::function<void(NodeId, NodeId, SimTime)>;
-  void SetDelayObserver(DelayObserver obs) { delay_observer_ = std::move(obs); }
+  void SetDelayObserver(DelayObserver obs);
 
   EventQueue* events() const { return events_; }
 
@@ -190,6 +192,9 @@ class Network {
   }
 
   LinkState& LinkTo(NodeId from, NodeId to) {
+    // The engine calls PresizeLinkTable() before every parallel run, so the
+    // lazy growth below can only trigger in serial context.
+    // mind-lint: allow(phase-safety): presized before parallel runs
     if (links_.size() < hosts_.size()) links_.resize(hosts_.size());
     auto& row = links_[static_cast<size_t>(from)];
     if (row.size() < hosts_.size()) row.resize(hosts_.size());

@@ -90,6 +90,7 @@ Status RleBitmap::Validate(const char* what, uint32_t bucket) const {
   return Status::OK();
 }
 
+// mind-lint: allow(backend-purity): optional counter wiring per docs/BACKENDS.md
 BitmapIndexBackend::BitmapIndexBackend(telemetry::MetricsRegistry* metrics) {
   if (metrics != nullptr) {
     set_bits_ = &metrics->counter("storage.backend.bitmap.set_bits");

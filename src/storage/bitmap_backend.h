@@ -103,6 +103,8 @@ class BitmapIndexBackend final : public IndexBackend {
   static constexpr int kBucketBits = 12;
   static constexpr int kSummaryBits = 6;
 
+  // A null registry leaves behavior and digests identical (docs/BACKENDS.md).
+  // mind-lint: allow(backend-purity): optional counters per docs/BACKENDS.md
   explicit BitmapIndexBackend(telemetry::MetricsRegistry* metrics);
 
   IndexBackendKind kind() const override { return IndexBackendKind::kBitmap; }
@@ -139,6 +141,7 @@ class BitmapIndexBackend final : public IndexBackend {
   std::map<uint32_t, RleBitmap> fine_;
   std::map<uint32_t, RleBitmap> summary_;
   // storage.backend.bitmap.* counters; null without a registry.
+  // mind-lint: allow(backend-purity): optional counter per docs/BACKENDS.md
   telemetry::Counter* set_bits_ = nullptr;
 };
 

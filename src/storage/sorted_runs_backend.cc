@@ -8,6 +8,7 @@
 
 namespace mind {
 
+// mind-lint: allow(backend-purity): optional counter wiring per docs/BACKENDS.md
 SortedRunsBackend::SortedRunsBackend(bool compaction, size_t compact_min_delta,
                                      size_t compact_ratio,
                                      telemetry::MetricsRegistry* metrics)

@@ -26,6 +26,7 @@ class SortedRunsBackend final : public IndexBackend {
   /// `compaction` gates the automatic ratio trigger; an explicit Compact()
   /// call always merges (the facade's compaction_enabled knob decides who
   /// calls it at version freeze). Layout-only either way.
+  // mind-lint: allow(backend-purity): optional counters per docs/BACKENDS.md
   SortedRunsBackend(bool compaction, size_t compact_min_delta,
                     size_t compact_ratio, telemetry::MetricsRegistry* metrics);
 
@@ -59,7 +60,9 @@ class SortedRunsBackend final : public IndexBackend {
   mutable std::vector<StoredRow> delta_;  // recent; sorted iff delta_sorted_
   mutable bool delta_sorted_ = true;
   // storage.compaction.* counters; null without a registry.
+  // mind-lint: allow(backend-purity): optional counter per docs/BACKENDS.md
   telemetry::Counter* compactions_ = nullptr;
+  // mind-lint: allow(backend-purity): optional counter per docs/BACKENDS.md
   telemetry::Counter* compaction_rows_ = nullptr;
 };
 

@@ -152,14 +152,18 @@ class TupleStore {
   template <typename Fn>
   void ForEachRow(Fn&& fn) const;
 
+  // mind-digest: skip(shared cut-tree handle; derived row keys are digested)
   CutTreeRef cuts_;
+  // mind-digest: skip(fixed at open; implied by every digested row key)
   int code_len_;
+  // mind-digest: skip(construction-time config, not evolving state)
   TupleStoreOptions opts_;
   std::unique_ptr<IndexBackend> backend_;
   mutable uint64_t scan_rows_examined_ = 0;
   mutable uint64_t scan_rows_matched_ = 0;
   mutable uint64_t scan_queries_ = 0;
   mutable uint64_t scan_cover_ranges_ = 0;
+  // mind-digest: skip(derived size estimate; recomputable from digested rows)
   uint64_t approx_bytes_ = 0;
   CoverCache* cover_cache_ = nullptr;
   // storage.cover.* counters; null without a registry.

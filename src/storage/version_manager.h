@@ -92,8 +92,10 @@ class IndexVersions {
   };
   const Entry* Find(VersionId id) const;
 
+  // mind-digest: skip(construction-time config, not evolving state)
   TupleStoreConfig config_;
   std::vector<Entry> entries_;  // sorted by (id, start)
+  // mind-digest: skip(monotone open counter; observability only, see epoch())
   uint64_t epoch_ = 0;          // versions ever opened (see epoch())
 };
 

@@ -1,0 +1,65 @@
+// Fixture: backend-purity. Classes deriving from IndexBackend must not
+// reference telemetry, Rng, EventQueue or other simulation-visible types;
+// the sanctioned exception is an optional counter with a reasoned allow
+// (docs/BACKENDS.md).
+
+namespace telemetry {
+class MetricsRegistry;
+class Counter;
+}  // namespace telemetry
+
+namespace mind {
+
+class IndexBackend {
+ public:
+  virtual ~IndexBackend() = default;
+  virtual void Append(int row) = 0;
+  virtual int size() const = 0;
+};
+
+// Clean: pure data structure.
+class PureBackend : public IndexBackend {
+ public:
+  void Append(int row) override { rows_ += row; }
+  int size() const override { return rows_; }
+
+ private:
+  int rows_ = 0;
+};
+
+// Violation: names a telemetry type without a reasoned allow.
+class ChattyBackend : public IndexBackend {
+ public:
+  void Append(int row) override { rows_ += row; }
+  int size() const override { return rows_; }
+
+ private:
+  telemetry::Counter* appends_ = nullptr;  // analyze-expect: backend-purity
+  int rows_ = 0;
+};
+
+// Transitive: deriving from a derived backend is still a backend.
+class GrandchildBackend : public ChattyBackend {
+ private:
+  telemetry::Counter* merges_ = nullptr;  // analyze-expect: backend-purity
+};
+
+// Sanctioned: optional counter with the documented allow.
+class BlessedBackend : public IndexBackend {
+ public:
+  void Append(int row) override { rows_ += row; }
+  int size() const override { return rows_; }
+
+ private:
+  // mind-lint: allow(backend-purity): optional counter per docs/BACKENDS.md
+  telemetry::Counter* appends_ = nullptr;
+  int rows_ = 0;
+};
+
+// Not a backend: free to reference telemetry.
+class Recorder {
+ private:
+  telemetry::Counter* events_ = nullptr;
+};
+
+}  // namespace mind

@@ -1,0 +1,66 @@
+// Fixture: digest-coverage. Every non-exempt data member of a class that
+// defines DigestInto must be folded into the digest (same-class callees
+// count) or carry a reasoned `// mind-digest: skip(...)`.
+//
+// `// analyze-expect: <rule>` marks the lines where the analyzer must
+// report; tests/analyze/run_fixture_tests.py asserts the exact set.
+#include <cstdint>
+
+namespace mind {
+
+class Fnv64 {
+ public:
+  void Mix(uint64_t v) { state_ = (state_ ^ v) * 1099511628211ull; }
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_ = 1469598103934665603ull;
+};
+
+struct Telemetry;  // opaque sink, only ever held by pointer
+
+// The happy path plus every exemption class in one type.
+class Widget {
+ public:
+  void DigestInto(Fnv64* out) const {
+    out->Mix(count_);
+    DigestRows(out);
+  }
+
+ private:
+  void DigestRows(Fnv64* out) const { out->Mix(rows_); }
+
+  uint64_t count_ = 0;
+  uint64_t rows_ = 0;           // covered through the DigestRows callee
+  uint64_t lost_ = 0;           // analyze-expect: digest-coverage
+  // mind-digest: skip(scratch buffer; rebuilt before every use)
+  uint64_t scratch_ = 0;
+  Telemetry* sink_ = nullptr;   // raw pointer: identity, exempt
+  mutable uint64_t cache_ = 0;  // mutable: derived state, exempt
+  static uint64_t total_;       // static: not per-instance state, exempt
+};
+
+class Meter;
+
+// Instrument structs (all-pointer plumbing) are exempt as a whole.
+class Gadget {
+ public:
+  void DigestInto(Fnv64* out) const { out->Mix(value_); }
+
+ private:
+  struct Instruments {
+    Meter* reads = nullptr;
+    Meter* writes = nullptr;
+  };
+
+  uint64_t value_ = 0;
+  Instruments tm_;  // every member is a pointer => nothing to digest
+};
+
+// No DigestInto: the rule does not apply at all.
+class Plain {
+ private:
+  uint64_t whatever_ = 0;
+};
+
+}  // namespace mind

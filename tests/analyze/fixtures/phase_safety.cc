@@ -1,0 +1,63 @@
+// Fixture: phase-safety. In a class that guards world mutation with
+// MIND_CHECK(!InParallelPhase()), every method writing a data member needs
+// the guard (directly or via a same-class callee) or a reasoned allow.
+
+#define MIND_CHECK(cond) (void)(cond)
+
+namespace mind {
+
+class Engine {
+ public:
+  bool in_parallel_phase() const { return phase_; }
+
+ private:
+  bool phase_ = false;
+};
+
+class World {
+ public:
+  explicit World(int size) { size_ = size; }  // construction precedes sharing
+
+  void SetSize(int size) {
+    MIND_CHECK(!InParallelPhase());
+    size_ = size;
+  }
+
+  // Guarded transitively: the mutation happens inside guarded SetSize().
+  void Grow() { SetSize(size_ + 1); }
+
+  void Shrink() { size_ -= 1; }  // analyze-expect: phase-safety
+
+  void Reindex() {
+    labels_ = size_;  // analyze-expect: phase-safety
+  }
+
+  void Bump() {
+    // mind-lint: allow(phase-safety): diagnostic tick counter, not world state
+    ticks_ += 1;
+  }
+
+  int size() const { return size_; }  // reads are always phase-safe
+
+ private:
+  bool InParallelPhase() const {
+    return engine_ != nullptr && engine_->in_parallel_phase();
+  }
+
+  Engine* engine_ = nullptr;
+  int size_ = 0;
+  int labels_ = 0;
+  int ticks_ = 0;
+};
+
+// No guard anywhere: the class opted out of the phase protocol entirely and
+// the rule stays silent (plain single-threaded types mutate freely).
+class Sandbox {
+ public:
+  void Poke() { pokes_ += 1; }
+
+ private:
+  int pokes_ = 0;
+};
+
+}  // namespace mind

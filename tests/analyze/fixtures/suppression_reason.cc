@@ -1,0 +1,39 @@
+// Fixture: suppression-reason. Every suppression must state a reason; a
+// bare allow()/skip() still suppresses its target rule but is itself
+// reported, so silent opt-outs cannot accumulate.
+#include <cstdint>
+
+namespace mind {
+
+class Fnv64 {
+ public:
+  void Mix(uint64_t v) { state_ ^= v; }
+
+ private:
+  uint64_t state_ = 0;
+};
+
+class Box {
+ public:
+  void DigestInto(Fnv64* out) const { out->Mix(kept_); }
+
+ private:
+  uint64_t kept_ = 0;
+  // mind-digest: skip()   analyze-expect: suppression-reason
+  uint64_t dropped_ = 0;
+  // mind-digest: skip(superseded by kept_; retired field drained at load)
+  uint64_t retired_ = 0;
+};
+
+class Thing {
+ public:
+  void Tick() {
+    // mind-lint: allow(unordered-emit)   analyze-expect: suppression-reason
+    count_ += 1;
+  }
+
+ private:
+  int count_ = 0;
+};
+
+}  // namespace mind

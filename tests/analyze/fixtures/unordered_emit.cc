@@ -1,0 +1,81 @@
+// Fixture: unordered-emit (v2). A range-for over anything that *resolves*
+// to an unordered container — spelled type, class alias, auto local — may
+// not emit messages/events from the loop body.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace mind {
+
+using NodeId = int;
+
+class Net {
+ public:
+  void Send(NodeId to, int payload) {
+    last_to_ = to;
+    last_payload_ = payload;
+  }
+
+ private:
+  NodeId last_to_ = 0;
+  int last_payload_ = 0;
+};
+
+class Router {
+ public:
+  using PeerMap = std::unordered_map<NodeId, int>;
+
+  void FloodDirect() {
+    for (const auto& kv : peers_) {  // analyze-expect: unordered-emit
+      net_.Send(kv.first, kv.second);
+    }
+  }
+
+  // The member's declared type is a class alias; only resolution sees the
+  // unordered container underneath.
+  void FloodAlias() {
+    for (const auto& kv : routes_) {  // analyze-expect: unordered-emit
+      net_.Send(kv.first, kv.second);
+    }
+  }
+
+  // The range is an auto local bound to an unordered member.
+  void FloodLocalRef() {
+    auto& live = peers_;
+    for (const auto& kv : live) {  // analyze-expect: unordered-emit
+      net_.Send(kv.first, kv.second);
+    }
+  }
+
+  // Ordered container: emission order is deterministic. Clean.
+  void FloodOrdered() {
+    for (const auto& kv : sorted_) {
+      net_.Send(kv.first, kv.second);
+    }
+  }
+
+  // Unordered iteration without emission is fine (aggregation is
+  // order-independent). Clean.
+  int CountPayloads() {
+    int n = 0;
+    for (const auto& kv : peers_) n += kv.second;
+    return n;
+  }
+
+  // Reasoned opt-out.
+  void FloodBlessed() {
+    // mind-lint: allow(unordered-emit): delivery is keyed, order-independent
+    for (const auto& kv : peers_) {
+      net_.Send(kv.first, kv.second);
+    }
+  }
+
+ private:
+  std::unordered_map<NodeId, int> peers_;
+  PeerMap routes_;
+  std::map<NodeId, int> sorted_;
+  Net net_;
+};
+
+}  // namespace mind

@@ -223,6 +223,26 @@ TEST(NetworkTest, PlannedOutageLivenessWindows) {
   EXPECT_TRUE(sim.network().IsLinkUpAt(ia, ib, 400));
 }
 
+// Phase-safety contract (tools/analyze rule phase-safety): world-state
+// mutators must refuse to run while shard workers execute. SetDelayObserver
+// was an unguarded mutation path; this pins the guard added with the rule.
+TEST(NetworkDeathTest, SetDelayObserverDuringParallelPhaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto run = [] {
+    SimulatorOptions opts;
+    opts.threads = 2;
+    Simulator sim(opts);
+    TestHost a, b;
+    sim.network().AddHost(&a);
+    sim.network().AddHost(&b);
+    sim.ScheduleOn(0, 100, [&sim] {
+      sim.network().SetDelayObserver([](NodeId, NodeId, SimTime) {});
+    });
+    sim.Run();
+  };
+  EXPECT_DEATH(run(), "SetDelayObserver during a parallel phase");
+}
+
 // --------------------------------------------------------- parallel engine
 
 // A ping-pong fleet: every host forwards each received message to the next

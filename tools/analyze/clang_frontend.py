@@ -1,0 +1,214 @@
+"""libclang frontend: compiler-accurate AST -> the shared semantic IR.
+
+Preferred when the `clang` Python bindings are importable (Debian:
+python3-clang + libclang). Parses each requested file against the flags in
+the CMake-exported compile_commands.json, then lowers the cursors into the
+same Model the builtin frontend produces — with `resolved_type` pre-filled
+from clang's canonical types, so the checks skip alias chasing entirely.
+
+Headers don't appear in the compilation database; each one is parsed with
+the flags of a source file from the same directory (or any source file as a
+fallback), which matches how this codebase includes its headers.
+
+Import errors are left to the caller: analyze.py catches them and falls
+back to the builtin frontend with a loud warning.
+"""
+
+import json
+import os
+
+from .cpp_lexer import Token
+from .cpp_model import (ClassInfo, FileModel, FunctionDef, Member,
+                        MethodDecl)
+from .suppress import Suppressions
+
+
+def _load_compdb(compdb_path):
+    with open(compdb_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    by_file = {}
+    for e in entries:
+        src = os.path.normpath(os.path.join(e["directory"], e["file"]))
+        args = e.get("arguments")
+        if args is None:
+            import shlex
+            args = shlex.split(e.get("command", ""))
+        # Drop the compiler, the input file and output options.
+        flags = []
+        skip = False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-c", src, e["file"]):
+                continue
+            if a in ("-o", "-MF", "-MT", "-MQ"):
+                skip = True
+                continue
+            if a.endswith((".cc", ".cpp", ".o")):
+                continue
+            flags.append(a)
+        by_file[src] = flags
+    return by_file
+
+
+def _flags_for(path, by_file):
+    if path in by_file:
+        return by_file[path]
+    d = os.path.dirname(path)
+    for src, flags in by_file.items():
+        if os.path.dirname(src) == d:
+            return flags
+    for flags in by_file.values():
+        return flags
+    return []
+
+
+def _qual_name(cursor):
+    parts = []
+    c = cursor
+    while c is not None and c.kind is not None:
+        try:
+            from clang.cindex import CursorKind
+        except ImportError:  # pragma: no cover
+            break
+        if c.kind == CursorKind.TRANSLATION_UNIT:
+            break
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _body_tokens(cursor):
+    toks = []
+    for t in cursor.get_tokens():
+        kind = t.kind.name.lower()
+        if kind == "identifier":
+            k = "id"
+        elif kind == "literal":
+            k = "num" if t.spelling[:1].isdigit() else "str"
+        elif kind == "keyword":
+            k = "id"
+        elif kind == "comment":
+            continue
+        else:
+            k = "punct"
+        toks.append(Token(k, t.spelling, t.location.line))
+    return toks
+
+
+def parse_files(paths, repo_root, compdb_path):
+    """Parses `paths` with libclang; returns a list of FileModel. Raises
+    ImportError when the clang bindings are unavailable."""
+    from clang import cindex
+    from clang.cindex import CursorKind
+
+    index = cindex.Index.create()
+    by_file = _load_compdb(compdb_path) if (
+        compdb_path and os.path.exists(compdb_path)) else {}
+
+    models = []
+    for path in paths:
+        relpath = os.path.relpath(path, repo_root)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        fm = FileModel(path=path, relpath=relpath, raw_lines=raw_lines,
+                       suppressions=Suppressions(raw_lines))
+        flags = _flags_for(os.path.abspath(path), by_file)
+        tu = index.parse(path, args=flags,
+                         options=cindex.TranslationUnit
+                         .PARSE_DETAILED_PROCESSING_RECORD)
+
+        def visit(cursor, fm=fm, path=path, relpath=relpath):
+            for c in cursor.get_children():
+                loc_file = c.location.file.name if c.location.file else None
+                in_this_file = loc_file and \
+                    os.path.samefile(loc_file, path) if (
+                        loc_file and os.path.exists(loc_file)) else False
+                if c.kind in (CursorKind.NAMESPACE,):
+                    visit(c)
+                    continue
+                if not in_this_file:
+                    continue
+                if c.kind in (CursorKind.CLASS_DECL, CursorKind.STRUCT_DECL,
+                              CursorKind.CLASS_TEMPLATE):
+                    if not c.is_definition():
+                        continue
+                    qual = _qual_name(c)
+                    ci = ClassInfo(name=c.spelling, qual_name=qual,
+                                   file=relpath, line=c.location.line)
+                    for ch in c.get_children():
+                        if ch.kind == CursorKind.CXX_BASE_SPECIFIER:
+                            ci.bases.append(
+                                ch.type.spelling.replace("mind::", ""))
+                        elif ch.kind == CursorKind.FIELD_DECL:
+                            ci.members.append(Member(
+                                name=ch.spelling,
+                                type_text=ch.type.spelling,
+                                line=ch.location.line, file=relpath,
+                                is_mutable=ch.is_mutable_field(),
+                                is_static=False,
+                                resolved_type=ch.type.get_canonical()
+                                .spelling))
+                        elif ch.kind in (CursorKind.TYPE_ALIAS_DECL,
+                                         CursorKind.TYPEDEF_DECL):
+                            ci.aliases[ch.spelling] = \
+                                ch.underlying_typedef_type.get_canonical()\
+                                .spelling
+                        elif ch.kind in (CursorKind.CXX_METHOD,
+                                         CursorKind.CONSTRUCTOR,
+                                         CursorKind.DESTRUCTOR):
+                            ci.method_decls.append(MethodDecl(
+                                name=ch.spelling, line=ch.location.line,
+                                is_const=ch.is_const_method()))
+                            _maybe_function(ch, fm, qual, relpath)
+                    fm.classes[qual] = ci
+                    visit(c)
+                elif c.kind in (CursorKind.CXX_METHOD,
+                                CursorKind.CONSTRUCTOR,
+                                CursorKind.DESTRUCTOR,
+                                CursorKind.FUNCTION_DECL,
+                                CursorKind.FUNCTION_TEMPLATE):
+                    owner = None
+                    if c.semantic_parent is not None and \
+                            c.semantic_parent.kind in (
+                                CursorKind.CLASS_DECL,
+                                CursorKind.STRUCT_DECL,
+                                CursorKind.CLASS_TEMPLATE):
+                        owner = _qual_name(c.semantic_parent)
+                    _maybe_function(c, fm, owner, relpath)
+                elif c.kind in (CursorKind.TYPE_ALIAS_DECL,
+                                CursorKind.TYPEDEF_DECL):
+                    fm.aliases[c.spelling] = \
+                        c.underlying_typedef_type.get_canonical().spelling
+
+        def _maybe_function(c, fm, owner, relpath):
+            if not c.is_definition():
+                return
+            body = None
+            for ch in c.get_children():
+                if ch.kind == CursorKind.COMPOUND_STMT:
+                    body = _body_tokens(ch)
+            if body is None:
+                return
+            name = c.spelling
+            qual = (owner + "::" + name) if owner else _qual_name(c)
+            params = ", ".join(p.type.spelling
+                               for p in c.get_arguments())
+            is_const = False
+            try:
+                is_const = c.is_const_method()
+            except AttributeError:
+                pass
+            fm.functions.append(FunctionDef(
+                name=name, qual_name=qual, owner_class=owner,
+                file=relpath, line=c.location.line,
+                return_type=c.result_type.spelling
+                if c.result_type else "",
+                is_const=is_const, body=body, param_text=params))
+
+        visit(tu.cursor)
+        models.append(fm)
+    return models

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""MIND-specific determinism lints.
+"""MIND-specific determinism lints: the fast, zero-dependency regex pre-pass.
 
 The simulator is a deterministic discrete-event world: identical seeds must
 produce bit-identical runs on every stdlib (tools/check_determinism.sh checks
-the end state). Three classes of source-level hazard break that promise, and
+the end state). These classes of source-level hazard break that promise, and
 this lint bans them in the simulation-facing directories:
 
   wall-clock   -- std::chrono::system_clock, time(), gettimeofday, ...
@@ -11,11 +11,6 @@ this lint bans them in the simulation-facing directories:
                   never leak into simulation state.
   libc-rand    -- rand(), srand(), std::random_device. All randomness flows
                   through the seeded mind::Rng.
-  unordered-emit -- range-for over an unordered_{map,set} member whose body
-                  sends messages or schedules events. Hash-table iteration
-                  order differs across stdlibs, so the emission order (and
-                  with it RNG consumption and tie-breaks downstream) would
-                  too. Iterate util/ordered.h's SortedKeys() instead.
   telemetry-divergence -- branching on MIND_TELEMETRY_DISABLED outside
                   src/telemetry. Simulation logic must behave identically
                   whether telemetry is compiled in or not; only the telemetry
@@ -28,9 +23,17 @@ this lint bans them in the simulation-facing directories:
                   atomic would hide a cross-shard ordering dependency the
                   engine cannot see.
 
-Suppress a finding with `// mind-lint: allow(<rule>)` on the offending line
-or the line above it, where <rule> is one of: wall-clock, libc-rand,
-unordered-emit, telemetry-divergence, concurrency.
+Semantic contracts that need real declaration/type analysis (digest-coverage,
+backend-purity, phase-safety, and the type-resolved unordered-emit rule that
+replaced this script's old regex pass) live in tools/analyze/ — run
+tools/run_analyze.sh, which chains this pre-pass and the analyzer.
+
+Suppressions use the unified grammar (docs/ANALYSIS.md):
+
+  // mind-lint: allow(<rule>): <reason>
+
+on the offending line or the line above it. The reason is mandatory; an
+allow() without one is itself reported as a finding.
 
 Exit status: 0 when clean, 1 with one "file:line: [rule] message" per finding.
 """
@@ -39,6 +42,9 @@ import argparse
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from analyze.suppress import Suppressions  # noqa: E402  (shared grammar)
 
 LINT_DIRS = ["src/sim", "src/overlay", "src/mind", "src/space", "src/storage",
              "src/frontend"]
@@ -80,12 +86,6 @@ CONCURRENCY_RULES = [
      "dependency the engine cannot see"),
 ]
 
-UNORDERED_MEMBER = re.compile(
-    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*(\w+)\s*[;{=]")
-EMIT_CALL = re.compile(
-    r"\b(Send|SendRaw|SendDirect|Route|Broadcast|Schedule|ScheduleAt)\s*\(")
-ALLOW = re.compile(r"//\s*mind-lint:\s*allow\((\w[\w-]*)\)")
-
 
 def strip_comments_and_strings(line):
     """Blanks out string/char literals and // comments (keeps the line length
@@ -118,39 +118,11 @@ def strip_comments_and_strings(line):
     return "".join(out)
 
 
-def allowed(lines, idx, rule):
-    """True when line idx (0-based) or the line above carries an allow()."""
-    for j in (idx, idx - 1):
-        if 0 <= j < len(lines):
-            m = ALLOW.search(lines[j])
-            if m and m.group(1) == rule:
-                return True
-    return False
-
-
-def find_loop_body(code_lines, start_idx):
-    """Returns (first, last) line indices of the block opened by the range-for
-    at start_idx, by brace counting; (start, start) for brace-less bodies."""
-    depth = 0
-    opened = False
-    for i in range(start_idx, len(code_lines)):
-        for c in code_lines[i]:
-            if c == "{":
-                depth += 1
-                opened = True
-            elif c == "}":
-                depth -= 1
-                if opened and depth == 0:
-                    return (start_idx, i)
-        if not opened and code_lines[i].rstrip().endswith(";") and i > start_idx:
-            return (start_idx, i)  # single-statement body
-    return (start_idx, len(code_lines) - 1)
-
-
 def lint_file(path, relpath, findings):
     with open(path, encoding="utf-8") as f:
         raw = f.read().splitlines()
     code = [strip_comments_and_strings(ln) for ln in raw]
+    sup = Suppressions(raw)
 
     relpath_norm = relpath.replace(os.sep, "/")
     rules = list(TOKEN_RULES)
@@ -158,42 +130,29 @@ def lint_file(path, relpath, findings):
         rules += CONCURRENCY_RULES
     for idx, line in enumerate(code):
         for rule, rx, msg in rules:
-            if rx.search(line) and not allowed(raw, idx, rule):
+            if rx.search(line) and not sup.allowed(idx + 1, rule):
                 findings.append(f"{relpath}:{idx + 1}: [{rule}] {msg}")
-        if TELEMETRY_EXEMPT not in relpath.replace(os.sep, "/"):
+        if TELEMETRY_EXEMPT not in relpath_norm:
             if ("MIND_TELEMETRY_DISABLED" in line
-                    and not allowed(raw, idx, "telemetry-divergence")):
+                    and not sup.allowed(idx + 1, "telemetry-divergence")):
                 findings.append(
                     f"{relpath}:{idx + 1}: [telemetry-divergence] simulation "
                     "code may not branch on the telemetry build flag; only "
                     "src/telemetry may test MIND_TELEMETRY_DISABLED")
 
-    # Pass 2: unordered members iterated with emission in the loop body.
-    members = set()
-    for line in code:
-        m = UNORDERED_MEMBER.search(line)
-        if m:
-            members.add(m.group(1))
-    if not members:
-        return
-    loop_rx = re.compile(
-        r"for\s*\(.*:\s*(?:\w+(?:\.|->))?(" + "|".join(re.escape(m) for m in members) + r")\s*\)")
-    for idx, line in enumerate(code):
-        m = loop_rx.search(line)
-        if not m:
-            continue
-        if allowed(raw, idx, "unordered-emit"):
-            continue
-        first, last = find_loop_body(code, idx)
-        for j in range(first, last + 1):
-            call = EMIT_CALL.search(code[j])
-            if call:
-                findings.append(
-                    f"{relpath}:{idx + 1}: [unordered-emit] iteration over "
-                    f"unordered member '{m.group(1)}' calls {call.group(1)}() "
-                    f"at line {j + 1}; hash order leaks into message/event "
-                    "order -- iterate SortedKeys() (util/ordered.h) instead")
-                break
+    # Unified grammar hygiene: a suppression without a written reason is a
+    # silent opt-out, which is exactly what the annotations exist to prevent.
+    for line_no, kind, detail in sup.missing_reasons:
+        if kind == "allow":
+            findings.append(
+                f"{relpath}:{line_no}: [suppression-reason] "
+                f"'mind-lint: allow({detail})' has no reason; write "
+                f"'// mind-lint: allow({detail}): <why>'")
+        else:
+            findings.append(
+                f"{relpath}:{line_no}: [suppression-reason] "
+                "'mind-digest: skip()' has no reason; write "
+                "'// mind-digest: skip(<why>)'")
 
 
 def main():
