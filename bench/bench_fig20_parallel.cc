@@ -45,20 +45,53 @@ int DutyPercent(int argc, char** argv) {
   return duty;
 }
 
-std::vector<int> ThreadCounts() {
-  std::vector<int> counts{0, 1, 2, 4, 8};
+// Default thread-count ladder, auto-dropping counts the hardware cannot
+// actually run in parallel (more workers than cores measures oversubscription,
+// not scaling). Dropped counts are reported in `skipped` and marked in the
+// JSON export. An explicit MIND_BENCH_THREADS list is honored verbatim — the
+// TSan job intentionally oversubscribes to shake out races.
+std::vector<int> ThreadCounts(unsigned hw_cores, std::vector<int>* skipped) {
   const char* env = std::getenv("MIND_BENCH_THREADS");
-  if (env == nullptr || *env == '\0') return counts;
-  counts.clear();
-  std::string s(env);
-  size_t pos = 0;
-  while (pos < s.size()) {
-    size_t comma = s.find(',', pos);
-    if (comma == std::string::npos) comma = s.size();
-    counts.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
-    pos = comma + 1;
+  if (env != nullptr && *env != '\0') {
+    std::vector<int> counts;
+    std::string s(env);
+    size_t pos = 0;
+    while (pos < s.size()) {
+      size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      counts.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+      pos = comma + 1;
+    }
+    return counts;
+  }
+  std::vector<int> counts;
+  for (int t : {0, 1, 2, 4, 8}) {
+    if (t <= 1 || static_cast<unsigned>(t) <= hw_cores) {
+      counts.push_back(t);
+    } else {
+      skipped->push_back(t);
+    }
   }
   return counts;
+}
+
+// MIND_BENCH_EXECUTOR=static|dynamic|stealing selects the window-executor
+// policy (digests are policy-independent; this sweeps load-balance behavior).
+ExecutorPolicy ExecutorPolicyFromEnv(std::string* name_out) {
+  const char* env = std::getenv("MIND_BENCH_EXECUTOR");
+  std::string name = env != nullptr && *env != '\0' ? env : "dynamic";
+  ExecutorPolicy policy = ExecutorPolicy::kDynamic;
+  if (name == "static") {
+    policy = ExecutorPolicy::kStatic;
+  } else if (name == "stealing") {
+    policy = ExecutorPolicy::kStealing;
+  } else if (name != "dynamic") {
+    std::fprintf(stderr, "unknown MIND_BENCH_EXECUTOR '%s' (want "
+                 "static|dynamic|stealing)\n", name.c_str());
+    std::abort();
+  }
+  *name_out = name;
+  return policy;
 }
 
 struct ConfigResult {
@@ -73,16 +106,31 @@ struct ConfigResult {
   uint64_t insert_count = 0;
   double insert_sum_ms = 0, insert_p50_ms = 0, insert_p99_ms = 0;
   double query_p50_ms = 0, query_p99_ms = 0;
+  // Engine statistics (zero for the sequential configuration).
+  EngineStats engine;
+  bool has_engine = false;
 };
+
+// Max-over-mean of per-shard fired-event counts: 1.0 = perfectly balanced,
+// S = all events on one shard.
+double ShardImbalance(const EngineStats& s) {
+  if (s.shard_events.empty() || s.events == 0) return 0;
+  uint64_t peak = 0;
+  for (uint64_t e : s.shard_events) peak = std::max(peak, e);
+  double mean =
+      static_cast<double>(s.events) / static_cast<double>(s.shard_events.size());
+  return mean > 0 ? static_cast<double>(peak) / mean : 0;
+}
 
 // One full fig18-shaped run: 1024 flat nodes, mixed insert/batch/query
 // workload over `drive_sec` of sim time, then settle. `threads == 0` runs the
 // sequential engine under the determinism discipline.
-ConfigResult RunConfig(int threads, double drive_sec) {
+ConfigResult RunConfig(int threads, double drive_sec, ExecutorPolicy policy) {
   const size_t kNodes = 1024;
   MindNetOptions mopts;
   mopts.sim.seed = 0x18181818;
   mopts.sim.threads = threads;
+  mopts.sim.executor_policy = policy;
   mopts.sim.deterministic_discipline = threads == 0;
   mopts.overlay.heartbeat_interval = 0;
   mopts.mind.replication = 1;
@@ -183,6 +231,10 @@ ConfigResult RunConfig(int threads, double drive_sec) {
   const auto& qh = sm.histogram("mind.query.latency_ms");
   r.query_p50_ms = qh.Percentile(50);
   r.query_p99_ms = qh.Percentile(99);
+  if (const EngineStats* es = net.sim().engine_stats()) {
+    r.engine = *es;
+    r.has_engine = true;
+  }
   return r;
 }
 
@@ -208,15 +260,19 @@ bool SameWorld(const ConfigResult& a, const ConfigResult& b) {
 int main(int argc, char** argv) {
   const int duty = DutyPercent(argc, argv);
   const double drive_sec = 120.0 * duty / 100.0;
-  const std::vector<int> thread_counts = ThreadCounts();
 
   // Wall-clock speedup is bounded by min(threads, cores): identity claims
   // hold on any machine, but scaling numbers from a core-starved container
   // measure engine overhead, not parallelism.
   const unsigned hw_cores = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> skipped;
+  const std::vector<int> thread_counts = ThreadCounts(hw_cores, &skipped);
+  std::string executor_name;
+  const ExecutorPolicy policy = ExecutorPolicyFromEnv(&executor_name);
 
   std::printf("=== Figure 20: parallel engine scaling (1024 nodes, duty %d%%, "
-              "%.0f s driven) ===\n\n", duty, drive_sec);
+              "%.0f s driven, executor=%s) ===\n\n",
+              duty, drive_sec, executor_name.c_str());
   std::printf("hardware: %u core%s available\n", hw_cores,
               hw_cores == 1 ? "" : "s");
   if (hw_cores < 2) {
@@ -224,17 +280,33 @@ int main(int argc, char** argv) {
                 "engine overhead only;\n      run on a multi-core machine for "
                 "scaling numbers.\n");
   }
+  for (int t : skipped) {
+    std::printf("skipping threads=%d (only %u core%s); marked in export\n", t,
+                hw_cores, hw_cores == 1 ? "" : "s");
+  }
   std::printf("\n");
 
   std::vector<ConfigResult> results;
   for (int threads : thread_counts) {
-    ConfigResult r = RunConfig(threads, drive_sec);
+    ConfigResult r = RunConfig(threads, drive_sec, policy);
     std::printf("%-14s wall=%7.2fs  events=%10llu (%9.0f/s)  digest=%016llx\n",
                 threads == 0 ? "serial+disc" :
                     ("threads=" + std::to_string(threads)).c_str(),
                 r.wall_sec, static_cast<unsigned long long>(r.events),
                 r.wall_sec > 0 ? r.events / r.wall_sec : 0,
                 static_cast<unsigned long long>(r.digest));
+    if (r.has_engine) {
+      std::printf(
+          "               windows=%llu solo=%llu widened=%llu maxmult=%llu "
+          "exchanged=%llu imbalance=%.2f barrier_wait=%.1fms\n",
+          static_cast<unsigned long long>(r.engine.windows),
+          static_cast<unsigned long long>(r.engine.solo_windows),
+          static_cast<unsigned long long>(r.engine.widened_windows),
+          static_cast<unsigned long long>(r.engine.max_multiplier),
+          static_cast<unsigned long long>(r.engine.exchanged),
+          ShardImbalance(r.engine),
+          r.engine.barrier_wait_ns_total / 1e6);
+    }
     results.push_back(r);
   }
   if (results.empty()) {
@@ -269,6 +341,7 @@ int main(int argc, char** argv) {
   }
   telemetry::MetricsRegistry reg;
   int max_threads = 0;
+  double speedup_t2 = -1;
   for (const ConfigResult& r : results) {
     std::string sfx = ".t" + std::to_string(r.threads);
     reg.gauge("bench.fig20.wall_seconds" + sfx).Set(r.wall_sec);
@@ -278,6 +351,31 @@ int main(int argc, char** argv) {
       double speedup = serial_wall / r.wall_sec;
       reg.gauge("bench.fig20.speedup_vs_serial" + sfx).Set(speedup);
       std::printf("threads=%d speedup vs serial: %.2fx\n", r.threads, speedup);
+      if (r.threads == 2) speedup_t2 = speedup;
+    }
+    if (r.has_engine) {
+      const EngineStats& es = r.engine;
+      reg.gauge("bench.fig20.windows" + sfx).Set(es.windows);
+      reg.gauge("bench.fig20.solo_windows" + sfx).Set(es.solo_windows);
+      reg.gauge("bench.fig20.widened_windows" + sfx).Set(es.widened_windows);
+      reg.gauge("bench.fig20.max_cap_multiplier" + sfx).Set(es.max_multiplier);
+      reg.gauge("bench.fig20.exchanged_msgs" + sfx).Set(es.exchanged);
+      reg.gauge("bench.fig20.shard_imbalance" + sfx).Set(ShardImbalance(es));
+      reg.gauge("bench.fig20.barrier_wait_ms_total" + sfx)
+          .Set(es.barrier_wait_ns_total / 1e6);
+      // Sparse log2 histograms: one gauge per non-empty bucket. Bucket b
+      // counts windows with floor(log2(v)) == b - 1 (bucket 0: v == 0).
+      for (size_t b = 0; b < es.exchange_size_log2.size(); ++b) {
+        if (es.exchange_size_log2[b] == 0) continue;
+        reg.gauge("bench.fig20.exchange_size_log2.b" + std::to_string(b) + sfx)
+            .Set(es.exchange_size_log2[b]);
+      }
+      for (size_t b = 0; b < es.barrier_wait_log2_ns.size(); ++b) {
+        if (es.barrier_wait_log2_ns[b] == 0) continue;
+        reg.gauge("bench.fig20.barrier_wait_log2_ns.b" + std::to_string(b) +
+                  sfx)
+            .Set(es.barrier_wait_log2_ns[b]);
+      }
     }
     max_threads = std::max(max_threads, r.threads);
   }
@@ -296,6 +394,7 @@ int main(int argc, char** argv) {
   meta.extra["duty_percent"] = std::to_string(duty);
   meta.extra["drive_seconds"] = std::to_string(drive_sec);
   meta.extra["hardware_concurrency"] = std::to_string(hw_cores);
+  meta.extra["executor_policy"] = executor_name;
   {
     std::string list;
     for (int t : thread_counts) {
@@ -304,11 +403,30 @@ int main(int argc, char** argv) {
     }
     meta.extra["thread_counts"] = list;
   }
+  {
+    std::string list;
+    for (int t : skipped) {
+      if (!list.empty()) list += ",";
+      list += std::to_string(t);
+    }
+    meta.extra["skipped_thread_counts"] = list;  // hardware can't run these
+  }
   char digest_hex[24];
   std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
                 static_cast<unsigned long long>(head.digest));
   meta.extra["state_digest"] = digest_hex;
   ExportBench(reg, meta);
 
-  return identical ? 0 : 1;
+  if (!identical) return 1;
+  // Scaling gate: with at least two real cores, two workers must beat the
+  // serial engine. Core-starved hosts (hw_cores < 2) can only measure engine
+  // overhead, so the gate does not apply there.
+  if (hw_cores >= 2 && speedup_t2 >= 0 && speedup_t2 <= 1.0) {
+    std::fprintf(stderr,
+                 "SCALING REGRESSION: threads=2 speedup %.2fx <= 1.0 on a "
+                 "%u-core host\n",
+                 speedup_t2, hw_cores);
+    return 1;
+  }
+  return 0;
 }

@@ -11,6 +11,9 @@
 #include "space/cut_tree.h"
 #include "space/histogram.h"
 #include "space/mismatch.h"
+#include "storage/bitmap_backend.h"
+#include "storage/index_backend.h"
+#include "storage/scan_kernels.h"
 #include "storage/tuple_store.h"
 #include "util/bitcode.h"
 #include "util/rng.h"
@@ -147,6 +150,126 @@ BENCHMARK(BM_TupleStoreQuery)
     ->Args({10000, 1})
     ->Args({100000, 0})
     ->Args({100000, 1});
+
+// ------------------------------------------------------- scan kernels
+//
+// The cache-conscious primitives under both index backends, benchmarked at
+// the kernel layer where the prefetch knob is a template parameter (the
+// backends always compile with prefetch on; the off configurations quantify
+// what the hints buy at each working-set size).
+
+scan::KeyColumn SortedKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  scan::KeyColumn keys;
+  keys.reserve(n);
+  uint64_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    k += 1 + rng.Uniform(64);
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+// Branch-free cover probe (binary search with midpoint prefetch): the inner
+// loop of every range-scan bound and RoutingTable cover lookup.
+// args: {keys, prefetch}
+void BM_CoverProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool prefetch = state.range(1) != 0;
+  scan::KeyColumn keys = SortedKeys(n, 21);
+  const uint64_t span = keys.back() + 64;
+  Rng rng(22);
+  std::vector<uint64_t> probes(4096);
+  for (auto& p : probes) p = rng.Uniform(span);
+  size_t i = 0;
+  for (auto _ : state) {
+    uint64_t probe = probes[i++ & 4095];
+    size_t pos = prefetch
+                     ? scan::LowerBound<true>(keys.data(), keys.size(), probe)
+                     : scan::LowerBound<false>(keys.data(), keys.size(), probe);
+    benchmark::DoNotOptimize(pos);
+  }
+}
+BENCHMARK(BM_CoverProbe)
+    ->ArgNames({"keys", "prefetch"})
+    ->Args({1 << 12, 0})
+    ->Args({1 << 12, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+// Two-bound range scan over a sorted run: the sorted_runs_backend ScanRun
+// shape (branchless bounds on the key column, prefetch-ahead row sweep).
+// args: {rows, prefetch}
+void BM_ScanRangeSorted(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool prefetch = state.range(1) != 0;
+  scan::KeyColumn keys = SortedKeys(n, 23);
+  std::vector<StoredRow> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i].key = keys[i];
+  const uint64_t span = keys.back();
+  Rng rng(24);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    uint64_t lo = rng.Uniform(span);
+    uint64_t hi = lo + span / 64;  // ~1.5% selectivity
+    auto emit = [&sink](const StoredRow& row) { sink += row.tuple.seq; };
+    if (prefetch) {
+      auto [b, e] = scan::RangeBounds<true>(keys.data(), keys.size(), lo, hi);
+      scan::SweepRows<true>(rows.data(), b, e, emit);
+    } else {
+      auto [b, e] = scan::RangeBounds<false>(keys.data(), keys.size(), lo, hi);
+      scan::SweepRows<false>(rows.data(), b, e, emit);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_ScanRangeSorted)
+    ->ArgNames({"rows", "prefetch"})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1});
+
+// RLE bitmap decode + software-pipelined row gather: the bitmap backend's
+// emission path (ids decode ahead of the rows they touch).
+// args: {rows, prefetch}
+void BM_ScanRangeBitmap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool prefetch = state.range(1) != 0;
+  Rng rng(25);
+  RleBitmap bm;
+  std::vector<StoredRow> rows(n);
+  for (size_t id = 0; id < n; ++id) {
+    rows[id].key = id;
+    rows[id].tuple.seq = id * 2 + 1;
+    if (rng.Uniform(4) == 0) bm.Set(id);  // ~25% density
+  }
+  constexpr size_t kBatch = 16;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    uint32_t batch[kBatch];
+    size_t fill = 0;
+    auto drain = [&](size_t count) {
+      for (size_t i = 0; i < count; ++i) sink += rows[batch[i]].tuple.seq;
+    };
+    bm.ForEachSet([&](uint64_t id) {
+      if (prefetch) scan::PrefetchRead(&rows[id]);
+      batch[fill++] = static_cast<uint32_t>(id);
+      if (fill == kBatch) {
+        drain(kBatch);
+        fill = 0;
+      }
+    });
+    drain(fill);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_ScanRangeBitmap)
+    ->ArgNames({"rows", "prefetch"})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1});
 
 // ------------------------------------------------------------ event queue
 //

@@ -73,6 +73,7 @@ void Network::SetLatency(NodeId a, NodeId b, SimTime one_way) {
   MIND_CHECK(!InParallelPhase()) << "SetLatency during a parallel phase";
   latency_override_[DirKey(a, b)] = one_way;
   latency_override_[DirKey(b, a)] = one_way;
+  ++latency_epoch_;  // invalidates every per-link latency memo
 }
 
 SimTime Network::Latency(NodeId a, NodeId b) const {
@@ -166,7 +167,7 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   SimTime queue_wait = link.busy_until > now ? link.busy_until - now : 0;
   SimTime depart = std::max(now, link.busy_until) + FromSeconds(tx_sec);
   link.busy_until = depart;
-  SimTime arrival = depart + Latency(from, to) + JitterUs();
+  SimTime arrival = depart + CachedLatency(from, to, link) + JitterUs();
   // The paper's prototype speaks TCP: per-link delivery is in order. Jitter
   // therefore stretches the stream but never reorders it.
   arrival = std::max(arrival, link.last_arrival + 1);
@@ -235,8 +236,8 @@ void Network::SendDiscipline(NodeId from, NodeId to, MessagePtr msg) {
   SimTime queue_wait = link.busy_until > now ? link.busy_until - now : 0;
   SimTime depart = std::max(now, link.busy_until) + FromSeconds(tx_sec);
   link.busy_until = depart;
-  SimTime arrival =
-      depart + Latency(from, to) + JitterCounterUs(from, to, send_ix);
+  SimTime arrival = depart + CachedLatency(from, to, link) +
+                    JitterCounterUs(from, to, send_ix);
   arrival = std::max(arrival, link.last_arrival + 1);
   link.last_arrival = arrival;
   SimTime delay = arrival - now;

@@ -92,6 +92,11 @@ class Network {
   /// One-way latency currently in effect between a and b.
   SimTime Latency(NodeId a, NodeId b) const;
 
+  /// Bumped by every SetLatency; consumers caching latency-derived values
+  /// (per-link memos, the parallel engine's lookahead matrix) recompute when
+  /// it moves.
+  uint64_t latency_generation() const { return latency_epoch_; }
+
   /// Sends a message. See class comment for delivery/failure semantics.
   void Send(NodeId from, NodeId to, MessagePtr msg);
 
@@ -169,11 +174,19 @@ class Network {
   // engine a row is touched exclusively by the shard that owns its sender.
   // Outages live in the sparse maps below (shared, but frozen while shards
   // execute), keeping this hot-path struct lean.
-  struct LinkState {
+  // alignas(64): one directed link's hot state occupies exactly one cache
+  // line, so a shard worker's send never shares a line with another link.
+  struct alignas(64) LinkState {
     SimTime busy_until = 0;    // FIFO transmit queue tail (directed)
     SimTime last_arrival = 0;  // enforces in-order (TCP-like) delivery
     uint64_t send_count = 0;   // discipline: per-link RNG counter + ukey
     LinkStats stats;
+    // Memoized Latency(from, to), valid while latency_epoch matches the
+    // network's epoch. Every send used to recompute great-circle trig (or an
+    // override hash lookup); now a link pays that once per SetLatency epoch.
+    // Pure cache — never digested, bumping the epoch never changes results.
+    SimTime cached_latency = 0;
+    uint64_t latency_epoch = 0;  // 0 = never filled (epochs start at 1)
   };
   struct Outage {
     SimTime from = 0;
@@ -202,6 +215,16 @@ class Network {
   }
 
   SimTime JitterUs();
+  // Latency(from, to) through the link's per-epoch memo (see LinkState).
+  // The memo is sender-owned like every LinkState field, so shard workers
+  // fill it race-free for their own senders.
+  SimTime CachedLatency(NodeId from, NodeId to, LinkState& link) const {
+    if (link.latency_epoch != latency_epoch_) {
+      link.cached_latency = Latency(from, to);
+      link.latency_epoch = latency_epoch_;
+    }
+    return link.cached_latency;
+  }
   // Discipline-mode jitter: pure function of (seed, link, send index).
   SimTime JitterCounterUs(NodeId from, NodeId to, uint64_t counter) const;
   void SendDiscipline(NodeId from, NodeId to, MessagePtr msg);
@@ -232,6 +255,8 @@ class Network {
   std::vector<std::vector<Outage>> node_outages_;     // planned, per node
   std::unordered_map<uint64_t, std::vector<Outage>> link_outages_;  // planned
   std::unordered_map<uint64_t, SimTime> latency_override_;
+  // mind-digest: skip(cache invalidation epoch; latency memos are derived)
+  uint64_t latency_epoch_ = 1;
   DelayObserver delay_observer_;
 };
 

@@ -24,9 +24,15 @@ struct SimulatorOptions {
   /// default — is the sequential engine, byte-for-byte the legacy behavior.
   int threads = 0;
   /// Shard count for the parallel engine; 0 picks
-  /// ParallelEngine::kDefaultShards. Fixed independently of `threads`, so
-  /// digests are identical for any thread count over the same shard count.
+  /// ParallelEngine::DefaultShardCount() (hardware-derived, floor
+  /// kDefaultShards). Fixed independently of `threads`, so digests are
+  /// identical for any thread count over the same shard count — and, because
+  /// ordering keys are engine-independent, across shard counts too.
   int shards = 0;
+  /// How window shards are mapped to executor threads (load-balance policy
+  /// only — digests are identical across policies). kDynamic claims shards
+  /// from a shared LPT-ordered list; see ExecutorPolicy for the others.
+  ExecutorPolicy executor_policy = ExecutorPolicy::kDynamic;
   /// Runs the *sequential* engine under the parallel engine's determinism
   /// discipline (counter-based per-link RNG, keyed event ordering,
   /// send-time in-flight-loss resolution). Produces the same StateDigest as
@@ -77,6 +83,12 @@ class Simulator {
   /// The parallel engine, or nullptr on the sequential path.
   ParallelEngine* parallel_engine() { return engine_.get(); }
   const ParallelEngine* parallel_engine() const { return engine_.get(); }
+
+  /// Engine statistics (windows, exchange volume, barrier waits, per-shard
+  /// balance), or nullptr on the sequential path.
+  const EngineStats* engine_stats() const {
+    return engine_ ? &engine_->stats() : nullptr;
+  }
 
   /// The queue that owns `id`'s events: its shard queue under the parallel
   /// engine, the global queue otherwise. Hosts bind to this at construction;

@@ -1,6 +1,7 @@
 #include "storage/bitmap_backend.h"
 
 #include <algorithm>
+#include <map>
 
 #include "telemetry/metrics.h"
 #include "util/logging.h"
@@ -99,8 +100,8 @@ BitmapIndexBackend::BitmapIndexBackend(telemetry::MetricsRegistry* metrics) {
 
 void BitmapIndexBackend::Append(StoredRow row) {
   const uint64_t id = rows_.size();
-  fine_[FineBucket(row.key)].Set(id);
-  summary_[SummaryBucket(row.key)].Set(id);
+  fine_.Get(FineBucket(row.key)).Set(id);
+  summary_.Get(SummaryBucket(row.key)).Set(id);
   rows_.push_back(std::move(row));
   if (set_bits_ != nullptr) set_bits_->Inc(2);
 }
@@ -108,20 +109,49 @@ void BitmapIndexBackend::Append(StoredRow row) {
 uint64_t BitmapIndexBackend::overhead_bytes() const {
   // Encoded words plus a directory entry per bucket; telemetry-facing only.
   uint64_t words = 0;
-  for (const auto& [b, bm] : fine_) words += bm.words();
-  for (const auto& [b, bm] : summary_) words += bm.words();
+  for (size_t i = 0; i < fine_.size(); ++i) words += fine_.map_at(i).words();
+  for (size_t i = 0; i < summary_.size(); ++i) {
+    words += summary_.map_at(i).words();
+  }
   return words * 8 + (fine_.size() + summary_.size()) * 16;
 }
 
+namespace {
+// Software-pipelined gather: a bucket's row ids are arrival-order positions,
+// so consecutive set bits land on scattered rows_ lines. Buffer a batch of
+// ids, prefetching each row as its id is decoded, and consume the batch one
+// prefetch-distance later — decode work hides the row fetches.
+constexpr size_t kGatherBatch = 16;
+
+template <typename Filter>
+void GatherRows(const RleBitmap& bm, const std::vector<StoredRow>& rows,
+                RowConsumer& out, Filter&& keep) {
+  uint64_t batch[kGatherBatch];
+  size_t n = 0;
+  bm.ForEachSet([&](uint64_t id) {
+    scan::PrefetchRead(&rows[id]);
+    batch[n++] = id;
+    if (n == kGatherBatch) {
+      for (uint64_t b : batch) {
+        if (keep(rows[b])) out.Consume(rows[b]);
+      }
+      n = 0;
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (keep(rows[batch[i]])) out.Consume(rows[batch[i]]);
+  }
+}
+}  // namespace
+
 void BitmapIndexBackend::EmitAll(const RleBitmap& bm, RowConsumer& out) const {
-  bm.ForEachSet([&](uint64_t id) { out.Consume(rows_[id]); });
+  GatherRows(bm, rows_, out, [](const StoredRow&) { return true; });
 }
 
 void BitmapIndexBackend::EmitFiltered(const RleBitmap& bm, const KeyRange& kr,
                                       RowConsumer& out) const {
-  bm.ForEachSet([&](uint64_t id) {
-    const StoredRow& r = rows_[id];
-    if (r.key >= kr.lo && r.key <= kr.hi) out.Consume(r);
+  GatherRows(bm, rows_, out, [&kr](const StoredRow& r) {
+    return r.key >= kr.lo && r.key <= kr.hi;
   });
 }
 
@@ -135,38 +165,41 @@ void BitmapIndexBackend::ScanRange(const KeyRange& kr, RowConsumer& out) const {
   constexpr int kSummaryShift = 64 - kSummaryBits;
   constexpr uint32_t kChildren = 1u << (kBucketBits - kSummaryBits);
   const uint32_t s_hi = SummaryBucket(kr.hi);
-  for (auto it = summary_.lower_bound(SummaryBucket(kr.lo));
-       it != summary_.end() && it->first <= s_hi; ++it) {
-    const uint32_t s = it->first;
+  for (size_t si = summary_.LowerBound(SummaryBucket(kr.lo));
+       si < summary_.size() && summary_.id_at(si) <= s_hi; ++si) {
+    if (si + 1 < summary_.size()) scan::PrefetchRead(&summary_.map_at(si + 1));
+    const uint32_t s = summary_.id_at(si);
     const uint64_t s_start = uint64_t{s} << kSummaryShift;
     const uint64_t s_end = s_start | ((uint64_t{1} << kSummaryShift) - 1);
     if (kr.lo <= s_start && s_end <= kr.hi) {
       // Wholly covered summary bucket: one bitmap stands in for its 64
       // children — the hierarchical pruning win.
-      EmitAll(it->second, out);
+      EmitAll(summary_.map_at(si), out);
       continue;
     }
     const uint32_t f_lo = std::max(FineBucket(kr.lo), s * kChildren);
     const uint32_t f_hi =
         std::min(FineBucket(kr.hi), s * kChildren + (kChildren - 1));
-    for (auto fit = fine_.lower_bound(f_lo);
-         fit != fine_.end() && fit->first <= f_hi; ++fit) {
-      const uint64_t b_start = uint64_t{fit->first} << kFineShift;
+    for (size_t fi = fine_.LowerBound(f_lo);
+         fi < fine_.size() && fine_.id_at(fi) <= f_hi; ++fi) {
+      if (fi + 1 < fine_.size()) scan::PrefetchRead(&fine_.map_at(fi + 1));
+      const uint64_t b_start = uint64_t{fine_.id_at(fi)} << kFineShift;
       const uint64_t b_end = b_start | ((uint64_t{1} << kFineShift) - 1);
       if (kr.lo <= b_start && b_end <= kr.hi) {
-        EmitAll(fit->second, out);
+        EmitAll(fine_.map_at(fi), out);
       } else {
         // Range endpoint inside the bucket (cover_len finer than the bucket
         // grid): per-row key check. Never taken with default knobs, where
         // cover ranges are bucket-aligned.
-        EmitFiltered(fit->second, kr, out);
+        EmitFiltered(fine_.map_at(fi), kr, out);
       }
     }
   }
 }
 
 void BitmapIndexBackend::ScanAllRows(RowConsumer& out) const {
-  for (const StoredRow& r : rows_) out.Consume(r);
+  scan::SweepRows<true>(rows_, 0, rows_.size(),
+                        [&out](const StoredRow& r) { out.Consume(r); });
 }
 
 Status BitmapIndexBackend::ValidateInvariants(const CutTree& cuts, int code_len,
@@ -196,10 +229,26 @@ Status BitmapIndexBackend::ValidateInvariants(const CutTree& cuts, int code_len,
     ids.clear();
     bm.ForEachSet([&ids](uint64_t id) { ids.push_back(id); });
   };
+  // Directory order: strictly increasing bucket ids (the probes binary-search
+  // the id arrays, so a misordered directory silently misses buckets).
+  for (size_t i = 1; i < fine_.size(); ++i) {
+    MIND_VALIDATE(fine_.id_at(i - 1) < fine_.id_at(i),
+                  "bitmap-index: fine directory misordered at entry "
+                      << i << " (" << fine_.id_at(i - 1) << " then "
+                      << fine_.id_at(i) << ")");
+  }
+  for (size_t i = 1; i < summary_.size(); ++i) {
+    MIND_VALIDATE(summary_.id_at(i - 1) < summary_.id_at(i),
+                  "bitmap-index: summary directory misordered at entry "
+                      << i << " (" << summary_.id_at(i - 1) << " then "
+                      << summary_.id_at(i) << ")");
+  }
   std::vector<uint8_t> fine_seen(rows_.size(), 0);
   std::map<uint32_t, uint64_t> child_cards;  // summary bucket -> fine total
   uint64_t fine_total = 0;
-  for (const auto& [b, bm] : fine_) {
+  for (size_t fi = 0; fi < fine_.size(); ++fi) {
+    const uint32_t b = fine_.id_at(fi);
+    const RleBitmap& bm = fine_.map_at(fi);
     MIND_RETURN_NOT_OK(bm.Validate("fine bucket", b));
     decode(bm);
     for (uint64_t id : ids) {
@@ -230,7 +279,9 @@ Status BitmapIndexBackend::ValidateInvariants(const CutTree& cuts, int code_len,
                                        << " fine buckets instead of exactly "
                                           "its own");
   }
-  for (const auto& [s, bm] : summary_) {
+  for (size_t si = 0; si < summary_.size(); ++si) {
+    const uint32_t s = summary_.id_at(si);
+    const RleBitmap& bm = summary_.map_at(si);
     MIND_RETURN_NOT_OK(bm.Validate("summary bucket", s));
     MIND_VALIDATE(bm.cardinality() == child_cards[s],
                   "bitmap-index: summary bucket "

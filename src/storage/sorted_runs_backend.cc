@@ -26,8 +26,15 @@ void SortedRunsBackend::Append(StoredRow row) {
   // An append that keeps key order keeps the delta sorted (time-correlated
   // inserts often do); only a true inversion forces the lazy re-sort.
   if (!delta_.empty() && delta_.back().key > row.key) delta_sorted_ = false;
+  delta_keys_.push_back(row.key);
   delta_.push_back(std::move(row));
   MaybeCompact();
+}
+
+void SortedRunsBackend::RebuildKeys(const std::vector<StoredRow>& run,
+                                    scan::KeyColumn* keys) {
+  keys->resize(run.size());
+  for (size_t i = 0; i < run.size(); ++i) (*keys)[i] = run[i].key;
 }
 
 void SortedRunsBackend::MaybeCompact() {
@@ -48,7 +55,9 @@ void SortedRunsBackend::Compact() {
       base_.begin(), base_.begin() + static_cast<long>(mid), base_.end(),
       [](const StoredRow& a, const StoredRow& b) { return a.key < b.key; });
   delta_.clear();
+  delta_keys_.clear();
   delta_sorted_ = true;
+  RebuildKeys(base_, &base_keys_);
   if (compactions_ != nullptr) compactions_->Inc();
   if (compaction_rows_ != nullptr) compaction_rows_->Inc(merged);
 }
@@ -58,22 +67,22 @@ void SortedRunsBackend::EnsureDeltaSorted() const {
   std::sort(delta_.begin(), delta_.end(),
             [](const StoredRow& a, const StoredRow& b) { return a.key < b.key; });
   delta_sorted_ = true;
+  RebuildKeys(delta_, &delta_keys_);
 }
 
 void SortedRunsBackend::ScanRun(const std::vector<StoredRow>& run,
-                                const KeyRange& kr, RowConsumer& out) const {
-  auto first = std::lower_bound(
-      run.begin(), run.end(), kr.lo,
-      [](const StoredRow& r, uint64_t k) { return r.key < k; });
-  for (auto it = first; it != run.end() && it->key <= kr.hi; ++it) {
-    out.Consume(*it);
-  }
+                                const scan::KeyColumn& keys, const KeyRange& kr,
+                                RowConsumer& out) const {
+  const auto [begin, end] =
+      scan::RangeBounds<true>(keys.data(), keys.size(), kr.lo, kr.hi);
+  scan::SweepRows<true>(run, begin, end,
+                        [&out](const StoredRow& r) { out.Consume(r); });
 }
 
 void SortedRunsBackend::ScanRange(const KeyRange& kr, RowConsumer& out) const {
   EnsureDeltaSorted();
-  ScanRun(base_, kr, out);
-  ScanRun(delta_, kr, out);
+  ScanRun(base_, base_keys_, kr, out);
+  ScanRun(delta_, delta_keys_, kr, out);
 }
 
 void SortedRunsBackend::ScanAllRows(RowConsumer& out) const {
@@ -112,6 +121,25 @@ Status SortedRunsBackend::ValidateInvariants(const CutTree& cuts, int code_len,
   // The base run's order is unconditional; the delta's only when claimed.
   MIND_RETURN_NOT_OK(check_run(base_, true, "base"));
   MIND_RETURN_NOT_OK(check_run(delta_, delta_sorted_, "delta"));
+  // The derived key columns must mirror their runs element-for-element:
+  // probes search the column but emits read the rows, so drift would
+  // silently return wrong rows.
+  auto check_keys = [](const std::vector<StoredRow>& run,
+                       const scan::KeyColumn& keys,
+                       const char* name) -> Status {
+    MIND_VALIDATE(keys.size() == run.size(),
+                  "tuple-store: " << name << " key column holds " << keys.size()
+                                  << " keys for " << run.size() << " rows");
+    for (size_t i = 0; i < run.size(); ++i) {
+      MIND_VALIDATE(keys[i] == run[i].key,
+                    "tuple-store: " << name << " key column entry " << i
+                                    << " is " << keys[i]
+                                    << " but the row is keyed " << run[i].key);
+    }
+    return Status::OK();
+  };
+  MIND_RETURN_NOT_OK(check_keys(base_, base_keys_, "base"));
+  MIND_RETURN_NOT_OK(check_keys(delta_, delta_keys_, "delta"));
   MIND_VALIDATE(bytes == expect_bytes,
                 "tuple-store: approx_bytes_ is "
                     << expect_bytes << " but base+delta rows sum to " << bytes);

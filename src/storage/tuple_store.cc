@@ -29,6 +29,13 @@ TupleStore::TupleStore(CutTreeRef cuts, TupleStoreConfig config)
     }
   }
   backend_ = MakeIndexBackend(kind, opts_, config.metrics);
+  if (cover_cache_ == nullptr) {
+    // No shared per-node cache injected: memoize covers privately. Entries
+    // are pure functions of (rect, pinned cuts, len), so this is invisible
+    // to results and digests.
+    owned_cover_cache_ = std::make_unique<CoverCache>();
+    cover_cache_ = owned_cover_cache_.get();
+  }
   if (config.metrics != nullptr) {
     config.metrics
         ->counter(std::string("storage.backend.") + backend_->name() +

@@ -166,6 +166,11 @@ class TupleStore {
   // mind-digest: skip(derived size estimate; recomputable from digested rows)
   uint64_t approx_bytes_ = 0;
   CoverCache* cover_cache_ = nullptr;
+  // Fallback when no shared cache is injected: monitoring queries re-probe
+  // the same rectangles, and ComputeCoverRanges is ~40% of a warm Count, so
+  // even a standalone store memoizes.
+  // mind-digest: skip(pure-function cover memo; no observable state)
+  std::unique_ptr<CoverCache> owned_cover_cache_;
   // storage.cover.* counters; null without a registry.
   telemetry::Counter* cover_fallbacks_ = nullptr;
 };

@@ -263,10 +263,12 @@ struct RelayHost : Host {
 };
 
 // Runs the relay workload and returns every host's delivery log.
-std::vector<std::vector<std::pair<NodeId, SimTime>>> RunRelay(int threads) {
+std::vector<std::vector<std::pair<NodeId, SimTime>>> RunRelay(
+    int threads, ExecutorPolicy policy = ExecutorPolicy::kDynamic) {
   SimulatorOptions opts;
   opts.deterministic_discipline = threads == 0;
   opts.threads = threads;
+  opts.executor_policy = policy;
   Simulator sim(opts);
   const size_t kFleet = 12;
   std::vector<std::unique_ptr<RelayHost>> hosts;
@@ -300,19 +302,69 @@ TEST(ParallelEngineTest, RelayIdenticalAcrossEnginesAndThreadCounts) {
   EXPECT_EQ(serial, RunRelay(4));
 }
 
+// Every executor policy at every thread count executes the identical
+// computation: shard-to-executor mapping is pure wall-clock policy.
+TEST(ParallelEngineTest, RelayIdenticalAcrossExecutorPolicies) {
+  auto serial = RunRelay(0);
+  for (ExecutorPolicy policy :
+       {ExecutorPolicy::kStatic, ExecutorPolicy::kDynamic,
+        ExecutorPolicy::kStealing}) {
+    for (int threads : {1, 2, 4, 8}) {
+      EXPECT_EQ(serial, RunRelay(threads, policy))
+          << "policy=" << static_cast<int>(policy) << " threads=" << threads;
+    }
+  }
+}
+
 TEST(ParallelEngineTest, ShardPartitionIsThreadCountIndependent) {
   SimulatorOptions opts;
   opts.threads = 3;
   Simulator sim(opts);
   ParallelEngine* eng = sim.parallel_engine();
   ASSERT_NE(eng, nullptr);
-  EXPECT_EQ(eng->shard_count(), ParallelEngine::kDefaultShards);
+  const int shards = ParallelEngine::DefaultShardCount();
+  EXPECT_EQ(eng->shard_count(), shards);
+  EXPECT_GE(shards, ParallelEngine::kDefaultShards);
+  EXPECT_LE(shards, ParallelEngine::kMaxAutoShards);
   EXPECT_EQ(eng->threads(), 3);
   for (NodeId id = 0; id < 32; ++id) {
-    EXPECT_EQ(eng->ShardOf(id), id % ParallelEngine::kDefaultShards);
+    EXPECT_EQ(eng->ShardOf(id), static_cast<int>(id) % shards);
     EXPECT_EQ(sim.queue_for(id), &eng->shard_queue(eng->ShardOf(id)));
   }
   EXPECT_EQ(ParallelEngine::current_shard(), -1);  // serial context
+}
+
+// Pinning an explicit shard count still works and digests are identical to
+// the automatic partition (ordering keys are engine-independent, so the
+// shard partition never leaks into results).
+TEST(ParallelEngineTest, RelayIdenticalAcrossShardCounts) {
+  auto serial = RunRelay(0);
+  for (int shards : {4, 8, 16}) {
+    SimulatorOptions opts;
+    opts.threads = 2;
+    opts.shards = shards;
+    Simulator sim(opts);
+    const size_t kFleet = 12;
+    std::vector<std::unique_ptr<RelayHost>> hosts;
+    for (size_t i = 0; i < kFleet; ++i) {
+      auto h = std::make_unique<RelayHost>();
+      h->sim = &sim;
+      h->fleet = kFleet;
+      h->remaining = 40;
+      h->id = sim.network().AddHost(h.get());
+      hosts.push_back(std::move(h));
+    }
+    for (size_t i = 0; i < kFleet; i += 3) {
+      NodeId src = static_cast<NodeId>(i);
+      sim.ScheduleOn(src, 1000 + i, [&sim, src] {
+        sim.network().Send(src, (src + 5) % 12, std::make_shared<PingMsg>());
+      });
+    }
+    sim.Run();
+    std::vector<std::vector<std::pair<NodeId, SimTime>>> logs;
+    for (auto& h : hosts) logs.push_back(h->log);
+    EXPECT_EQ(serial, logs) << "shards=" << shards;
+  }
 }
 
 TEST(ParallelEngineTest, RunUntilAlignsAllShardClocks) {
@@ -358,15 +410,23 @@ struct MindRunResult {
   size_t stored = 0;
   size_t tuples = 0;
   std::vector<SimTime> latencies;  // merged commit order
+  // Virtual-time window trace (thread-count and policy independent).
+  uint64_t windows = 0;
+  uint64_t events = 0;
+  uint64_t exchanged = 0;
+  uint64_t widened_windows = 0;
+  uint64_t max_multiplier = 0;
 };
 
 // A small end-to-end MIND deployment: build, index, inserts, settling — then
 // the state digest. `threads == 0` is the sequential engine under the
 // discipline; anything else the sharded parallel engine.
-MindRunResult RunMindWorkload(int threads, bool with_failures) {
+MindRunResult RunMindWorkload(int threads, bool with_failures,
+                              ExecutorPolicy policy = ExecutorPolicy::kDynamic) {
   MindNetOptions opts;
   opts.sim.seed = 0xfeed;
   opts.sim.threads = threads;
+  opts.sim.executor_policy = policy;
   opts.sim.deterministic_discipline = threads == 0;
   if (with_failures) {
     opts.sim.failures.link_flaps_per_pair_hour = 2.0;
@@ -394,6 +454,13 @@ MindRunResult RunMindWorkload(int threads, bool with_failures) {
   r.stored = net.stored().size();
   r.tuples = net.TotalPrimaryTuples("par_idx");
   for (const auto& info : net.stored()) r.latencies.push_back(info.latency);
+  if (const EngineStats* st = net.sim().engine_stats()) {
+    r.windows = st->windows;
+    r.events = st->events;
+    r.exchanged = st->exchanged;
+    r.widened_windows = st->widened_windows;
+    r.max_multiplier = st->max_multiplier;
+  }
   return r;
 }
 
@@ -417,6 +484,63 @@ TEST(ParallelEngineTest, MindNetDigestIdenticalUnderPlannedFailures) {
     EXPECT_EQ(par.digest, serial.digest) << "threads=" << threads;
     EXPECT_EQ(par.latencies, serial.latencies) << "threads=" << threads;
   }
+}
+
+// Full policy × thread-count matrix against the sequential digest, with
+// planned link flaps active — outages reshape cross-shard traffic mid-run,
+// so this exercises the adaptive cap and the lookahead-matrix refresh under
+// every executor.
+TEST(ParallelEngineTest, MindNetDigestIdenticalAcrossExecutorPolicies) {
+  MindRunResult serial = RunMindWorkload(0, true);
+  for (ExecutorPolicy policy :
+       {ExecutorPolicy::kStatic, ExecutorPolicy::kDynamic,
+        ExecutorPolicy::kStealing}) {
+    for (int threads : {1, 2, 4, 8}) {
+      MindRunResult par = RunMindWorkload(threads, true, policy);
+      EXPECT_EQ(par.digest, serial.digest)
+          << "policy=" << static_cast<int>(policy) << " threads=" << threads;
+      EXPECT_EQ(par.latencies, serial.latencies)
+          << "policy=" << static_cast<int>(policy) << " threads=" << threads;
+    }
+  }
+}
+
+// The adaptive lookahead must be a function of the committed simulation
+// alone: the window trace (count, events, exchange volume, widening
+// decisions) is bit-identical across thread counts, executor policies, and
+// repeat runs. A wall-clock-driven or racy cap would diverge here.
+TEST(ParallelEngineTest, AdaptiveLookaheadIsDeterministic) {
+  MindRunResult base = RunMindWorkload(2, false);
+  EXPECT_GT(base.windows, 0u);
+  EXPECT_GT(base.events, 0u);
+  // The workload has long settle phases, so widening must actually engage.
+  EXPECT_GT(base.widened_windows, 0u);
+  EXPECT_GT(base.max_multiplier, 1u);
+
+  // Repeat run: identical trace.
+  MindRunResult again = RunMindWorkload(2, false);
+  EXPECT_EQ(again.windows, base.windows);
+  EXPECT_EQ(again.events, base.events);
+  EXPECT_EQ(again.exchanged, base.exchanged);
+  EXPECT_EQ(again.widened_windows, base.widened_windows);
+  EXPECT_EQ(again.max_multiplier, base.max_multiplier);
+
+  // Different thread counts and policies: same virtual-time window trace.
+  for (int threads : {1, 4}) {
+    MindRunResult par = RunMindWorkload(threads, false);
+    EXPECT_EQ(par.windows, base.windows) << "threads=" << threads;
+    EXPECT_EQ(par.exchanged, base.exchanged) << "threads=" << threads;
+    EXPECT_EQ(par.widened_windows, base.widened_windows)
+        << "threads=" << threads;
+    EXPECT_EQ(par.max_multiplier, base.max_multiplier)
+        << "threads=" << threads;
+  }
+  MindRunResult stealing =
+      RunMindWorkload(2, false, ExecutorPolicy::kStealing);
+  EXPECT_EQ(stealing.windows, base.windows);
+  EXPECT_EQ(stealing.exchanged, base.exchanged);
+  EXPECT_EQ(stealing.widened_windows, base.widened_windows);
+  EXPECT_EQ(stealing.max_multiplier, base.max_multiplier);
 }
 
 TEST(ParallelEngineTest, ValidatorsRunAtBarriers) {

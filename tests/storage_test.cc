@@ -7,6 +7,7 @@
 #include "space/cut_tree.h"
 #include "storage/bitmap_backend.h"
 #include "storage/cover_cache.h"
+#include "storage/scan_kernels.h"
 #include "storage/tuple_store.h"
 #include "storage/version_manager.h"
 #include "telemetry/metrics.h"
@@ -550,6 +551,64 @@ TEST(IndexVersionsTest, CutsAccessor) {
   ASSERT_TRUE(v.AddVersion(1, cuts, 0).ok());
   EXPECT_EQ(v.Cuts(1), cuts);
   EXPECT_EQ(v.Cuts(2), nullptr);
+}
+
+// ----------------------------------------------------------- scan kernels
+
+// The branch-free kernels must agree with std::lower_bound/std::upper_bound
+// on every probe, prefetch on or off: duplicates, misses, below-front,
+// beyond-back, empty and single-element arrays.
+TEST(ScanKernelTest, BoundsMatchStdOnAdversarialArrays) {
+  Rng rng(0xb07);
+  std::vector<scan::KeyColumn> arrays;
+  arrays.push_back({});                     // empty
+  arrays.push_back({42});                   // singleton
+  arrays.push_back({7, 7, 7, 7, 7});        // all duplicates
+  scan::KeyColumn random;
+  for (int i = 0; i < 1000; ++i) {
+    random.push_back(rng.Uniform(500) * 3);  // gaps and repeats
+  }
+  std::sort(random.begin(), random.end());
+  arrays.push_back(std::move(random));
+  for (const auto& keys : arrays) {
+    for (uint64_t probe = 0; probe < 1600; probe += 7) {
+      const auto expect_lo = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      const auto expect_hi = static_cast<size_t>(
+          std::upper_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      EXPECT_EQ(scan::LowerBound<true>(keys.data(), keys.size(), probe),
+                expect_lo);
+      EXPECT_EQ(scan::LowerBound<false>(keys.data(), keys.size(), probe),
+                expect_lo);
+      EXPECT_EQ(scan::UpperBound<true>(keys.data(), keys.size(), probe),
+                expect_hi);
+      EXPECT_EQ(scan::UpperBound<false>(keys.data(), keys.size(), probe),
+                expect_hi);
+    }
+  }
+}
+
+TEST(ScanKernelTest, RangeBoundsCoverInclusiveRanges) {
+  scan::KeyColumn keys = {10, 20, 20, 30, 40, 40, 40, 50};
+  auto check = [&](uint64_t lo, uint64_t hi, size_t b, size_t e) {
+    const auto [rb, re] =
+        scan::RangeBounds<true>(keys.data(), keys.size(), lo, hi);
+    EXPECT_EQ(rb, b) << "[" << lo << "," << hi << "]";
+    EXPECT_EQ(re, e) << "[" << lo << "," << hi << "]";
+  };
+  check(20, 40, 1, 7);   // both endpoints duplicated
+  check(0, 5, 0, 0);     // below front
+  check(55, 99, 8, 8);   // beyond back
+  check(10, 50, 0, 8);   // exact full span
+  check(21, 29, 3, 3);   // empty interior gap
+  check(0, UINT64_MAX, 0, 8);
+}
+
+TEST(ScanKernelTest, KeyColumnsAreCacheLineAligned) {
+  scan::KeyColumn keys;
+  keys.resize(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(keys.data()) % scan::kCacheLineBytes,
+            0u);
 }
 
 }  // namespace

@@ -53,10 +53,14 @@ class TupleStoreTestPeek {
   static auto& base(TupleStore& s) { return sorted(s).base_; }
   static auto& delta(TupleStore& s) { return sorted(s).delta_; }
   static bool& delta_sorted(TupleStore& s) { return sorted(s).delta_sorted_; }
+  static auto& base_keys(TupleStore& s) { return sorted(s).base_keys_; }
+  static auto& delta_keys(TupleStore& s) { return sorted(s).delta_keys_; }
   static uint64_t& approx_bytes(TupleStore& s) { return s.approx_bytes_; }
   static auto& rows(BitmapIndexBackend& b) { return b.rows_; }
   static auto& fine(BitmapIndexBackend& b) { return b.fine_; }
   static auto& summary(BitmapIndexBackend& b) { return b.summary_; }
+  static auto& dir_ids(BucketDirectory& d) { return d.ids_; }
+  static auto& dir_maps(BucketDirectory& d) { return d.maps_; }
   static auto& bitmap_words(RleBitmap& bm) { return bm.words_; }
   static uint64_t& bitmap_count(RleBitmap& bm) { return bm.count_; }
 };
@@ -251,6 +255,23 @@ TEST(TupleStoreValidatorTest, DetectsByteAccountingDrift) {
   ExpectViolation(store.ValidateInvariants(), "approx_bytes_");
 }
 
+TEST(TupleStoreValidatorTest, DetectsKeyColumnDrift) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())), 24);
+  store.Insert(TwoDimTuple(100, 200, 1));
+  // Probes search the derived key column while emits read the rows; a column
+  // out of sync with its run returns wrong rows silently.
+  TupleStoreTestPeek::delta_keys(store)[0] ^= uint64_t{1} << 62;
+  ExpectViolation(store.ValidateInvariants(), "key column entry");
+}
+
+TEST(TupleStoreValidatorTest, DetectsKeyColumnLengthDrift) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())), 24);
+  store.Insert(TwoDimTuple(100, 200, 1));
+  store.Insert(TwoDimTuple(300, 400, 2));
+  TupleStoreTestPeek::delta_keys(store).pop_back();
+  ExpectViolation(store.ValidateInvariants(), "key column holds");
+}
+
 // -------------------------------------------------------- bitmap backend
 
 TupleStoreConfig BitmapConfig() {
@@ -298,7 +319,7 @@ TEST(BitmapBackendValidatorTest, DetectsCorruptedBitmapWord) {
   FillOneBucket(store);
   auto& fine = TupleStoreTestPeek::fine(TupleStoreTestPeek::bitmap(store));
   ASSERT_EQ(fine.size(), 1u);
-  auto& words = TupleStoreTestPeek::bitmap_words(fine.begin()->second);
+  auto& words = TupleStoreTestPeek::bitmap_words(fine.map_at(0));
   ASSERT_FALSE(words.empty());
   ASSERT_EQ(words[0] >> 63, 1u) << "expected a fill word for chunk 0";
   words[0] ^= uint64_t{1} << 62;  // ones-fill -> zero-fill: 63 bits vanish
@@ -312,7 +333,7 @@ TEST(BitmapBackendValidatorTest, DetectsZeroLengthFillWord) {
   FillOneBucket(store);
   auto& fine = TupleStoreTestPeek::fine(TupleStoreTestPeek::bitmap(store));
   ASSERT_EQ(fine.size(), 1u);
-  auto& words = TupleStoreTestPeek::bitmap_words(fine.begin()->second);
+  auto& words = TupleStoreTestPeek::bitmap_words(fine.map_at(0));
   ASSERT_FALSE(words.empty());
   ASSERT_EQ(words[0] >> 63, 1u) << "expected a fill word for chunk 0";
   words[0] &= ~((uint64_t{1} << 62) - 1);  // zero its run length
@@ -325,12 +346,23 @@ TEST(BitmapBackendValidatorTest, DetectsRowInForeignFineBucket) {
   FillStore(store, 80);
   auto& fine = TupleStoreTestPeek::fine(TupleStoreTestPeek::bitmap(store));
   ASSERT_GT(fine.size(), 1u);
-  // Relabel one bucket's bitmap under a bucket id none of its rows hash to.
-  auto node = fine.extract(fine.begin());
-  node.key() ^= 1u;
-  while (fine.count(node.key())) node.key() ^= 2u;
-  fine.insert(std::move(node));
+  // Relabel the last bucket's bitmap under a bucket id none of its rows hash
+  // to. ids are unique and sorted, so back()+1 is unused and keeps the
+  // directory ordered (misorder has its own validator and test below).
+  auto& ids = TupleStoreTestPeek::dir_ids(fine);
+  ids.back() += 1;
   ExpectViolation(store.ValidateInvariants(), "that buckets to");
+}
+
+TEST(BitmapBackendValidatorTest, DetectsMisorderedDirectory) {
+  TupleStore store(std::make_shared<CutTree>(CutTree::Even(TwoDimSchema())),
+                   BitmapConfig());
+  FillStore(store, 80);
+  auto& fine = TupleStoreTestPeek::fine(TupleStoreTestPeek::bitmap(store));
+  ASSERT_GT(fine.size(), 1u);
+  auto& ids = TupleStoreTestPeek::dir_ids(fine);
+  std::swap(ids.front(), ids.back());
+  ExpectViolation(store.ValidateInvariants(), "directory misordered");
 }
 
 TEST(BitmapBackendValidatorTest, DetectsSummaryCardinalityDrift) {
@@ -340,7 +372,7 @@ TEST(BitmapBackendValidatorTest, DetectsSummaryCardinalityDrift) {
   auto& summary =
       TupleStoreTestPeek::summary(TupleStoreTestPeek::bitmap(store));
   ASSERT_FALSE(summary.empty());
-  TupleStoreTestPeek::bitmap_count(summary.begin()->second) += 1;
+  TupleStoreTestPeek::bitmap_count(summary.map_at(0)) += 1;
   // The summary bitmap's decoded bits no longer match its counter, and the
   // counter no longer matches the fine children: either diagnostic is precise.
   ExpectViolation(store.ValidateInvariants(), "bitmap-index: summary bucket");
