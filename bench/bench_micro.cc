@@ -199,14 +199,22 @@ BENCHMARK(BM_CoverProbe)
 
 // Two-bound range scan over a sorted run: the sorted_runs_backend ScanRun
 // shape (branchless bounds on the key column, prefetch-ahead row sweep).
-// args: {rows, prefetch}
+// The simd arm replaces the callback sweep with the reduction-shaped
+// SweepFieldSum gather kernel (AVX2 when compiled in, scalar otherwise —
+// scan::kHaveAvx2Gather is exported via the simd_active counter so the
+// numbers are self-describing).
+// args: {rows, prefetch, simd}
 void BM_ScanRangeSorted(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const bool prefetch = state.range(1) != 0;
+  const bool simd = state.range(2) != 0;
   scan::KeyColumn keys = SortedKeys(n, 23);
   std::vector<StoredRow> rows(n);
   for (size_t i = 0; i < n; ++i) rows[i].key = keys[i];
   const uint64_t span = keys.back();
+  const size_t seq_offset = static_cast<size_t>(
+      reinterpret_cast<const char*>(&rows[0].tuple.seq) -
+      reinterpret_cast<const char*>(&rows[0]));
   Rng rng(24);
   uint64_t sink = 0;
   for (auto _ : state) {
@@ -215,20 +223,31 @@ void BM_ScanRangeSorted(benchmark::State& state) {
     auto emit = [&sink](const StoredRow& row) { sink += row.tuple.seq; };
     if (prefetch) {
       auto [b, e] = scan::RangeBounds<true>(keys.data(), keys.size(), lo, hi);
-      scan::SweepRows<true>(rows.data(), b, e, emit);
+      if (simd) {
+        sink += scan::SweepFieldSum(rows.data(), b, e, seq_offset);
+      } else {
+        scan::SweepRows<true>(rows.data(), b, e, emit);
+      }
     } else {
       auto [b, e] = scan::RangeBounds<false>(keys.data(), keys.size(), lo, hi);
-      scan::SweepRows<false>(rows.data(), b, e, emit);
+      if (simd) {
+        sink += scan::SweepFieldSum(rows.data(), b, e, seq_offset);
+      } else {
+        scan::SweepRows<false>(rows.data(), b, e, emit);
+      }
     }
     benchmark::DoNotOptimize(sink);
   }
+  state.counters["simd_active"] = simd && scan::kHaveAvx2Gather ? 1 : 0;
 }
 BENCHMARK(BM_ScanRangeSorted)
-    ->ArgNames({"rows", "prefetch"})
-    ->Args({100000, 0})
-    ->Args({100000, 1})
-    ->Args({1000000, 0})
-    ->Args({1000000, 1});
+    ->ArgNames({"rows", "prefetch", "simd"})
+    ->Args({100000, 0, 0})
+    ->Args({100000, 1, 0})
+    ->Args({100000, 1, 1})
+    ->Args({1000000, 0, 0})
+    ->Args({1000000, 1, 0})
+    ->Args({1000000, 1, 1});
 
 // RLE bitmap decode + software-pipelined row gather: the bitmap backend's
 // emission path (ids decode ahead of the rows they touch).
@@ -428,6 +447,53 @@ void BM_InsertPathBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_InsertPathBatch);
+
+// ------------------------------------------------------------ peer table
+
+// Per-node routing-state growth curve (the skip-web comparison axis from the
+// overlay survey): the hypercube keeps ~max_peers_per_level * log2(fleet)
+// peers per node, so the x-axis is fleet size and the curve should be
+// logarithmic. Timing covers a build + lookup cycle on the sorted
+// small-vector PeerTable; the counters report its resident bytes next to the
+// former unordered_map representation (libstdc++ node model: one heap node +
+// two pointers per entry plus the bucket array) for the same peer set.
+void BM_PeerTableGrowth(benchmark::State& state) {
+  const int fleet = static_cast<int>(state.range(0));
+  int levels = 0;
+  while ((1 << levels) < fleet) ++levels;
+  const int peers = 2 * levels;  // max_peers_per_level default is 2
+  Rng rng(31);
+  std::vector<std::pair<NodeId, BitCode>> entries;
+  entries.reserve(peers);
+  for (int i = 0; i < peers; ++i) {
+    entries.push_back({static_cast<NodeId>(rng.Uniform(fleet)),
+                       BitCode::FromBits(rng.Next(), levels)});
+  }
+  for (auto _ : state) {
+    PeerTable t;
+    for (const auto& [id, code] : entries) t[id] = code;
+    for (const auto& [id, code] : entries) {
+      benchmark::DoNotOptimize(t.find(id));
+    }
+  }
+  PeerTable t;
+  std::unordered_map<NodeId, BitCode> m;
+  for (const auto& [id, code] : entries) {
+    t[id] = code;
+    m[id] = code;
+  }
+  state.counters["peers"] = static_cast<double>(t.size());
+  state.counters["table_bytes"] = static_cast<double>(t.MemoryFootprint());
+  state.counters["umap_bytes"] = static_cast<double>(
+      sizeof(m) + m.bucket_count() * sizeof(void*) +
+      m.size() * (sizeof(std::pair<const NodeId, BitCode>) + 2 * sizeof(void*)));
+}
+BENCHMARK(BM_PeerTableGrowth)
+    ->ArgNames({"fleet"})
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17);
 
 void BM_Mismatch(benchmark::State& state) {
   Schema s = Schema3();

@@ -74,6 +74,11 @@ struct DeploymentOptions {
   /// (docs/BACKENDS.md), so sweeping it changes wall-clock cost only; the
   /// default honours MIND_BACKEND like any other run.
   IndexBackendKind backend = DefaultIndexBackendKind();
+  /// Build pacing overrides for very large fleets (0 = MindNetOptions
+  /// defaults). fig22's 10k-node build outruns the default 3600 s sim
+  /// deadline at the default 300 ms stagger.
+  SimTime join_stagger = 0;
+  SimTime build_deadline = 0;
 };
 
 /// A MindNet whose node i is co-located with topology router i (the paper's
@@ -103,6 +108,8 @@ inline std::unique_ptr<MindNet> MakeFlatDeployment(size_t n,
   mopts.overlay.heartbeat_interval = opts.heartbeat_interval;
   mopts.mind.replication = opts.replication;
   mopts.mind.store_backend = opts.backend;
+  if (opts.join_stagger > 0) mopts.join_stagger = opts.join_stagger;
+  if (opts.build_deadline > 0) mopts.build_deadline = opts.build_deadline;
   auto net = std::make_unique<MindNet>(n, mopts);
   Status st = net->Build();
   if (!st.ok()) {

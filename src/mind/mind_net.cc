@@ -100,7 +100,7 @@ Status MindNet::InstallCutsEverywhere(const std::string& name,
     for (const auto& node : nodes_) {
       if (!node->overlay().alive() || !node->overlay().joined()) continue;
       const IndexVersions* pv = node->PrimaryVersions(name);
-      if (pv == nullptr || pv->Store(version) == nullptr) return false;
+      if (pv == nullptr || !pv->HasVersion(version)) return false;
     }
     return true;
   };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/ordered.h"
@@ -81,7 +82,7 @@ Status MindNode::CreateIndex(const IndexDef& def, CutTreeRef cuts,
   if (indices_.count(def.name)) {
     return Status::AlreadyExists("index " + def.name);
   }
-  auto m = std::make_shared<CreateIndexMsg>();
+  auto m = MakeMessage<CreateIndexMsg>();
   m->def = def;
   m->version = version;
   m->cuts = std::move(cuts);
@@ -92,7 +93,7 @@ Status MindNode::CreateIndex(const IndexDef& def, CutTreeRef cuts,
 
 Status MindNode::DropIndex(const std::string& name) {
   if (!indices_.count(name)) return Status::NotFound("index " + name);
-  auto m = std::make_shared<DropIndexMsg>();
+  auto m = MakeMessage<DropIndexMsg>();
   m->name = name;
   overlay_.Broadcast(m);
   return Status::OK();
@@ -105,7 +106,7 @@ Status MindNode::InstallCuts(const std::string& name, VersionId version,
   if (cuts == nullptr || !(cuts->schema() == st->def.schema)) {
     return Status::InvalidArgument("cut tree missing or schema mismatch");
   }
-  auto m = std::make_shared<InstallCutsMsg>();
+  auto m = MakeMessage<InstallCutsMsg>();
   m->name = name;
   m->version = version;
   m->cuts = std::move(cuts);
@@ -140,7 +141,7 @@ void MindNode::ApplyInstallCuts(const InstallCutsMsg& m) {
   IndexState* st = FindIndex(m.name);
   if (st == nullptr) return;  // index unknown here (dropped or lagging)
   // Ignore duplicates / out-of-order repeats.
-  if (st->primary.Store(m.version) != nullptr) return;
+  if (st->primary.HasVersion(m.version)) return;
   Status s = st->primary.AddVersion(m.version, m.cuts, m.start);
   if (s.ok()) {
     MIND_CHECK_OK(st->replicas.AddVersion(m.version, m.cuts, m.start));
@@ -172,7 +173,7 @@ Status MindNode::Insert(const std::string& index, Tuple tuple) {
   CutTreeRef cuts = st->primary.Cuts(version);
   BitCode code = cuts->CodeForPoint(tuple.point, options_.insert_code_len);
 
-  auto m = std::make_shared<InsertMsg>();
+  auto m = MakeMessage<InsertMsg>();
   m->index = index;
   m->version = version;
   m->tuple = std::move(tuple);
@@ -195,8 +196,7 @@ void MindNode::OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops) {
   tracer_->EndSpan(m->route_span);
   IndexState* st = FindIndex(m->index);
   if (st == nullptr) return;  // lagging index creation: drop
-  TupleStore* store = st->primary.Store(m->version);
-  if (store == nullptr) return;
+  if (!st->primary.HasVersion(m->version)) return;
 
   // The storage thread (the prototype's DAC) serializes commits.
   SimTime now = events_->now();
@@ -217,7 +217,7 @@ void MindNode::OnInsertArrived(const std::shared_ptr<InsertMsg>& m, int hops) {
     // Build the replica copy before the store consumes the tuple.
     std::shared_ptr<ReplicateMsg> rep;
     if (options_.replication != 0) {
-      rep = std::make_shared<ReplicateMsg>();
+      rep = MakeMessage<ReplicateMsg>();
       rep->index = m->index;
       rep->version = m->version;
       rep->tuple = m->tuple;
@@ -281,7 +281,7 @@ Status MindNode::InsertBatch(const std::string& index,
   }
   for (auto& [version, group] : by_version) {
     CutTreeRef cuts = st->primary.Cuts(version);
-    auto m = std::make_shared<InsertBatchMsg>();
+    auto m = MakeMessage<InsertBatchMsg>();
     m->index = index;
     m->version = version;
     m->tuples = std::move(group);
@@ -322,8 +322,8 @@ void MindNode::OnInsertBatchArrived(const std::shared_ptr<InsertBatchMsg>& m,
     // The train spans several nodes: split by the next code bit and send each
     // sub-train on (mirrors HandleQueryCode).
     const int at = m->code.length();
-    auto sub0 = std::make_shared<InsertBatchMsg>();
-    auto sub1 = std::make_shared<InsertBatchMsg>();
+    auto sub0 = MakeMessage<InsertBatchMsg>();
+    auto sub1 = MakeMessage<InsertBatchMsg>();
     for (InsertBatchMsg* sub : {sub0.get(), sub1.get()}) {
       sub->index = m->index;
       sub->version = m->version;
@@ -363,7 +363,7 @@ void MindNode::CommitBatch(const std::shared_ptr<InsertBatchMsg>& m,
                            int hops) {
   IndexState* st = FindIndex(m->index);
   if (st == nullptr) return;  // lagging index creation: drop
-  if (st->primary.Store(m->version) == nullptr) return;
+  if (!st->primary.HasVersion(m->version)) return;
 
   const SimTime now = events_->now();
   SimTime dac_wait = dac_busy_until_ > now ? dac_busy_until_ - now : 0;
@@ -396,7 +396,7 @@ void MindNode::CommitBatch(const std::shared_ptr<InsertBatchMsg>& m,
       NodeId origin = m->tuples[i].origin;
       std::shared_ptr<ReplicateMsg> rep;
       if (options_.replication != 0) {
-        rep = std::make_shared<ReplicateMsg>();
+        rep = MakeMessage<ReplicateMsg>();
         rep->index = m->index;
         rep->version = m->version;
         rep->tuple = m->tuples[i];
@@ -485,7 +485,7 @@ Result<uint64_t> MindNode::Query(const std::string& index, const Rect& rect,
       });
 
   for (auto& [v, tracker] : it->second.trackers) {
-    auto m = std::make_shared<QueryMsg>();
+    auto m = MakeMessage<QueryMsg>();
     m->query_id = query_id;
     m->index = index;
     m->version = v;
@@ -546,7 +546,7 @@ void MindNode::HandleQueryCode(const std::shared_ptr<QueryMsg>& m,
       if (cpl == std::min(my.length(), child.length())) {
         HandleQueryCode(m, child);  // still (partly) ours: keep splitting
       } else {
-        auto sub = std::make_shared<QueryMsg>(*m);
+        auto sub = MakeMessage<QueryMsg>(*m);
         sub->code = child;
         overlay_.Route(child, sub);
       }
@@ -572,9 +572,11 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
   // The reply message doubles as the result buffer: stores append matching
   // tuples straight into it (QueryInto), and the originator moves them out —
   // no intermediate vector anywhere on the reply path.
-  auto reply = std::make_shared<QueryReplyMsg>();
-  TupleStore* primary = st->primary.Store(m.version);
-  TupleStore* replicas = st->replicas.Store(m.version);
+  auto reply = MakeMessage<QueryReplyMsg>();
+  // Read path: const access never materializes a lazy version — a store this
+  // node was never written to answers as the empty store it is.
+  const TupleStore* primary = std::as_const(st->primary).Store(m.version);
+  const TupleStore* replicas = std::as_const(st->replicas).Store(m.version);
   uint64_t examined0 = (primary ? primary->scan_rows_examined() : 0) +
                        (replicas ? replicas->scan_rows_examined() : 0);
   uint64_t matched0 = (primary ? primary->scan_rows_matched() : 0) +
@@ -600,7 +602,7 @@ void MindNode::ResolveAndReply(const QueryMsg& m, const BitCode& code) {
   // forward a resolve-only copy there (the paper's joiner->sibling pointer).
   if (!m.resolve_only && data_sibling_ != kInvalidNode &&
       st->synced_versions.count(m.version) > 0) {
-    auto fwd = std::make_shared<QueryMsg>(m);
+    auto fwd = MakeMessage<QueryMsg>(m);
     fwd->resolve_only = true;
     fwd->code = code;
     overlay_.SendDirect(data_sibling_, fwd);
@@ -736,7 +738,7 @@ Status MindNode::StartRebalance(const RebalanceParams& params,
   pc.done = std::move(done);
   collections_.emplace(collection_id, std::move(pc));
 
-  auto req = std::make_shared<HistRequestMsg>();
+  auto req = MakeMessage<HistRequestMsg>();
   req->collection_id = collection_id;
   req->index = params.index;
   req->version = params.source_version;
@@ -774,8 +776,8 @@ Status MindNode::StartRebalance(const RebalanceParams& params,
 void MindNode::OnHistRequest(const HistRequestMsg& m) {
   IndexState* st = FindIndex(m.index);
   if (st == nullptr) return;
-  const TupleStore* store = st->primary.Store(m.version);
-  auto reply = std::make_shared<HistReplyMsg>();
+  const TupleStore* store = std::as_const(st->primary).Store(m.version);
+  auto reply = MakeMessage<HistReplyMsg>();
   reply->collection_id = m.collection_id;
   reply->histogram = std::make_shared<Histogram>(
       store != nullptr
@@ -805,7 +807,7 @@ void MindNode::OnHistReply(const HistReplyMsg& m) {
 // --------------------------------------------------------------- sync/churn
 
 void MindNode::RequestIndexSync() {
-  overlay_.SendDirect(data_sibling_, std::make_shared<IndexSyncRequestMsg>());
+  overlay_.SendDirect(data_sibling_, MakeMessage<IndexSyncRequestMsg>());
 }
 
 void MindNode::Crash() {
@@ -904,7 +906,7 @@ void MindNode::OnDirect(NodeId from, const MessagePtr& msg) {
       OnHistReply(static_cast<const HistReplyMsg&>(*mm));
       break;
     case MindMsgKind::kIndexSyncRequest: {
-      auto reply = std::make_shared<IndexSyncReplyMsg>();
+      auto reply = MakeMessage<IndexSyncReplyMsg>();
       for (const auto& [name, st] : indices_) {
         IndexSyncReplyMsg::IndexSnapshot snap;
         snap.def = st.def;
@@ -997,7 +999,7 @@ Status MindNode::ValidateInvariants() const {
     MIND_RETURN_NOT_OK(st.primary.ValidateInvariants());
     MIND_RETURN_NOT_OK(st.replicas.ValidateInvariants());
     for (VersionId v : st.synced_versions) {
-      MIND_VALIDATE(st.primary.Store(v) != nullptr,
+      MIND_VALIDATE(st.primary.HasVersion(v),
                     "mind: node " << id() << " index '" << name
                                   << "' records synced version " << v
                                   << " missing from the primary chain");

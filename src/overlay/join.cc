@@ -42,9 +42,9 @@ void OverlayNode::StartJoinAttempt() {
 
   // Route a JoinFind to a uniformly random point of the code space through
   // the bootstrap node.
-  auto find = std::make_shared<JoinFindMsg>();
+  auto find = MakeMessage<JoinFindMsg>();
   find->joiner = id_;
-  auto env = std::make_shared<RouteEnvelope>();
+  auto env = MakeMessage<RouteEnvelope>();
   env->target = BitCode::FromBits(rng_.Next(), BitCode::kMaxLen);
   env->max_hops = options_.route_max_hops;
   env->origin = id_;
@@ -83,7 +83,7 @@ void OverlayNode::OnJoinFind(const JoinFindMsg& m) {
       }
     }
   }
-  auto reply = std::make_shared<JoinCandidateMsg>();
+  auto reply = MakeMessage<JoinCandidateMsg>();
   reply->candidate = best;
   reply->candidate_code = best_code;
   reply->proposer = id_;
@@ -95,7 +95,7 @@ void OverlayNode::OnJoinCandidate(const JoinCandidateMsg& m) {
   join_state_ = JoinState::kWaitCommit;
   join_candidate_ = m.candidate;
   join_proposer_ = m.proposer;
-  auto req = std::make_shared<JoinRequestMsg>();
+  auto req = MakeMessage<JoinRequestMsg>();
   req->joiner = id_;
   req->expected_parent_code = m.candidate_code;
   SendRaw(m.candidate, req);
@@ -114,7 +114,7 @@ void OverlayNode::OnJoinRequest(NodeId from, const JoinRequestMsg& m) {
     // The depth-mismatch reject matters for balance: the joiner selected us
     // from a possibly stale peer table; if we've split since, we are no
     // longer the shallowest choice and the joiner must re-sample.
-    auto rej = std::make_shared<JoinRejectMsg>();
+    auto rej = MakeMessage<JoinRejectMsg>();
     rej->actual_code = code_;
     SendRaw(from, rej);
     return;
@@ -136,7 +136,7 @@ void OverlayNode::OnJoinRequest(NodeId from, const JoinRequestMsg& m) {
   }
 
   for (NodeId peer : SortedKeys(peers_)) {
-    auto add = std::make_shared<NeighborAddMsg>();
+    auto add = MakeMessage<NeighborAddMsg>();
     add->join_id = pending_join_->join_id;
     add->parent = id_;
     add->parent_depth = code_.length();
@@ -157,7 +157,7 @@ void OverlayNode::OnJoinRequest(NodeId from, const JoinRequestMsg& m) {
 void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
   if (!joined_) {
     SendRaw(from, [&] {
-      auto r = std::make_shared<NeighborAddRejectMsg>();
+      auto r = MakeMessage<NeighborAddRejectMsg>();
       r->join_id = m.join_id;
       return r;
     }());
@@ -172,7 +172,7 @@ void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
       AbortPendingJoin(/*notify_joiner=*/true);
       // fall through to accept the shallower join
     } else {
-      auto r = std::make_shared<NeighborAddRejectMsg>();
+      auto r = MakeMessage<NeighborAddRejectMsg>();
       r->join_id = m.join_id;
       SendRaw(from, r);
       return;
@@ -186,7 +186,7 @@ void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
     auto it = staged_adds_.find(staged_id);
     if (m.parent_depth < it->second.parent_depth) {
       // New join preempts the staged one: tell its parent.
-      auto r = std::make_shared<NeighborAddRejectMsg>();
+      auto r = MakeMessage<NeighborAddRejectMsg>();
       r->join_id = it->first;
       SendRaw(it->second.parent, r);
       if (it->second.expiry_event) events_->Cancel(it->second.expiry_event);
@@ -195,7 +195,7 @@ void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
     } else if (it->second.parent_depth < m.parent_depth ||
                it->second.parent != m.parent) {
       // An equally-or-more shallow staged join exists: reject the newcomer.
-      auto r = std::make_shared<NeighborAddRejectMsg>();
+      auto r = MakeMessage<NeighborAddRejectMsg>();
       r->join_id = m.join_id;
       SendRaw(from, r);
       return;
@@ -214,7 +214,7 @@ void OverlayNode::OnNeighborAdd(NodeId from, const NeighborAddMsg& m) {
       [this, join_id] { staged_adds_.erase(join_id); });
   staged_adds_[join_id] = std::move(staged);
 
-  auto ack = std::make_shared<NeighborAddAckMsg>();
+  auto ack = MakeMessage<NeighborAddAckMsg>();
   ack->join_id = m.join_id;
   SendRaw(from, ack);
 }
@@ -237,7 +237,7 @@ void OverlayNode::CommitPendingJoin() {
   if (pj.timeout_event) events_->Cancel(pj.timeout_event);
 
   // Build the peer snapshot for the joiner before we mutate our table.
-  auto commit = std::make_shared<JoinCommitMsg>();
+  auto commit = MakeMessage<JoinCommitMsg>();
   commit->joiner_code = pj.joiner_code;
   commit->parent_new_code = pj.my_new_code;
   commit->parent = id_;
@@ -252,7 +252,7 @@ void OverlayNode::CommitPendingJoin() {
   SendRaw(pj.joiner, commit);
   for (NodeId peer : SortedKeys(peers_)) {
     if (peer == pj.joiner) continue;
-    auto notify = std::make_shared<JoinCommitNotifyMsg>();
+    auto notify = MakeMessage<JoinCommitNotifyMsg>();
     notify->join_id = pj.join_id;
     SendRaw(peer, notify);
   }
@@ -264,12 +264,12 @@ void OverlayNode::AbortPendingJoin(bool notify_joiner) {
     events_->Cancel(pending_join_->timeout_event);
   }
   if (notify_joiner) {
-    SendRaw(pending_join_->joiner, std::make_shared<JoinAbortMsg>());
+    SendRaw(pending_join_->joiner, MakeMessage<JoinAbortMsg>());
   }
   // Tell peers to drop their staged entries right away: a stale staged add
   // blocks later joins in this neighborhood until it expires.
   for (NodeId peer : SortedKeys(peers_)) {
-    auto cancel = std::make_shared<NeighborAddCancelMsg>();
+    auto cancel = MakeMessage<NeighborAddCancelMsg>();
     cancel->join_id = pending_join_->join_id;
     SendRaw(peer, cancel);
   }
@@ -281,7 +281,7 @@ void OverlayNode::OnJoinCommit(NodeId from, const JoinCommitMsg& m) {
       join_candidate_ != from) {
     // The commit raced with our timeout/retry: the parent split for nothing
     // and must undo, or the region ending in ...1 would be orphaned.
-    SendRaw(from, std::make_shared<JoinDeclineMsg>());
+    SendRaw(from, MakeMessage<JoinDeclineMsg>());
     return;
   }
   CancelJoinTimer();

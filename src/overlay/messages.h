@@ -3,9 +3,9 @@
 #ifndef MIND_OVERLAY_MESSAGES_H_
 #define MIND_OVERLAY_MESSAGES_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "overlay/peer_table.h"
 #include "sim/message.h"
 #include "util/bitcode.h"
 
@@ -150,7 +150,7 @@ struct JoinCommitMsg : OverlayMsg {
   BitCode joiner_code;
   BitCode parent_new_code;
   NodeId parent = kInvalidNode;
-  std::unordered_map<NodeId, BitCode> peers;
+  PeerTable peers;
   OverlayMsgKind kind() const override { return OverlayMsgKind::kJoinCommit; }
   const char* TypeName() const override { return "JoinCommit"; }
   size_t SizeBytes() const override { return 32 + 12 * peers.size(); }

@@ -115,7 +115,7 @@ void OverlayNode::AnnounceCode() {
   // Sorted so the send order (and thus event-queue order) never depends on
   // the peer table's hash layout.
   for (NodeId peer : SortedKeys(peers_)) {
-    auto m = std::make_shared<CodeUpdateMsg>();
+    auto m = MakeMessage<CodeUpdateMsg>();
     m->new_code = code_;
     SendRaw(peer, m);
   }
@@ -136,7 +136,7 @@ void OverlayNode::PrunePeers() {
   for (const auto& [peer, pcode] : peers_) {
     by_level[code_.CommonPrefixLen(pcode)].push_back(peer);
   }
-  std::unordered_map<NodeId, BitCode> kept;
+  PeerTable kept;
   const BitCode sibling =
       code_.length() > 0 ? code_.Sibling() : BitCode();
   for (auto& [level, ids] : by_level) {
@@ -238,7 +238,7 @@ NodeId OverlayNode::BestNextHop(const BitCode& target) const {
 
 void OverlayNode::Route(const BitCode& target, MessagePtr inner) {
   if (!alive_) return;
-  auto env = std::make_shared<RouteEnvelope>();
+  auto env = MakeMessage<RouteEnvelope>();
   env->target = target;
   env->hops = 0;
   env->max_hops = options_.route_max_hops;
@@ -313,7 +313,7 @@ std::vector<NodeId> OverlayNode::ReplicationTargets(int m) const {
 
 void OverlayNode::Broadcast(MessagePtr inner) {
   if (!alive_) return;
-  auto b = std::make_shared<BroadcastMsg>();
+  auto b = MakeMessage<BroadcastMsg>();
   b->origin = id_;
   b->bcast_id = (static_cast<uint64_t>(static_cast<uint32_t>(id_)) << 32) |
                 (++bcast_seq_);
@@ -364,7 +364,7 @@ void OverlayNode::HandleMessage(NodeId from, const MessagePtr& msg) {
         const auto& rej = static_cast<const JoinRejectMsg&>(*om);
         if (join_state_ == JoinState::kWaitCommit &&
             join_proposer_ != kInvalidNode && from == join_candidate_) {
-          auto fix = std::make_shared<PeerCodeCorrectionMsg>();
+          auto fix = MakeMessage<PeerCodeCorrectionMsg>();
           fix->subject = from;
           fix->code = rej.actual_code;
           SendRaw(join_proposer_, fix);
@@ -438,7 +438,7 @@ void OverlayNode::HandleMessage(NodeId from, const MessagePtr& msg) {
     case OverlayMsgKind::kHeartbeat: {
       const auto& hb = static_cast<const HeartbeatMsg&>(*om);
       NotePeerAlive(from, &hb.code);
-      auto ack = std::make_shared<HeartbeatAckMsg>();
+      auto ack = MakeMessage<HeartbeatAckMsg>();
       ack->code = code_;
       SendRaw(from, ack);
       break;

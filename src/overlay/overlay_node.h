@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "overlay/messages.h"
+#include "overlay/peer_table.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/bitcode.h"
@@ -77,7 +78,7 @@ class OverlayNode : public Host {
   const BitCode& code() const { return code_; }
   bool joined() const { return joined_; }
   bool alive() const { return alive_; }
-  const std::unordered_map<NodeId, BitCode>& peers() const { return peers_; }
+  const PeerTable& peers() const { return peers_; }
 
   /// Bootstraps a 1-node overlay (empty code).
   void BecomeFirst();
@@ -158,6 +159,27 @@ class OverlayNode : public Host {
   /// table) into `out`. Independent of hash-table layout.
   void DigestInto(Fnv64* out) const;
 
+  /// Serializes the node's durable overlay state for the MSN1 snapshot
+  /// (DESIGN.md §14). The snapshot model is quiescent-except-timers: every
+  /// pending event must be a re-armable heartbeat, so any in-flight join,
+  /// retry queue, ring search, vacancy probe or watch is an error naming the
+  /// offending structure. Dedup sets (broadcast/ring/probe ids) are NOT
+  /// saved: their id allocators are, so post-restore ids can never collide
+  /// with pre-snapshot ones.
+  Status SaveSnapshotState(SnapWriter* w) const;
+  /// Restores state saved by SaveSnapshotState into this freshly
+  /// constructed node and re-arms its heartbeat timer. `preserve_seqs` (the
+  /// legacy-digest mode) re-inserts the timer under its exact saved
+  /// insertion sequence; discipline mode re-arms fresh — keyed digests
+  /// ignore per-queue seqs, which is what lets a discipline snapshot restore
+  /// into a different thread/shard count.
+  Status LoadSnapshotState(SnapReader* r, bool preserve_seqs);
+
+  /// True while the heartbeat timer is live in the event queue — the one
+  /// event class the snapshot layer re-arms (MindNet's save-time quiescence
+  /// audit counts these against the queues' total pending events).
+  bool HasPendingHeartbeat() const;
+
  private:
   friend class OverlayTestPeek;
 
@@ -237,7 +259,7 @@ class OverlayNode : public Host {
   bool alive_ = true;
   bool joined_ = false;
   BitCode code_;
-  std::unordered_map<NodeId, BitCode> peers_;
+  PeerTable peers_;
 
   // join: joiner side
   // Transient join-protocol state: the outcome a digest cares about lands in

@@ -1,0 +1,185 @@
+// PeerTable: the compressed per-node peer set of the bounded-memory scale
+// layer (DESIGN.md §14).
+//
+// The hypercube overlay keeps ~log N neighbors per node (max_peers_per_level
+// caps it), so at 10k+ nodes the peer table is the dominant per-node routing
+// state. A std::unordered_map spends ~64 bytes per entry on node headers and
+// bucket arrays for what is logically 12 bytes of payload (id + packed code).
+// PeerTable stores entries sorted by NodeId in a small-vector: the first
+// kInlineCapacity entries live inside the node object itself (zero heap), and
+// only unusually dense tables spill to one flat heap block. Codes stay in
+// BitCode's packed (bits, len) word form — a shared prefix is shared word
+// arithmetic, not shared pointers, so there is nothing further to intern.
+//
+// Determinism: iteration order is NodeId-ascending by construction — exactly
+// the order SortedKeys() used to impose on the unordered_map — so message
+// emission loops and OverlayNode::DigestInto see byte-identical sequences.
+// SortedKeys(PeerTable) still works (key_type + pair-like entries) and is now
+// a plain copy of an already-sorted key column.
+#ifndef MIND_OVERLAY_PEER_TABLE_H_
+#define MIND_OVERLAY_PEER_TABLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "sim/message.h"
+#include "util/bitcode.h"
+#include "util/logging.h"
+
+namespace mind {
+
+class PeerTable {
+ public:
+  /// Pair-layout entry so structured bindings (`auto& [peer, pcode]`) and
+  /// SortedKeys (`kv.first`) keep working at every former unordered_map call
+  /// site.
+  struct Entry {
+    NodeId first = kInvalidNode;
+    BitCode second;
+  };
+  using key_type = NodeId;
+  using mapped_type = BitCode;
+  using value_type = Entry;
+  using iterator = Entry*;
+  using const_iterator = const Entry*;
+
+  /// Inline slots: covers the hypercube's ~log N neighbor count for fleets
+  /// well past 10k nodes (2 per level × 7 levels fits 10k with room).
+  static constexpr size_t kInlineCapacity = 8;
+
+  PeerTable() = default;
+  PeerTable(const PeerTable& other) { CopyFrom(other); }
+  PeerTable& operator=(const PeerTable& other) {
+    if (this != &other) {
+      clear_storage();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  PeerTable(PeerTable&& other) noexcept { MoveFrom(std::move(other)); }
+  PeerTable& operator=(PeerTable&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  iterator find(NodeId id) {
+    iterator it = LowerBound(id);
+    return (it != end() && it->first == id) ? it : end();
+  }
+  const_iterator find(NodeId id) const {
+    return const_cast<PeerTable*>(this)->find(id);
+  }
+  size_t count(NodeId id) const { return find(id) != end() ? 1 : 0; }
+
+  const BitCode& at(NodeId id) const {
+    const_iterator it = find(id);
+    MIND_CHECK(it != end());
+    return it->second;
+  }
+
+  /// Insert-if-missing, then return the code slot — sorted-order analogue of
+  /// unordered_map::operator[].
+  BitCode& operator[](NodeId id) {
+    iterator it = LowerBound(id);
+    if (it != end() && it->first == id) return it->second;
+    const size_t pos = static_cast<size_t>(it - data_);
+    if (size_ == cap_) Grow();
+    for (size_t i = size_; i > pos; --i) data_[i] = data_[i - 1];
+    data_[pos] = Entry{id, BitCode()};
+    ++size_;
+    return data_[pos].second;
+  }
+
+  iterator erase(iterator it) {
+    MIND_CHECK(it >= begin() && it < end());
+    for (iterator p = it; p + 1 != end(); ++p) *p = *(p + 1);
+    --size_;
+    return it;
+  }
+  size_t erase(NodeId id) {
+    iterator it = find(id);
+    if (it == end()) return 0;
+    erase(it);
+    return 1;
+  }
+
+  void clear() { size_ = 0; }
+
+  /// Bytes this table occupies beyond sizeof(PeerTable) — i.e. the heap
+  /// spill, zero while the table fits inline. Fuel for the fig22 footprint
+  /// accounting and the growth-curve micro-bench.
+  size_t HeapBytes() const {
+    return data_ == inline_ ? 0 : cap_ * sizeof(Entry);
+  }
+  size_t MemoryFootprint() const { return sizeof(PeerTable) + HeapBytes(); }
+
+ private:
+  void CopyFrom(const PeerTable& other) {
+    Reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) data_[i] = other.data_[i];
+    size_ = other.size_;
+  }
+  void MoveFrom(PeerTable&& other) noexcept {
+    if (other.data_ == other.inline_) {
+      for (size_t i = 0; i < other.size_; ++i) inline_[i] = other.inline_[i];
+      data_ = inline_;
+      cap_ = kInlineCapacity;
+    } else {
+      heap_ = std::move(other.heap_);
+      data_ = heap_.get();
+      cap_ = other.cap_;
+      other.data_ = other.inline_;
+      other.cap_ = kInlineCapacity;
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+  void clear_storage() {
+    heap_.reset();
+    data_ = inline_;
+    cap_ = kInlineCapacity;
+    size_ = 0;
+  }
+
+  iterator LowerBound(NodeId id) {
+    // Tables are ~log N entries; a linear scan beats binary search at this
+    // size and keeps the code branch-predictable.
+    iterator it = begin();
+    while (it != end() && it->first < id) ++it;
+    return it;
+  }
+
+  void Reserve(size_t n) {
+    if (n <= cap_) return;
+    size_t cap = cap_;
+    while (cap < n) cap *= 2;
+    auto fresh = std::make_unique<Entry[]>(cap);
+    for (size_t i = 0; i < size_; ++i) fresh[i] = data_[i];
+    heap_ = std::move(fresh);
+    data_ = heap_.get();
+    cap_ = cap;
+  }
+  void Grow() { Reserve(cap_ * 2); }
+
+  Entry inline_[kInlineCapacity];
+  std::unique_ptr<Entry[]> heap_;
+  Entry* data_ = inline_;
+  size_t size_ = 0;
+  size_t cap_ = kInlineCapacity;
+};
+
+}  // namespace mind
+
+#endif  // MIND_OVERLAY_PEER_TABLE_H_

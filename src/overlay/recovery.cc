@@ -31,7 +31,7 @@ void OverlayNode::OnHeartbeatTimer() {
   for (NodeId peer : dead) DeclarePeerDead(peer);
 
   for (NodeId peer : SortedKeys(peers_)) {
-    auto hb = std::make_shared<HeartbeatMsg>();
+    auto hb = MakeMessage<HeartbeatMsg>();
     hb->code = code_;
     SendRaw(peer, hb);
     tm_.heartbeats_sent->Inc();
@@ -103,7 +103,7 @@ void OverlayNode::StartVacancyWatch(const BitCode& region,
 
   uint64_t probe_id =
       (static_cast<uint64_t>(static_cast<uint32_t>(id_)) << 32) | (++probe_seq_);
-  auto probe = std::make_shared<RegionProbeMsg>();
+  auto probe = MakeMessage<RegionProbeMsg>();
   probe->region = region;
   probe->asker = id_;
   probe->probe_id = probe_id;
@@ -132,7 +132,7 @@ void OverlayNode::OnWatchTimeout(uint64_t probe_id) {
   if (!w.recheck_phase) {
     // The region is dead: tell its sibling subtree to absorb it, then
     // re-check whether the takeover happened.
-    auto vacant = std::make_shared<RegionVacantMsg>();
+    auto vacant = MakeMessage<RegionVacantMsg>();
     vacant->vacant = w.region;
     BitCode target = w.region.Sibling();
     while (target.length() < BitCode::kMaxLen) target.PushBack(0);
@@ -177,7 +177,7 @@ void OverlayNode::OnRegionVacant(const RegionVacantMsg& m) {
   if (!probed_regions_.insert(region_hash).second) return;  // probe in flight
   uint64_t probe_id =
       (static_cast<uint64_t>(static_cast<uint32_t>(id_)) << 32) | (++probe_seq_);
-  auto probe = std::make_shared<RegionProbeMsg>();
+  auto probe = MakeMessage<RegionProbeMsg>();
   probe->region = p;
   probe->asker = id_;
   probe->probe_id = probe_id;
@@ -231,7 +231,7 @@ void OverlayNode::OnRegionProbe(const RegionProbeMsg& m) {
   if (m.asker == id_) return;
   int cpl = code_.CommonPrefixLen(m.region);
   if (cpl == std::min(code_.length(), m.region.length())) {
-    auto alive = std::make_shared<RegionAliveMsg>();
+    auto alive = MakeMessage<RegionAliveMsg>();
     alive->probe_id = m.probe_id;
     SendRaw(m.asker, alive);
   }
@@ -335,7 +335,7 @@ void OverlayNode::ContinueRingSearch(uint64_t search_id) {
     ring_searches_.erase(it);
     return;
   }
-  auto find = std::make_shared<RingFindMsg>();
+  auto find = MakeMessage<RingFindMsg>();
   find->search_id = search_id;
   find->target = rs.env->target;
   // We need a node at least as close as us; strictly closer is ideal but an
@@ -365,14 +365,14 @@ void OverlayNode::OnRingFind(NodeId from,
   }
   if (code_.CommonPrefixLen(m->target) >= m->needed_cpl ||
       OwnsTarget(m->target)) {
-    auto found = std::make_shared<RingFoundMsg>();
+    auto found = MakeMessage<RingFoundMsg>();
     found->search_id = m->search_id;
     found->code = code_;
     SendRaw(m->stuck_node, found);
     return;
   }
   if (m->ttl > 1) {
-    auto fwd = std::make_shared<RingFindMsg>(*m);
+    auto fwd = MakeMessage<RingFindMsg>(*m);
     fwd->ttl = m->ttl - 1;
     for (NodeId peer : SortedKeys(peers_)) {
       if (peer != from) SendRaw(peer, fwd);

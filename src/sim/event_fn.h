@@ -15,6 +15,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/arena.h"
+
 namespace mind {
 
 class EventFn {
@@ -36,7 +38,10 @@ class EventFn {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = &InlineOps<D>::kOps;
     } else {
-      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      // Oversized closures go through the event pool, not ::operator new,
+      // so even the fallback path stays inside the bounded-memory layer.
+      void* mem = pool::Allocate(sizeof(D));
+      *reinterpret_cast<D**>(buf_) = ::new (mem) D(std::forward<F>(f));
       ops_ = &HeapOps<D>::kOps;
     }
   }
@@ -83,7 +88,11 @@ class EventFn {
     static void Relocate(void* dst, void* src) {
       *static_cast<D**>(dst) = *static_cast<D**>(src);
     }
-    static void Destroy(void* p) { delete *static_cast<D**>(p); }
+    static void Destroy(void* p) {
+      D* d = *static_cast<D**>(p);
+      d->~D();
+      pool::Deallocate(d, sizeof(D));
+    }
     static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
   };
 

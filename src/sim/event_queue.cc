@@ -309,4 +309,44 @@ void EventQueue::CollectKeyed(std::vector<std::array<uint64_t, 3>>* out) const {
   }
 }
 
+bool EventQueue::EventInfo(EventId id, PendingInfo* out) const {
+  uint32_t slot = DecodeLive(id);
+  if (slot == kNone || !slots_[slot].live) return false;
+  const Slot& s = slots_[slot];
+  out->time = s.time;
+  out->seq = s.seq;
+  out->ukey = s.ukey;
+  out->band = s.band;
+  return true;
+}
+
+void EventQueue::CollectPendingInfo(std::vector<PendingInfo>* out) const {
+  for (uint32_t s : heap_) {
+    if (!slots_[s].live) continue;
+    out->push_back(
+        {slots_[s].time, slots_[s].seq, slots_[s].ukey, slots_[s].band});
+  }
+}
+
+EventId EventQueue::ScheduleAtKeyedWithSeq(SimTime t, uint8_t band,
+                                           uint64_t ukey, uint64_t seq,
+                                           EventFn fn) {
+  EventId id = ScheduleAtKeyed(t, band, ukey, std::move(fn));
+  // Rewrite the freshly allocated seq with the snapshot's, and keep the
+  // allocator's high-water mark past it. The slot index is recoverable from
+  // the id; the heap position may shift, so re-establish heap order.
+  uint32_t slot = DecodeLive(id);
+  MIND_CHECK_NE(slot, kNone);
+  slots_[slot].seq = seq;
+  if (next_seq_ < seq) next_seq_ = seq;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i] == slot) {
+      SiftUp(i);
+      SiftDown(i);
+      break;
+    }
+  }
+  return id;
+}
+
 }  // namespace mind

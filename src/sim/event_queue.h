@@ -136,6 +136,40 @@ class EventQueue {
   /// queues and digests that.
   void CollectKeyed(std::vector<std::array<uint64_t, 3>>* out) const;
 
+  // --- Snapshot support (src/mind/snapshot.cc) ---------------------------
+  // A snapshot may only be taken when every pending event is a re-armable
+  // timer (heartbeats). Save records each timer's ordering key via
+  // EventInfo; restore re-creates the closure and re-inserts it with
+  // ScheduleAtKeyedWithSeq so the (time, band, ukey, seq) ordering key — and
+  // therefore the legacy (time, seq) digest — survives the round trip.
+
+  /// Ordering key of a live pending event.
+  struct PendingInfo {
+    SimTime time = 0;
+    uint64_t seq = 0;
+    uint64_t ukey = 0;
+    uint8_t band = 0;
+  };
+
+  /// Looks up a live event by handle; false if the id is stale/invalid.
+  bool EventInfo(EventId id, PendingInfo* out) const;
+
+  /// Appends the ordering key of every live event (unsorted). Snapshot save
+  /// uses this to name unexpected non-timer events in its quiescence error.
+  void CollectPendingInfo(std::vector<PendingInfo>* out) const;
+
+  /// Schedules `fn` with an explicit insertion sequence number instead of
+  /// allocating the next one; bumps the allocator past `seq` so later
+  /// Schedules never collide. Restore-only: using this while the original
+  /// event still exists would duplicate a tie-break key.
+  EventId ScheduleAtKeyedWithSeq(SimTime t, uint8_t band, uint64_t ukey,
+                                 uint64_t seq, EventFn fn);
+
+  /// Insertion-sequence allocator high-water mark, for snapshot round trips
+  /// that must preserve the exact seq a future Schedule would draw.
+  uint64_t next_seq() const { return next_seq_; }
+  void SetNextSeq(uint64_t v) { next_seq_ = v; }
+
  private:
   friend class EventQueueTestPeek;  // corruption injection in validator tests
 

@@ -4,6 +4,9 @@
 
 #include <cstddef>
 #include <memory>
+#include <utility>
+
+#include "util/arena.h"
 
 namespace mind {
 
@@ -27,6 +30,20 @@ struct Message {
 };
 
 using MessagePtr = std::shared_ptr<Message>;
+
+/// \brief Pool-allocated message construction — the only sanctioned way to
+/// create a Message in src/sim, src/overlay and src/mind (the `raw-alloc`
+/// lint bans `std::make_shared` there).
+///
+/// allocate_shared puts the shared_ptr control block and the payload in one
+/// pooled block, so a message hop costs zero general-purpose allocations.
+/// The block is returned to whichever thread's pool cache drops the last
+/// reference — safe by design, blocks migrate between caches.
+template <typename T, typename... Args>
+std::shared_ptr<T> MakeMessage(Args&&... args) {
+  return std::allocate_shared<T>(pool::PooledAllocator<T>(),
+                                 std::forward<Args>(args)...);
+}
 
 /// \brief A network endpoint (one MIND process in the paper's deployment).
 class Host {

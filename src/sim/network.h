@@ -21,6 +21,9 @@
 
 namespace mind {
 
+class SnapReader;
+class SnapWriter;
+
 /// Latitude/longitude in degrees; used to derive propagation delays.
 struct GeoPoint {
   double lat_deg = 0.0;
@@ -161,6 +164,16 @@ class Network {
 
   EventQueue* events() const { return events_; }
 
+  /// Serializes the fabric's mutable state — host up flags and loopback
+  /// counters, per-directed-link FIFO clocks and send counters, dynamic and
+  /// planned outages, latency overrides, and the jitter rng — in canonical
+  /// (sender, destination) order. Latency memos are a pure cache and are not
+  /// saved. Part of the MSN1 snapshot (DESIGN.md §14).
+  void SaveSnapshotState(SnapWriter* w) const;
+  /// Restores state saved by SaveSnapshotState into a freshly constructed
+  /// fabric with the same registered hosts.
+  Status LoadSnapshotState(SnapReader* r);
+
  private:
   struct HostState {
     Host* host = nullptr;
@@ -169,11 +182,15 @@ class Network {
     bool up = true;
     uint64_t loopback_count = 0;  // discipline: keys same-host deliveries
   };
-  // Dense per-directed-link state, rows indexed by sender then destination.
-  // Every field is written only by the sending side, so under the parallel
-  // engine a row is touched exclusively by the shard that owns its sender.
-  // Outages live in the sparse maps below (shared, but frozen while shards
-  // execute), keeping this hot-path struct lean.
+  // Per-directed-link state. Rows are indexed densely by sender; within a
+  // row, destinations live in a sparse open-addressed table (LinkRow below):
+  // a node only ever talks to its overlay neighbors plus direct-reply
+  // targets, so at 10k+ hosts the old dense row (hosts x 64 bytes = 640 KB
+  // per sender, 6.4 GB total) would dwarf every other structure. Every field
+  // is written only by the sending side, so under the parallel engine a row
+  // is touched exclusively by the shard that owns its sender. Outages live
+  // in the sparse maps below (shared, but frozen while shards execute),
+  // keeping this hot-path struct lean.
   // alignas(64): one directed link's hot state occupies exactly one cache
   // line, so a shard worker's send never shares a line with another link.
   struct alignas(64) LinkState {
@@ -193,6 +210,67 @@ class Network {
     SimTime until = 0;
   };
 
+  /// One sender's destination table: open-addressed, power-of-two capacity,
+  /// linear probing, no erase (links never disappear, only their hosts do).
+  /// Behavior is identical to the former dense row — storage layout is the
+  /// only change, and nothing iterates a row in table order.
+  class LinkRow {
+   public:
+    LinkState& FindOrInsert(NodeId to) {
+      if (slots_.empty()) Rehash(8);
+      size_t i = Probe(to);
+      if (slots_[i].dst == to) return slots_[i].state;
+      if ((size_ + 1) * 4 > slots_.size() * 3) {
+        Rehash(slots_.size() * 2);
+        i = Probe(to);
+      }
+      slots_[i].dst = to;
+      ++size_;
+      return slots_[i].state;
+    }
+    const LinkState* Find(NodeId to) const {
+      if (slots_.empty()) return nullptr;
+      const size_t i = Probe(to);
+      return slots_[i].dst == to ? &slots_[i].state : nullptr;
+    }
+    size_t active_links() const { return size_; }
+    size_t HeapBytes() const { return slots_.size() * sizeof(Slot); }
+
+    /// Visits every active (dst, state) pair in table order; snapshot save
+    /// sorts by dst afterwards so the stream is layout-independent.
+    template <typename F>
+    void ForEachLink(F&& f) const {
+      for (const auto& s : slots_) {
+        if (s.dst != kInvalidNode) f(s.dst, s.state);
+      }
+    }
+
+   private:
+    struct Slot {
+      NodeId dst = kInvalidNode;
+      LinkState state;
+    };
+    size_t Probe(NodeId to) const {
+      const size_t mask = slots_.size() - 1;
+      size_t i = (static_cast<uint64_t>(static_cast<uint32_t>(to)) *
+                  0x9e3779b97f4a7c15ull >> 32) & mask;
+      while (slots_[i].dst != to && slots_[i].dst != kInvalidNode) {
+        i = (i + 1) & mask;
+      }
+      return i;
+    }
+    void Rehash(size_t cap) {
+      std::vector<Slot> old = std::move(slots_);
+      slots_.assign(cap, Slot{});
+      for (auto& s : old) {
+        if (s.dst == kInvalidNode) continue;
+        slots_[Probe(s.dst)] = std::move(s);
+      }
+    }
+    std::vector<Slot> slots_;
+    size_t size_ = 0;
+  };
+
   uint64_t DirKey(NodeId from, NodeId to) const {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
            static_cast<uint32_t>(to);
@@ -206,12 +284,12 @@ class Network {
 
   LinkState& LinkTo(NodeId from, NodeId to) {
     // The engine calls PresizeLinkTable() before every parallel run, so the
-    // lazy growth below can only trigger in serial context.
+    // lazy growth of the outer vector below can only trigger in serial
+    // context. Growth *within* a row is shard-safe: a row belongs to its
+    // sender, and a sender is executed by exactly one shard worker.
     // mind-lint: allow(phase-safety): presized before parallel runs
     if (links_.size() < hosts_.size()) links_.resize(hosts_.size());
-    auto& row = links_[static_cast<size_t>(from)];
-    if (row.size() < hosts_.size()) row.resize(hosts_.size());
-    return row[static_cast<size_t>(to)];
+    return links_[static_cast<size_t>(from)].FindOrInsert(to);
   }
 
   SimTime JitterUs();
@@ -250,7 +328,7 @@ class Network {
   telemetry::SimHistogram* queue_wait_ms_ = nullptr;
   telemetry::SimHistogram* delivery_delay_ms_ = nullptr;
   std::vector<HostState> hosts_;
-  std::vector<std::vector<LinkState>> links_;
+  std::vector<LinkRow> links_;
   std::unordered_map<uint64_t, SimTime> down_until_;  // dynamic outages
   std::vector<std::vector<Outage>> node_outages_;     // planned, per node
   std::unordered_map<uint64_t, std::vector<Outage>> link_outages_;  // planned

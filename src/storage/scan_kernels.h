@@ -26,9 +26,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <utility>
 #include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 namespace mind {
 namespace scan {
@@ -134,6 +139,53 @@ inline void SweepRows(const Rows& rows, std::size_t begin, std::size_t end,
     }
     emit(rows[i]);
   }
+}
+
+/// Whether SweepFieldSum below runs its vectorized arm in this build.
+inline constexpr bool kHaveAvx2Gather =
+#if defined(__AVX2__)
+    true;
+#else
+    false;
+#endif
+
+/// The reduction-shaped specialization of SweepRows: sums the uint64_t field
+/// at byte offset `field_offset` of each row in rows[begin, end).
+///
+/// When the emit callback is a pure field accumulation (count/sum style
+/// aggregation over a range scan), the callback indirection disappears and
+/// the per-row loads become a strided gather — under AVX2, four rows' fields
+/// per _mm256_i64gather_epi64 (byte-offset indices, scale 1, so row size
+/// need not be a multiple of 8). The scalar fallback is bit-identical:
+/// integer summation is associative, lane order does not matter. The offset
+/// is a runtime value (member pointers through non-standard-layout rows).
+template <typename Row>
+inline uint64_t SweepFieldSum(const Row* rows, std::size_t begin,
+                              std::size_t end, std::size_t field_offset) {
+  const char* base = reinterpret_cast<const char*>(rows) + field_offset;
+  uint64_t sum = 0;
+  std::size_t i = begin;
+#if defined(__AVX2__)
+  const __m256i idx = _mm256_set_epi64x(
+      static_cast<long long>(3 * sizeof(Row)),
+      static_cast<long long>(2 * sizeof(Row)),
+      static_cast<long long>(1 * sizeof(Row)), 0);
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= end; i += 4) {
+    const auto* p =
+        reinterpret_cast<const long long*>(base + i * sizeof(Row));
+    acc = _mm256_add_epi64(acc, _mm256_i64gather_epi64(p, idx, 1));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+#endif
+  for (; i < end; ++i) {
+    uint64_t v;
+    std::memcpy(&v, base + i * sizeof(Row), sizeof(v));
+    sum += v;
+  }
+  return sum;
 }
 
 }  // namespace scan

@@ -6,6 +6,7 @@
 #include "storage/sorted_runs_backend.h"
 #include "telemetry/metrics.h"
 #include "util/logging.h"
+#include "util/snapio.h"
 #include "util/validate.h"
 
 namespace mind {
@@ -167,6 +168,72 @@ void TupleStore::DigestInto(Fnv64* out) const {
     acc.Add(h.value());
   });
   acc.DigestInto(out);
+}
+
+void TupleStore::DigestEmptyInto(Fnv64* out) {
+  OrderIndependentAccumulator acc;
+  acc.DigestInto(out);
+}
+
+void TupleStore::SaveSnapshotState(SnapWriter* w) const {
+  w->U64(scan_rows_examined_);
+  w->U64(scan_rows_matched_);
+  w->U64(scan_queries_);
+  w->U64(scan_cover_ranges_);
+  w->U64(backend_->size());
+  ForEachRow([w](const StoredRow& r) {
+    w->U64(r.key);
+    w->U64(static_cast<uint64_t>(static_cast<int64_t>(r.tuple.origin)));
+    w->U64(r.tuple.seq);
+    w->U32(static_cast<uint32_t>(r.tuple.point.size()));
+    for (Value v : r.tuple.point) w->U64(v);
+    w->U32(static_cast<uint32_t>(r.tuple.extra.size()));
+    for (Value v : r.tuple.extra) w->U64(v);
+  });
+}
+
+Status TupleStore::LoadSnapshotState(SnapReader* r) {
+  MIND_ASSIGN_OR_RETURN(scan_rows_examined_, r->U64("store.rows_examined"));
+  MIND_ASSIGN_OR_RETURN(scan_rows_matched_, r->U64("store.rows_matched"));
+  MIND_ASSIGN_OR_RETURN(scan_queries_, r->U64("store.queries"));
+  MIND_ASSIGN_OR_RETURN(scan_cover_ranges_, r->U64("store.cover_ranges"));
+  uint64_t rows;
+  MIND_ASSIGN_OR_RETURN(rows, r->U64("store.row_count"));
+  for (uint64_t i = 0; i < rows; ++i) {
+    StoredRow row;
+    MIND_ASSIGN_OR_RETURN(row.key, r->U64("store.row.key"));
+    uint64_t origin;
+    MIND_ASSIGN_OR_RETURN(origin, r->U64("store.row.origin"));
+    row.tuple.origin = static_cast<int>(static_cast<int64_t>(origin));
+    MIND_ASSIGN_OR_RETURN(row.tuple.seq, r->U64("store.row.seq"));
+    uint32_t point_len;
+    MIND_ASSIGN_OR_RETURN(point_len, r->U32("store.row.point_len"));
+    const uint32_t dims = static_cast<uint32_t>(cuts_->schema().dims());
+    if (point_len != dims) {
+      return r->FieldError("store.row.point_len",
+                           "row " + std::to_string(i) + " has " +
+                               std::to_string(point_len) +
+                               " coordinates, schema has " +
+                               std::to_string(dims));
+    }
+    row.tuple.point.resize(point_len);
+    for (Value& v : row.tuple.point) {
+      MIND_ASSIGN_OR_RETURN(v, r->U64("store.row.point"));
+    }
+    uint32_t extra_len;
+    MIND_ASSIGN_OR_RETURN(extra_len, r->U32("store.row.extra_len"));
+    if (extra_len > 4096) {
+      return r->FieldError("store.row.extra_len", "implausible carried-value "
+                                                  "count " +
+                                                      std::to_string(extra_len));
+    }
+    row.tuple.extra.resize(extra_len);
+    for (Value& v : row.tuple.extra) {
+      MIND_ASSIGN_OR_RETURN(v, r->U64("store.row.extra"));
+    }
+    InsertRow(std::move(row));
+  }
+  return Status::OK();
 }
 
 Histogram TupleStore::BuildHistogram(int bins_per_dim, int time_attr,

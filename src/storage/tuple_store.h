@@ -141,6 +141,22 @@ class TupleStore {
   /// the backend choice).
   void DigestInto(Fnv64* out) const;
 
+  /// What DigestInto folds for a store with no rows. Version chains hold
+  /// never-written versions as null stores (IndexVersions lazy open); their
+  /// digest must be byte-identical to a materialized-but-empty store's.
+  static void DigestEmptyInto(Fnv64* out);
+
+  /// Serializes the scan counters and every stored row for the MSN1 snapshot
+  /// (DESIGN.md §14). The resolved backend kind is written by the caller
+  /// (IndexVersions), which must construct the restored store with that kind
+  /// before it can load. The physical base/delta layout is NOT preserved —
+  /// backends are digest- and timing-transparent by contract, so restore may
+  /// re-pack rows freely.
+  void SaveSnapshotState(SnapWriter* w) const;
+  /// Restores rows and counters written by SaveSnapshotState into this
+  /// freshly constructed, empty store.
+  Status LoadSnapshotState(SnapReader* r);
+
  private:
   friend class TupleStoreTestPeek;  // corruption injection in validator tests
 

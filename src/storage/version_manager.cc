@@ -1,6 +1,7 @@
 #include "storage/version_manager.h"
 
 #include "util/logging.h"
+#include "util/snapio.h"
 #include "util/validate.h"
 
 namespace mind {
@@ -20,32 +21,47 @@ Status IndexVersions::AddVersion(VersionId id, CutTreeRef cuts, SimTime start) {
     // inserts once the new one opens; merge its delta down now so its
     // history is served from a single sorted run. (Stragglers timestamped
     // into the old window still insert fine — they just reopen a delta.)
-    if (entries_.back().store->compaction_enabled()) {
+    // A never-written (lazy) store has nothing to freeze.
+    if (entries_.back().store != nullptr &&
+        entries_.back().store->compaction_enabled()) {
       entries_.back().store->Compact();
     }
     // Adaptive backend hand-off: the closing store's observed ingest/query
     // mix is the evidence the next version's store resolves kAdaptive with
-    // (a cold chain starts on kSortedRuns; see ChooseIndexBackend).
+    // (a cold chain starts on kSortedRuns; see ChooseIndexBackend). A lazy
+    // closing store saw no ingest and no queries: zero evidence, exactly
+    // what an eager empty store would report.
     if (config_.options.backend == IndexBackendKind::kAdaptive) {
-      config_.adaptive_stats = entries_.back().store->workload_stats();
+      config_.adaptive_stats = entries_.back().store != nullptr
+                                   ? entries_.back().store->workload_stats()
+                                   : BackendWorkloadStats{};
     }
   }
   Entry e;
   e.id = id;
   e.start = start;
-  e.cuts = cuts;
-  e.store = std::make_unique<TupleStore>(std::move(cuts), config_);
+  e.cuts = std::move(cuts);
+  e.adaptive_at_open = config_.adaptive_stats;
   entries_.push_back(std::move(e));
   ++epoch_;
   return Status::OK();
 }
 
-TupleStore* IndexVersions::StoreForTime(SimTime t) {
-  TupleStore* best = nullptr;
-  for (auto& e : entries_) {
-    if (e.start <= t) best = e.store.get();
+TupleStore* IndexVersions::Materialize(Entry* e) {
+  if (e->store == nullptr) {
+    TupleStoreConfig config = config_;
+    config.adaptive_stats = e->adaptive_at_open;
+    e->store = std::make_unique<TupleStore>(e->cuts, config);
   }
-  return best;
+  return e->store.get();
+}
+
+TupleStore* IndexVersions::StoreForTime(SimTime t) {
+  Entry* best = nullptr;
+  for (auto& e : entries_) {
+    if (e.start <= t) best = &e;
+  }
+  return best != nullptr ? Materialize(best) : nullptr;
 }
 
 const IndexVersions::Entry* IndexVersions::Find(VersionId id) const {
@@ -56,8 +72,8 @@ const IndexVersions::Entry* IndexVersions::Find(VersionId id) const {
 }
 
 TupleStore* IndexVersions::Store(VersionId id) {
-  return const_cast<TupleStore*>(
-      static_cast<const IndexVersions*>(this)->Store(id));
+  Entry* e = const_cast<Entry*>(Find(id));
+  return e != nullptr ? Materialize(e) : nullptr;
 }
 
 const TupleStore* IndexVersions::Store(VersionId id) const {
@@ -111,13 +127,15 @@ Status IndexVersions::ValidateInvariants() const {
                                               << ", before version " << entries_[i - 1].id
                                               << " at " << entries_[i - 1].start);
     MIND_VALIDATE(e.cuts != nullptr, "version-manager: version " << e.id << " has no cut tree");
-    MIND_VALIDATE(e.store != nullptr, "version-manager: version " << e.id << " has no store");
-    MIND_VALIDATE(e.store->cuts().get() == e.cuts.get(),
-                  "version-manager: version " << e.id
-                                              << " cut tree desynced from its store's "
-                                                 "(queries and stored tuples would be "
-                                                 "coded under different embeddings)");
-    MIND_RETURN_NOT_OK(e.store->ValidateInvariants());
+    // A null store is a lazily-opened version that has never been written.
+    if (e.store != nullptr) {
+      MIND_VALIDATE(e.store->cuts().get() == e.cuts.get(),
+                    "version-manager: version " << e.id
+                                                << " cut tree desynced from its store's "
+                                                   "(queries and stored tuples would be "
+                                                   "coded under different embeddings)");
+      MIND_RETURN_NOT_OK(e.store->ValidateInvariants());
+    }
   }
 #endif  // MIND_VALIDATORS_ENABLED
   return Status::OK();
@@ -128,19 +146,130 @@ void IndexVersions::DigestInto(Fnv64* out) const {
   for (const auto& e : entries_) {
     out->Mix(static_cast<uint64_t>(e.id));
     out->Mix(e.start);
-    e.store->DigestInto(out);
+    if (e.store != nullptr) {
+      e.store->DigestInto(out);
+    } else {
+      TupleStore::DigestEmptyInto(out);
+    }
   }
+}
+
+void IndexVersions::SaveSnapshotState(
+    SnapWriter* w,
+    const std::function<uint32_t(const CutTreeRef&)>& tree_index) const {
+  w->U64(epoch_);
+  w->U64(entries_.size());
+  for (const Entry& e : entries_) {
+    w->U32(e.id);
+    w->U64(e.start);
+    w->U32(tree_index(e.cuts));
+    w->U64(e.adaptive_at_open.rows);
+    w->U64(e.adaptive_at_open.queries);
+    w->U64(e.adaptive_at_open.cover_ranges);
+    w->U64(e.adaptive_at_open.rows_examined);
+    w->U64(e.adaptive_at_open.rows_matched);
+    if (e.store == nullptr) {
+      w->U8(0);  // lazy: the version has never been written
+    } else {
+      w->U8(1);
+      w->U8(static_cast<uint8_t>(e.store->backend_kind()));
+      e.store->SaveSnapshotState(w);
+    }
+  }
+}
+
+Status IndexVersions::LoadSnapshotState(SnapReader* r,
+                                        const std::vector<CutTreeRef>& trees) {
+  if (!entries_.empty()) {
+    return Status::Internal("snapshot: restoring into a non-empty chain");
+  }
+  MIND_ASSIGN_OR_RETURN(epoch_, r->U64("versions.epoch"));
+  uint64_t count;
+  MIND_ASSIGN_OR_RETURN(count, r->U64("versions.count"));
+  if (count > (uint64_t{1} << 20)) {
+    return r->FieldError("versions.count",
+                         "implausible chain length " + std::to_string(count));
+  }
+  entries_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    MIND_ASSIGN_OR_RETURN(e.id, r->U32("versions.entry.id"));
+    MIND_ASSIGN_OR_RETURN(e.start, r->U64("versions.entry.start"));
+    uint32_t tree_idx;
+    MIND_ASSIGN_OR_RETURN(tree_idx, r->U32("versions.entry.tree"));
+    if (tree_idx >= trees.size()) {
+      return r->FieldError("versions.entry.tree",
+                           "tree index " + std::to_string(tree_idx) +
+                               " outside the interned table of " +
+                               std::to_string(trees.size()));
+    }
+    e.cuts = trees[tree_idx];
+    MIND_ASSIGN_OR_RETURN(e.adaptive_at_open.rows, r->U64("versions.ao.rows"));
+    MIND_ASSIGN_OR_RETURN(e.adaptive_at_open.queries,
+                          r->U64("versions.ao.queries"));
+    MIND_ASSIGN_OR_RETURN(e.adaptive_at_open.cover_ranges,
+                          r->U64("versions.ao.cover_ranges"));
+    MIND_ASSIGN_OR_RETURN(e.adaptive_at_open.rows_examined,
+                          r->U64("versions.ao.rows_examined"));
+    MIND_ASSIGN_OR_RETURN(e.adaptive_at_open.rows_matched,
+                          r->U64("versions.ao.rows_matched"));
+    if (!entries_.empty()) {
+      if (e.id <= entries_.back().id) {
+        return r->FieldError("versions.entry.id",
+                             "version ids not strictly increasing");
+      }
+      if (e.start < entries_.back().start) {
+        return r->FieldError("versions.entry.start",
+                             "version start times decrease");
+      }
+    }
+    uint8_t materialized;
+    MIND_ASSIGN_OR_RETURN(materialized, r->U8("versions.entry.materialized"));
+    if (materialized > 1) {
+      return r->FieldError("versions.entry.materialized", "not a boolean");
+    }
+    if (materialized != 0) {
+      uint8_t kind;
+      MIND_ASSIGN_OR_RETURN(kind, r->U8("versions.entry.backend"));
+      if (kind != static_cast<uint8_t>(IndexBackendKind::kSortedRuns) &&
+          kind != static_cast<uint8_t>(IndexBackendKind::kBitmap)) {
+        return r->FieldError(
+            "versions.entry.backend",
+            "kind " + std::to_string(kind) +
+                " is not a resolved backend (0=sorted, 1=bitmap)");
+      }
+      // Reopen with the saved resolved kind: never re-run the adaptive
+      // choice at restore, or a chain snapshotted mid-history could flip
+      // its layout and (through scan counters) its future evidence.
+      TupleStoreConfig config = config_;
+      config.options.backend = static_cast<IndexBackendKind>(kind);
+      config.adaptive_stats = e.adaptive_at_open;
+      e.store = std::make_unique<TupleStore>(e.cuts, config);
+      MIND_RETURN_NOT_OK(e.store->LoadSnapshotState(r));
+    }
+    entries_.push_back(std::move(e));
+  }
+  // AddVersion keeps config_.adaptive_stats equal to the newest entry's
+  // open-time evidence; restore the same relationship.
+  if (!entries_.empty()) {
+    config_.adaptive_stats = entries_.back().adaptive_at_open;
+  }
+  return Status::OK();
 }
 
 size_t IndexVersions::TotalTuples() const {
   size_t n = 0;
-  for (const auto& e : entries_) n += e.store->size();
+  for (const auto& e : entries_) {
+    if (e.store != nullptr) n += e.store->size();
+  }
   return n;
 }
 
 uint64_t IndexVersions::TotalBytes() const {
   uint64_t n = 0;
-  for (const auto& e : entries_) n += e.store->approx_bytes();
+  for (const auto& e : entries_) {
+    if (e.store != nullptr) n += e.store->approx_bytes();
+  }
   return n;
 }
 

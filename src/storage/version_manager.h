@@ -8,6 +8,7 @@
 #define MIND_STORAGE_VERSION_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,13 +33,28 @@ class IndexVersions {
   /// increasing (id, start) order; the previous version closes at `start`
   /// and — the daily freeze — gets its delta run compacted down, so sealed
   /// stores serve their history at base-run cost.
+  ///
+  /// The new version's store is *lazy*: opening a version records only the
+  /// chain entry (id, start, cuts); the TupleStore materializes on the first
+  /// write. A wide-area deployment installs re-balanced cuts on every node
+  /// every day, but most nodes receive no data for most versions — eager
+  /// stores would grow every node by two allocations per day forever
+  /// (bench_fig22_scale10k's RSS gate catches exactly that).
   Status AddVersion(VersionId id, CutTreeRef cuts, SimTime start);
 
+  /// True if `id` has been opened on this chain (materialized or not).
+  /// The existence check for protocol paths; Store(id) == nullptr no longer
+  /// distinguishes "unknown version" from "no data yet".
+  bool HasVersion(VersionId id) const { return Find(id) != nullptr; }
+
   /// Version in effect at time t (the last version with start <= t), or
-  /// nullptr if none.
+  /// nullptr if none. Write-path accessor: materializes the store.
   TupleStore* StoreForTime(SimTime t);
 
-  /// Store of a specific version, or nullptr.
+  /// Store of a specific version. The non-const overload is the write path:
+  /// it materializes a lazy store (nullptr only for unknown ids). The const
+  /// overload is the read path: nullptr for unknown *or* never-written
+  /// versions, which readers treat as an empty store.
   TupleStore* Store(VersionId id);
   const TupleStore* Store(VersionId id) const;
 
@@ -81,6 +97,20 @@ class IndexVersions {
   /// Folds the version chain (ids, start times, store contents) into `out`.
   void DigestInto(Fnv64* out) const;
 
+  /// Serializes the chain for the MSN1 snapshot (DESIGN.md §14).
+  /// `tree_index` maps each entry's cut tree to its index in the snapshot's
+  /// interned tree table (trees are shared across nodes and written once).
+  /// Lazy (never-written) stores serialize as a single absent flag.
+  void SaveSnapshotState(SnapWriter* w,
+                         const std::function<uint32_t(const CutTreeRef&)>&
+                             tree_index) const;
+  /// Restores a chain written by SaveSnapshotState into this freshly
+  /// constructed (empty) manager; `trees` is the deserialized interned tree
+  /// table. Materialized stores are reopened with their saved resolved
+  /// backend kind — never re-resolved, so a restore mid-history cannot flip
+  /// an adaptive choice.
+  Status LoadSnapshotState(SnapReader* r, const std::vector<CutTreeRef>& trees);
+
  private:
   friend class VersionManagerTestPeek;  // corruption injection in validator tests
 
@@ -88,9 +118,18 @@ class IndexVersions {
     VersionId id;
     SimTime start;
     CutTreeRef cuts;
+    /// Null until the first write (see AddVersion). Readers treat null as an
+    /// empty store; DigestInto folds the empty-store digest so lazy and
+    /// materialized-but-empty chains are indistinguishable.
     std::unique_ptr<TupleStore> store;
+    /// kAdaptive evidence captured when this version opened, so a store
+    /// materializing late still resolves its backend exactly as an eager
+    /// store would have at AddVersion time.
+    BackendWorkloadStats adaptive_at_open;
   };
   const Entry* Find(VersionId id) const;
+  /// Creates the entry's store on first write (config_ + adaptive_at_open).
+  TupleStore* Materialize(Entry* e);
 
   // mind-digest: skip(construction-time config, not evolving state)
   TupleStoreConfig config_;

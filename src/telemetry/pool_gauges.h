@@ -1,0 +1,32 @@
+// Publishes the pool allocator's aggregate statistics (util/arena.h) as
+// `memory.pool.*` gauges, so every bench export carries the bounded-memory
+// evidence alongside its own figures (BENCH_SCHEMA.md).
+//
+// Serial-context helper like all gauge writers: call between windows or at
+// sample points from the orchestrating thread.
+#ifndef MIND_TELEMETRY_POOL_GAUGES_H_
+#define MIND_TELEMETRY_POOL_GAUGES_H_
+
+#include "telemetry/metrics.h"
+#include "util/arena.h"
+
+namespace mind {
+namespace telemetry {
+
+inline void PublishPoolGauges(MetricsRegistry& registry) {
+  const pool::Stats s = pool::GatherStats();
+  registry.gauge("memory.pool.live_bytes").Set(static_cast<double>(s.live_bytes));
+  registry.gauge("memory.pool.peak_bytes").Set(static_cast<double>(s.peak_bytes));
+  registry.gauge("memory.pool.slab_bytes").Set(static_cast<double>(s.slab_bytes));
+  registry.gauge("memory.pool.allocs").Set(static_cast<double>(s.allocs));
+  registry.gauge("memory.pool.frees").Set(static_cast<double>(s.frees));
+  registry.gauge("memory.pool.oversize_allocs")
+      .Set(static_cast<double>(s.oversize_allocs));
+  registry.gauge("memory.pool.oversize_bytes")
+      .Set(static_cast<double>(s.oversize_bytes));
+}
+
+}  // namespace telemetry
+}  // namespace mind
+
+#endif  // MIND_TELEMETRY_POOL_GAUGES_H_

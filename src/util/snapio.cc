@@ -1,0 +1,172 @@
+#include "util/snapio.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+namespace mind {
+
+namespace {
+
+// Little-endian encode/decode without alignment assumptions.
+template <typename T>
+void EncodeLE(T v, unsigned char* out) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+template <typename T>
+T DecodeLE(const unsigned char* p) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void SnapWriter::Bytes(const void* p, size_t n) {
+  out_->write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (size_t i = 0; i < n; ++i) checksum_.MixByte(b[i]);
+  offset_ += n;
+}
+
+void SnapWriter::U16(uint16_t v) {
+  unsigned char b[2];
+  EncodeLE(v, b);
+  Bytes(b, sizeof(b));
+}
+
+void SnapWriter::U32(uint32_t v) {
+  unsigned char b[4];
+  EncodeLE(v, b);
+  Bytes(b, sizeof(b));
+}
+
+void SnapWriter::U64(uint64_t v) {
+  unsigned char b[8];
+  EncodeLE(v, b);
+  Bytes(b, sizeof(b));
+}
+
+void SnapWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void SnapWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  Bytes(s.data(), s.size());
+}
+
+Status SnapWriter::status() const {
+  if (!out_->good()) {
+    return Status::Internal("snapshot: write failed at offset " +
+                            std::to_string(offset_));
+  }
+  return Status::OK();
+}
+
+Status SnapReader::Bytes(void* p, size_t n, const char* field) {
+  in_->read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_->gcount()) != n) {
+    return Status::InvalidArgument(
+        "snapshot: truncated reading " + std::string(field) + " at offset " +
+        std::to_string(offset_) + " (wanted " + std::to_string(n) +
+        " bytes, got " + std::to_string(in_->gcount()) + ")");
+  }
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (size_t i = 0; i < n; ++i) checksum_.MixByte(b[i]);
+  offset_ += n;
+  return Status::OK();
+}
+
+Result<uint8_t> SnapReader::U8(const char* field) {
+  unsigned char b[1];
+  MIND_RETURN_NOT_OK(Bytes(b, sizeof(b), field));
+  return static_cast<uint8_t>(b[0]);
+}
+
+Result<uint16_t> SnapReader::U16(const char* field) {
+  unsigned char b[2];
+  MIND_RETURN_NOT_OK(Bytes(b, sizeof(b), field));
+  return DecodeLE<uint16_t>(b);
+}
+
+Result<uint32_t> SnapReader::U32(const char* field) {
+  unsigned char b[4];
+  MIND_RETURN_NOT_OK(Bytes(b, sizeof(b), field));
+  return DecodeLE<uint32_t>(b);
+}
+
+Result<uint64_t> SnapReader::U64(const char* field) {
+  unsigned char b[8];
+  MIND_RETURN_NOT_OK(Bytes(b, sizeof(b), field));
+  return DecodeLE<uint64_t>(b);
+}
+
+Result<double> SnapReader::F64(const char* field) {
+  auto bits = U64(field);
+  MIND_RETURN_NOT_OK(bits.status());
+  double v;
+  std::memcpy(&v, &bits.value(), sizeof(v));
+  return v;
+}
+
+Result<std::string> SnapReader::Str(const char* field, uint32_t max_len) {
+  const uint64_t at = offset_;
+  auto len = U32(field);
+  MIND_RETURN_NOT_OK(len.status());
+  if (len.value() > max_len) {
+    return Status::InvalidArgument(
+        "snapshot: implausible length " + std::to_string(len.value()) +
+        " reading " + std::string(field) + " at offset " + std::to_string(at) +
+        " (max " + std::to_string(max_len) + ")");
+  }
+  std::string s(len.value(), '\0');
+  MIND_RETURN_NOT_OK(Bytes(s.data(), s.size(), field));
+  return s;
+}
+
+Status SnapReader::Expect64(uint64_t expect, const char* field) {
+  const uint64_t at = offset_;
+  auto got = U64(field);
+  MIND_RETURN_NOT_OK(got.status());
+  if (got.value() != expect) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "0x%llx, wanted 0x%llx",
+                  static_cast<unsigned long long>(got.value()),
+                  static_cast<unsigned long long>(expect));
+    return Status::InvalidArgument("snapshot: bad marker reading " +
+                                   std::string(field) + " at offset " +
+                                   std::to_string(at) + " (got " + buf + ")");
+  }
+  return Status::OK();
+}
+
+Status SnapReader::FieldError(const char* field, const std::string& why) const {
+  return Status::InvalidArgument("snapshot: invalid " + std::string(field) +
+                                 " at offset " + std::to_string(offset_) +
+                                 ": " + why);
+}
+
+void WriteRngState(SnapWriter* w, const Rng& rng) {
+  const Rng::State st = rng.SaveState();
+  for (uint64_t word : st.words) w->U64(word);
+}
+
+Status ReadRngState(SnapReader* r, Rng* rng, const char* field) {
+  Rng::State st;
+  for (uint64_t& word : st.words) {
+    MIND_ASSIGN_OR_RETURN(word, r->U64(field));
+  }
+  rng->LoadState(st);
+  return Status::OK();
+}
+
+}  // namespace mind

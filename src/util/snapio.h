@@ -1,0 +1,101 @@
+// Typed binary snapshot I/O: the byte-level layer under the MSN1 simulator
+// snapshot format (DESIGN.md §14).
+//
+// Follows the MFT1 trace-format discipline (traffic/trace_io.h): everything
+// is little-endian and streamable, every read is bounds-checked, and a
+// malformed or truncated stream yields a precise InvalidArgument naming the
+// field being read and the byte offset — never a silently corrupted restore.
+//
+// Writers and readers carry a running FNV-1a 64 checksum of every payload
+// byte; the format's trailer compares them so truncation or bit-rot anywhere
+// in the stream is caught even for fields whose domain accepts any value.
+#ifndef MIND_UTIL_SNAPIO_H_
+#define MIND_UTIL_SNAPIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/digest.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mind {
+
+/// \brief Little-endian typed writer over a std::ostream.
+class SnapWriter {
+ public:
+  /// Does not take ownership; `out` must outlive the writer.
+  explicit SnapWriter(std::ostream* out) : out_(out) {}
+
+  void U8(uint8_t v) { Bytes(&v, 1); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  /// IEEE-754 bits of `v`, as a u64.
+  void F64(double v);
+  /// u32 length + raw bytes.
+  void Str(const std::string& s);
+  void Bytes(const void* p, size_t n);
+
+  /// Bytes written so far.
+  uint64_t offset() const { return offset_; }
+  /// FNV-1a 64 of every byte written so far.
+  uint64_t checksum() const { return checksum_.value(); }
+
+  /// Forwards the stream's failure state (disk full etc.).
+  Status status() const;
+
+ private:
+  std::ostream* out_;
+  uint64_t offset_ = 0;
+  Fnv64 checksum_;
+};
+
+/// \brief Bounds-checked little-endian reader over a std::istream.
+///
+/// Every accessor takes the field's name; failures produce
+/// `InvalidArgument("snapshot: <what> reading <field> at offset N")`.
+class SnapReader {
+ public:
+  /// Does not take ownership; `in` must outlive the reader.
+  explicit SnapReader(std::istream* in) : in_(in) {}
+
+  Result<uint8_t> U8(const char* field);
+  Result<uint16_t> U16(const char* field);
+  Result<uint32_t> U32(const char* field);
+  Result<uint64_t> U64(const char* field);
+  Result<double> F64(const char* field);
+  /// u32 length + raw bytes; `max_len` guards against a corrupt length
+  /// pulling gigabytes.
+  Result<std::string> Str(const char* field, uint32_t max_len = 1 << 20);
+  Status Bytes(void* p, size_t n, const char* field);
+
+  /// Reads a u64 and errors unless it equals `expect` (section markers).
+  Status Expect64(uint64_t expect, const char* field);
+
+  /// Bytes consumed so far.
+  uint64_t offset() const { return offset_; }
+  /// FNV-1a 64 of every byte consumed so far.
+  uint64_t checksum() const { return checksum_.value(); }
+
+  /// InvalidArgument tagged with the current offset — for callers rejecting
+  /// a structurally valid but semantically impossible field value.
+  Status FieldError(const char* field, const std::string& why) const;
+
+ private:
+  std::istream* in_;
+  uint64_t offset_ = 0;
+  Fnv64 checksum_;
+};
+
+/// Writes an Rng's full 7-word state (see Rng::SaveState).
+void WriteRngState(SnapWriter* w, const Rng& rng);
+/// Reads an Rng state written by WriteRngState into `rng`.
+Status ReadRngState(SnapReader* r, Rng* rng, const char* field);
+
+}  // namespace mind
+
+#endif  // MIND_UTIL_SNAPIO_H_

@@ -418,7 +418,7 @@ TEST_F(MindNetTest, RebalanceServiceInstallsBalancedCuts) {
   for (size_t i = 0; i < net_->size(); ++i) {
     const IndexVersions* pv = net_->node(i).PrimaryVersions("test_idx");
     ASSERT_NE(pv, nullptr);
-    EXPECT_NE(pv->Store(2), nullptr) << "node " << i << " missing version 2";
+    EXPECT_TRUE(pv->HasVersion(2)) << "node " << i << " missing version 2";
     // The new cuts must differ from even cuts (the data was skewed).
     EXPECT_GT(pv->Cuts(2)->materialized_depth(), 0);
   }

@@ -1,0 +1,204 @@
+// Tests for the bounded-memory allocators (util/arena.h, DESIGN.md §14):
+// the size-class pool (pool::Allocate / pool::Deallocate, thread caches and
+// the retired-cache depot) and the epoch-reclaimed Arena. The CI sanitizer
+// job runs this suite under ASan+UBSan: block recycling, cross-thread frees
+// and depot adoption are exactly the paths where a lifetime bug would hide.
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/arena.h"
+
+namespace mind {
+namespace {
+
+using pool::GatherStats;
+using pool::kClassSizes;
+using pool::kMaxPooledBytes;
+using pool::Stats;
+
+TEST(PoolTest, RoundTripRecyclesFreedBlocks) {
+  const Stats before = GatherStats();
+  void* p = pool::Allocate(64);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 64);
+  pool::Deallocate(p, 64);
+  // LIFO free list: the very next same-class allocation reuses the block.
+  void* q = pool::Allocate(64);
+  EXPECT_EQ(q, p);
+  pool::Deallocate(q, 64);
+
+  const Stats after = GatherStats();
+  EXPECT_EQ(after.allocs, before.allocs + 2);
+  EXPECT_EQ(after.frees, before.frees + 2);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(PoolTest, RequestsRoundUpToTheirSizeClass) {
+  const Stats before = GatherStats();
+  // 100 bytes lands in the 128-byte class; live accounting uses the class
+  // size, not the request size.
+  void* p = pool::Allocate(100);
+  const Stats mid = GatherStats();
+  EXPECT_EQ(mid.live_bytes - before.live_bytes, 128);
+  pool::Deallocate(p, 100);
+  EXPECT_EQ(GatherStats().live_bytes, before.live_bytes);
+}
+
+TEST(PoolTest, EveryClassBoundaryAllocates) {
+  for (size_t cls : kClassSizes) {
+    void* p = pool::Allocate(cls);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u);
+    std::memset(p, 0x5c, cls);
+    pool::Deallocate(p, cls);
+  }
+}
+
+TEST(PoolTest, ZeroByteRequestIsServed) {
+  void* p = pool::Allocate(0);
+  ASSERT_NE(p, nullptr);
+  pool::Deallocate(p, 0);
+}
+
+TEST(PoolTest, OversizeFallsBackToHeapAndIsCounted) {
+  const size_t n = kMaxPooledBytes + 1;
+  const Stats before = GatherStats();
+  void* p = pool::Allocate(n);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x17, n);
+  const Stats mid = GatherStats();
+  EXPECT_EQ(mid.oversize_allocs, before.oversize_allocs + 1);
+  EXPECT_EQ(mid.oversize_bytes, before.oversize_bytes + n);
+  // Oversize traffic bypasses the pools entirely: no live-byte movement.
+  EXPECT_EQ(mid.live_bytes, before.live_bytes);
+  pool::Deallocate(p, n);
+}
+
+TEST(PoolTest, PeakTracksHighWaterAndResets) {
+  pool::ResetPeak();
+  const Stats base = GatherStats();
+  std::vector<void*> blocks;
+  for (int i = 0; i < 32; ++i) blocks.push_back(pool::Allocate(256));
+  const Stats loaded = GatherStats();
+  EXPECT_GE(loaded.peak_bytes, base.live_bytes + 32 * 256);
+  for (void* p : blocks) pool::Deallocate(p, 256);
+  // Peak survives the frees until explicitly reset to the live volume.
+  EXPECT_GE(GatherStats().peak_bytes, loaded.peak_bytes);
+  pool::ResetPeak();
+  const Stats reset = GatherStats();
+  EXPECT_EQ(reset.peak_bytes, reset.live_bytes);
+}
+
+TEST(PoolTest, CrossThreadFreeMigratesToTheFreeingCache) {
+  const Stats before = GatherStats();
+  void* p = pool::Allocate(64);
+  std::memset(p, 0x42, 64);
+  std::thread t([p] { pool::Deallocate(p, 64); });
+  t.join();
+  const Stats after = GatherStats();
+  EXPECT_EQ(after.frees, before.frees + 1);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(PoolTest, RetiredCacheDonatesBlocksToTheNextThread) {
+  // Thread 1 allocates and frees, then exits: its free list and slabs land
+  // in the depot.
+  std::thread t1([] {
+    void* p = pool::Allocate(512);
+    std::memset(p, 0x33, 512);
+    pool::Deallocate(p, 512);
+  });
+  t1.join();
+
+  // Thread 2 adopts the donated state: serving the same class again must not
+  // reserve any new slab memory.
+  const Stats before = GatherStats();
+  std::thread t2([] {
+    void* p = pool::Allocate(512);
+    std::memset(p, 0x44, 512);
+    pool::Deallocate(p, 512);
+  });
+  t2.join();
+  const Stats after = GatherStats();
+  EXPECT_EQ(after.slab_bytes, before.slab_bytes);
+  EXPECT_EQ(after.allocs, before.allocs + 1);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(PoolTest, PooledAllocatorDrivesStdContainers) {
+  std::vector<int, pool::PooledAllocator<int>> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i * 3);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * 3);
+
+  struct Payload {
+    uint64_t a;
+    uint64_t b;
+  };
+  auto sp = std::allocate_shared<Payload>(pool::PooledAllocator<Payload>(),
+                                          Payload{7, 9});
+  EXPECT_EQ(sp->a, 7u);
+  EXPECT_EQ(sp->b, 9u);
+}
+
+TEST(ArenaTest, BumpAllocationIsAlignedAndAccounted) {
+  Arena arena(4096);
+  void* a = arena.Allocate(10);
+  void* b = arena.Allocate(10);
+  ASSERT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(std::max_align_t), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(std::max_align_t), 0u);
+  // Both 10-byte requests round up to max_align_t strides.
+  EXPECT_EQ(arena.live_bytes(), 2 * ((10 + alignof(std::max_align_t) - 1) &
+                                     ~(alignof(std::max_align_t) - 1)));
+
+  struct Pt {
+    int x;
+    int y;
+  };
+  Pt* p = arena.New<Pt>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(ArenaTest, ResetReclaimsTheEpochWithoutReleasingChunks) {
+  Arena arena(1024);
+  for (int i = 0; i < 100; ++i) arena.Allocate(64);
+  const size_t reserved = arena.reserved_bytes();
+  EXPECT_GT(reserved, 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.live_bytes(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+  // The second epoch walks the retained chunks: same pattern, no growth.
+  for (int i = 0; i < 100; ++i) arena.Allocate(64);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+}
+
+TEST(ArenaTest, OversizedRequestGetsADedicatedChunk) {
+  Arena arena(1024);
+  void* p = arena.Allocate(64 * 1024);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x1f, 64 * 1024);
+  EXPECT_GE(arena.reserved_bytes(), 64u * 1024);
+  arena.Reset();
+  // The oversized chunk is retained like any other.
+  EXPECT_GE(arena.reserved_bytes(), 64u * 1024);
+}
+
+TEST(ArenaTest, PeakPersistsAcrossReset) {
+  Arena arena(1024);
+  arena.Allocate(512);
+  arena.Allocate(512);
+  const size_t peak = arena.peak_bytes();
+  EXPECT_GE(peak, 1024u);
+  arena.Reset();
+  EXPECT_EQ(arena.peak_bytes(), peak);
+  EXPECT_EQ(arena.live_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mind

@@ -384,6 +384,7 @@ TEST(VersionManagerValidatorTest, DetectsCutTreeDesync) {
   IndexVersions versions(24);
   auto cuts = std::make_shared<CutTree>(CutTree::Even(TwoDimSchema()));
   ASSERT_TRUE(versions.AddVersion(1, cuts, 0).ok());
+  ASSERT_NE(versions.Store(1), nullptr);  // materialize the lazy store
   EXPECT_TRUE(versions.ValidateInvariants().ok());
   // Swap the chain's recorded tree for a distinct (even identical) instance:
   // queries would now be coded under a different object than the stored rows.

@@ -19,7 +19,11 @@
 #   (e) any index backend (MIND_BACKEND=sorted|bitmap|adaptive) disagrees
 #       with the default run, or the legacy digest drifts from its pinned
 #       value -- backends are physical layout only (docs/BACKENDS.md) and
-#       must be invisible to the simulation.
+#       must be invisible to the simulation, or
+#   (f) the pinned legacy digest fails to survive an MSN1 snapshot
+#       save/load cycle (`--snapshot-roundtrip`: the restore's internal
+#       digest gate plus the printed pre-snapshot digest), serial and
+#       parallel -- week-long campaigns must resume bit-identically.
 #
 # The flagless (legacy-mode) digest is intentionally distinct from the
 # discipline digest: the discipline switches jitter to counter-based per-link
@@ -125,6 +129,23 @@ for t in 1 2 4 8; do
     fail=1
   fi
 done
+
+echo
+echo "== snapshot roundtrip (MSN1 save/load must preserve the digests) =="
+snap="$(digest "${probe}" --snapshot-roundtrip)"
+echo "legacy through save/load:     ${snap}"
+if [[ "${snap}" != "${PINNED}" ]]; then
+  echo "FAIL: legacy digest ${snap} != pinned ${PINNED} after a snapshot" \
+       "save/load cycle -- the MSN1 format dropped or distorted state" >&2
+  fail=1
+fi
+snap_par="$(digest "${probe}" --threads=4 --snapshot-roundtrip)"
+echo "threads=4 through save/load:  ${snap_par}"
+if [[ "${snap_par}" != "${disc}" ]]; then
+  echo "FAIL: parallel digest ${snap_par} != engine digest ${disc} after a" \
+       "snapshot save/load cycle" >&2
+  fail=1
+fi
 
 if [[ "${fail}" -ne 0 ]]; then
   exit 1

@@ -22,6 +22,14 @@ this lint bans them in the simulation-facing directories:
                   on single-threaded shard execution, and an ad-hoc lock or
                   atomic would hide a cross-shard ordering dependency the
                   engine cannot see.
+  raw-alloc    -- `new`/malloc/std::make_shared on the pooled hot paths
+                  (src/sim, src/overlay).
+                  Message and event payloads there flow through pool::Allocate
+                  (sim/message.h MakeMessage, sim/event_fn.h EventFn,
+                  DESIGN.md §14); a raw heap allocation silently reopens the
+                  general-heap churn the pools eliminate. Placement new
+                  (`::new (p) T`) stays legal -- it is how the pools construct
+                  into their own storage.
 
 Semantic contracts that need real declaration/type analysis (digest-coverage,
 backend-purity, phase-safety, and the type-resolved unordered-emit rule that
@@ -86,6 +94,28 @@ CONCURRENCY_RULES = [
      "dependency the engine cannot see"),
 ]
 
+# Pooled allocation fence: message/event payloads in these directories go
+# through pool::Allocate (MakeMessage / EventFn), so the pool telemetry's
+# "zero allocations outside pools" claim stays honest. The `new` pattern
+# deliberately skips placement new (`::new (p) T` / `new (mem) T`): the
+# lookbehind rejects `::new`, and a `(` after the keyword never matches.
+POOLED_DIRS = ("src/sim", "src/overlay")
+RAW_ALLOC_RULES = [
+    ("raw-alloc",
+     re.compile(r"\b(malloc|calloc|realloc|aligned_alloc|posix_memalign|"
+                r"strdup)\s*\("),
+     "libc heap allocation is banned on pooled paths; allocate through "
+     "pool::Allocate (sim/message.h MakeMessage, sim/event_fn.h EventFn)"),
+    ("raw-alloc",
+     re.compile(r"(?<!:)\bnew\s+[A-Za-z_:]"),
+     "raw `new` is banned on pooled paths; allocate through MakeMessage / "
+     "EventFn / pool::Allocate (placement `::new (p) T` is allowed)"),
+    ("raw-alloc",
+     re.compile(r"\bmake_shared\s*<"),
+     "std::make_shared puts message payloads on the general heap; construct "
+     "messages with MakeMessage (pool-backed allocate_shared)"),
+]
+
 
 def strip_comments_and_strings(line):
     """Blanks out string/char literals and // comments (keeps the line length
@@ -128,6 +158,8 @@ def lint_file(path, relpath, findings):
     rules = list(TOKEN_RULES)
     if CONCURRENCY_EXEMPT not in relpath_norm:
         rules += CONCURRENCY_RULES
+    if any(relpath_norm.startswith(d + "/") for d in POOLED_DIRS):
+        rules += RAW_ALLOC_RULES
     for idx, line in enumerate(code):
         for rule, rx, msg in rules:
             if rx.search(line) and not sup.allowed(idx + 1, rule):
